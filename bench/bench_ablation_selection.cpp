@@ -1,0 +1,34 @@
+// Ablation — channel-selection policy.
+//
+// The paper fixes "a channel selection policy which favors continuing
+// routing in the current dimension over turning" (Section 3). This ablation
+// quantifies how much the policy matters for deadlock formation and
+// throughput under TFAR with 1 VC.
+#include "common.hpp"
+
+int main() {
+  using namespace flexnet;
+  namespace fb = flexnet::bench;
+
+  fb::banner("Ablation: channel selection policy (TFAR, 1 VC)");
+
+  const std::vector<double> loads{0.1, 0.2, 0.3, 0.5, 0.7};
+
+  for (const SelectionKind selection :
+       {SelectionKind::PreferStraight, SelectionKind::Random,
+        SelectionKind::LowestIndex}) {
+    ExperimentConfig cfg = fb::paper_default();
+    cfg.sim.routing = RoutingKind::TFAR;
+    cfg.sim.vcs = 1;
+    cfg.sim.selection = selection;
+
+    const auto results = sweep_loads(cfg, loads);
+    const std::string name(to_string(selection));
+    fb::emit("ablation_selection", "selection = " + name, results,
+             deadlock_columns(), name);
+    print_load_series(std::cout, "selection = " + name + " (throughput)",
+                      results, throughput_columns());
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Extensions from the paper's "future work" list (Section 5): misrouting,
+// hybrid (bimodal) message lengths, and mesh topology with turn-model
+// routing.
+#include "common.hpp"
+
+int main() {
+  using namespace flexnet;
+  namespace fb = flexnet::bench;
+
+  const std::vector<double> loads{0.2, 0.4, 0.6};
+
+  fb::banner("Extension 1: bounded misrouting (TFAR, 2 VCs)");
+  for (const int misroutes : {0, 2, 4}) {
+    ExperimentConfig cfg = fb::paper_default();
+    cfg.sim.routing = RoutingKind::TFAR;
+    cfg.sim.vcs = 2;
+    cfg.sim.max_misroutes = misroutes;
+    const auto results = sweep_loads(cfg, loads);
+    const std::string name = "misroutes=" + std::to_string(misroutes);
+    fb::emit("ext_futurework", name, results, deadlock_columns(), name);
+    print_load_series(std::cout, name + " (throughput)", results,
+                      throughput_columns());
+    std::cout << '\n';
+  }
+
+  fb::banner("Extension 2: hybrid message lengths (TFAR, 1 VC)");
+  for (const double fraction : {0.0, 0.5, 0.9}) {
+    ExperimentConfig cfg = fb::paper_default();
+    cfg.sim.routing = RoutingKind::TFAR;
+    cfg.sim.vcs = 1;
+    cfg.sim.short_message_fraction = fraction;
+    cfg.sim.short_message_length = 4;
+    const auto results = sweep_loads(cfg, loads);
+    const std::string name =
+        "short_fraction=" + TableWriter::num(fraction, 1);
+    fb::emit("ext_futurework", name, results, deadlock_columns(), name);
+  }
+
+  fb::banner("Extension 3: link faults (TFAR, 1 VC) - irregular topology");
+  for (const double fraction : {0.0, 0.05, 0.1, 0.2}) {
+    ExperimentConfig cfg = fb::paper_default();
+    cfg.sim.routing = RoutingKind::TFAR;
+    cfg.sim.vcs = 1;
+    cfg.sim.link_fault_fraction = fraction;
+    cfg.detector.livelock_hop_limit = 512;
+    const auto results = sweep_loads(cfg, loads);
+    const std::string name = "faults=" + TableWriter::num(fraction, 2);
+    fb::emit("ext_futurework", name, results, deadlock_columns(), name);
+    print_load_series(std::cout, name + " (throughput)", results,
+                      throughput_columns());
+    std::cout << '\n';
+  }
+
+  fb::banner("Extension 4: hybrid traffic (uniform + transpose), TFAR, 1 VC");
+  for (const double fraction : {0.0, 0.5}) {
+    ExperimentConfig cfg = fb::paper_default();
+    cfg.sim.routing = RoutingKind::TFAR;
+    cfg.sim.vcs = 1;
+    cfg.traffic.pattern = TrafficKind::Uniform;
+    cfg.traffic.hybrid_fraction = fraction;
+    cfg.traffic.hybrid_with = TrafficKind::Transpose;
+    const auto results = sweep_loads(cfg, loads);
+    const std::string name = "hybrid_transpose=" + TableWriter::num(fraction, 1);
+    fb::emit("ext_futurework", name, results, deadlock_columns(), name);
+  }
+
+  fb::banner("Extension 5: 16x16 mesh, negative-first turn model vs TFAR");
+  for (const bool turn_model : {true, false}) {
+    ExperimentConfig cfg = fb::paper_default();
+    cfg.sim.topology.wrap = false;
+    cfg.sim.routing =
+        turn_model ? RoutingKind::NegativeFirst : RoutingKind::TFAR;
+    cfg.sim.vcs = 1;
+    const auto results = sweep_loads(cfg, loads);
+    const std::string name =
+        turn_model ? "mesh NegativeFirst (avoidance)" : "mesh TFAR1+recovery";
+    fb::emit("ext_futurework", name, results, deadlock_columns(), name);
+    print_load_series(std::cout, name + " (throughput)", results,
+                      throughput_columns());
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark): the cost of the detection machinery
+// itself — CWG construction, SCC, knot finding, cycle enumeration — and the
+// simulator's cycle rate. These bound the overhead of running true deadlock
+// detection every 50 cycles.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "flexnet.hpp"
+
+namespace flexnet {
+namespace {
+
+/// A saturated 16-ary 2-cube TFAR1 network: the realistic worst-case CWG.
+std::unique_ptr<Simulation> saturated_sim(int k, double load) {
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = k;
+  cfg.sim.topology.n = 2;
+  cfg.sim.routing = RoutingKind::TFAR;
+  cfg.sim.vcs = 1;
+  cfg.traffic.load = load;
+  cfg.detector.recovery = RecoveryKind::None;  // leave congestion in place
+  auto sim = std::make_unique<Simulation>(cfg);
+  sim->run_cycles(3000);
+  return sim;
+}
+
+void BM_NetworkStep(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  auto sim = saturated_sim(k, 0.4);
+  for (auto _ : state) {
+    sim->injection().tick(sim->network());
+    sim->network().step();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sim->network().topology().num_nodes());
+}
+BENCHMARK(BM_NetworkStep)->Arg(8)->Arg(16);
+
+void BM_CwgBuild(benchmark::State& state) {
+  auto sim = saturated_sim(16, 0.5);
+  for (auto _ : state) {
+    const Cwg cwg = Cwg::from_network(sim->network());
+    benchmark::DoNotOptimize(cwg.num_blocked_messages());
+  }
+}
+BENCHMARK(BM_CwgBuild);
+
+void BM_KnotDetection(benchmark::State& state) {
+  auto sim = saturated_sim(16, 0.5);
+  const Cwg cwg = Cwg::from_network(sim->network());
+  for (auto _ : state) {
+    const auto knots = find_knots(cwg);
+    benchmark::DoNotOptimize(knots.size());
+  }
+}
+BENCHMARK(BM_KnotDetection);
+
+void BM_FullDetectionPass(benchmark::State& state) {
+  auto sim = saturated_sim(16, 0.5);
+  DetectorConfig cfg;
+  cfg.recovery = RecoveryKind::None;
+  cfg.keep_records = false;
+  DeadlockDetector detector(cfg, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.run_detection(sim->network()));
+  }
+}
+BENCHMARK(BM_FullDetectionPass);
+
+void BM_SccDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Digraph g(n);
+  Pcg32 rng(7);
+  for (int e = 0; e < 4 * n; ++e) {
+    g.add_edge(static_cast<int>(rng.bounded(static_cast<std::uint32_t>(n))),
+               static_cast<int>(rng.bounded(static_cast<std::uint32_t>(n))));
+  }
+  for (auto _ : state) {
+    const SccResult scc = strongly_connected_components(g);
+    benchmark::DoNotOptimize(scc.num_components);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SccDense)->Arg(1000)->Arg(10000);
+
+void BM_CycleEnumerationCapped(benchmark::State& state) {
+  // A ring with chords: many cycles, enumeration capped at 1000.
+  constexpr int kN = 64;
+  Digraph g(kN);
+  for (int i = 0; i < kN; ++i) g.add_edge(i, (i + 1) % kN);
+  for (int i = 0; i < kN; i += 4) g.add_edge(i, (i + 7) % kN);
+  for (int i = 0; i < kN; i += 8) g.add_edge((i + 3) % kN, i);
+  for (auto _ : state) {
+    const CycleEnumeration r = enumerate_simple_cycles(g, 1000);
+    benchmark::DoNotOptimize(r.count);
+  }
+}
+BENCHMARK(BM_CycleEnumerationCapped);
+
+void BM_ImmobilityCheck(benchmark::State& state) {
+  auto sim = saturated_sim(16, 0.5);
+  const Network& net = sim->network();
+  for (auto _ : state) {
+    int immobile = 0;
+    for (const MessageId id : net.active_messages()) {
+      if (net.message_immobile(id)) ++immobile;
+    }
+    benchmark::DoNotOptimize(immobile);
+  }
+}
+BENCHMARK(BM_ImmobilityCheck);
+
+}  // namespace
+}  // namespace flexnet
+
+BENCHMARK_MAIN();

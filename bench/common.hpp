@@ -1,0 +1,59 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary prints the paper-style series to stdout and drops a CSV
+// under ./bench_results/ for plotting. Windows default to half the paper's
+// (warmup 5,000 + measured 15,000 cycles); set FLEXNET_BENCH_SCALE=2 for the
+// paper's full 30,000-cycle measurement windows, or <1 for smoke runs.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "flexnet.hpp"
+
+namespace flexnet::bench {
+
+/// The paper's baseline (Section 3): 16-ary 2-cube, bidirectional, 1 VC,
+/// 2-flit buffers, 32-flit messages, uniform traffic, detection every 50
+/// cycles, Disha-style recovery.
+inline ExperimentConfig paper_default() {
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 16;
+  cfg.sim.topology.n = 2;
+  cfg.sim.routing = RoutingKind::TFAR;
+  const double scale = bench_scale();
+  cfg.run.warmup = static_cast<Cycle>(5000 * scale);
+  cfg.run.measure = static_cast<Cycle>(15000 * scale);
+  if (cfg.run.warmup < 200) cfg.run.warmup = 200;
+  if (cfg.run.measure < 500) cfg.run.measure = 500;
+  return cfg;
+}
+
+/// Load points: dense below the typical saturation region, sparser beyond
+/// ("up to full network capacity ... generally well beyond the loads at
+/// which network performance saturates").
+inline std::vector<double> default_loads() {
+  return {0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.70, 0.90};
+}
+
+/// Prints the series and also writes the full CSV to bench_results/.
+inline void emit(const std::string& file_tag, const std::string& title,
+                 const std::vector<ExperimentResult>& results,
+                 const std::vector<SeriesColumn>& columns,
+                 const std::string& label) {
+  print_load_series(std::cout, title, results, columns);
+  std::cout << '\n';
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/" + file_tag + ".csv";
+  std::ofstream out(path, std::ios::app);
+  write_results_csv(out, results, label);
+}
+
+inline void banner(const std::string& text) {
+  std::cout << "\n########## " << text << " ##########\n\n";
+}
+
+}  // namespace flexnet::bench

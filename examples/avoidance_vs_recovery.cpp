@@ -1,0 +1,58 @@
+// Avoidance vs recovery in one run: the trade-off the paper's introduction
+// frames. Avoidance-based routing (dateline DOR, Duato's protocol) buys
+// guaranteed deadlock freedom with routing restrictions; recovery-based
+// routing (unrestricted DOR/TFAR + true deadlock detection + Disha-style
+// removal) keeps full routing freedom and pays only when deadlocks actually
+// form — which, with 2-3 VCs, is almost never.
+//
+//   ./avoidance_vs_recovery [--load X] [--k N]
+#include <cstdio>
+
+#include "flexnet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flexnet;
+  const auto opts = Options::parse(argc, argv);
+  if (!opts) return 1;
+
+  const double load = opts->get_double("load", 0.4);
+  const int k = static_cast<int>(opts->get_int("k", 16));
+
+  struct Scheme {
+    const char* label;
+    RoutingKind routing;
+    int vcs;
+  };
+  const Scheme schemes[] = {
+      {"recovery: DOR, 1 VC", RoutingKind::DOR, 1},
+      {"recovery: TFAR, 1 VC", RoutingKind::TFAR, 1},
+      {"recovery: TFAR, 2 VC", RoutingKind::TFAR, 2},
+      {"recovery: TFAR, 3 VC", RoutingKind::TFAR, 3},
+      {"avoidance: dateline DOR, 2 VC", RoutingKind::DatelineDOR, 2},
+      {"avoidance: Duato TFAR, 3 VC", RoutingKind::DuatoTFAR, 3},
+  };
+
+  std::printf("Avoidance vs recovery on a %d-ary 2-cube at load %.2f\n\n", k,
+              load);
+  std::printf("%-32s %10s %10s %10s %12s\n", "scheme", "deadlocks",
+              "recovered", "latency", "norm thruput");
+  for (const Scheme& scheme : schemes) {
+    ExperimentConfig cfg;
+    cfg.sim.topology.k = k;
+    cfg.sim.routing = scheme.routing;
+    cfg.sim.vcs = scheme.vcs;
+    cfg.traffic.load = load;
+    cfg.run.warmup = 3000;
+    cfg.run.measure = 10000;
+    const ExperimentResult r = run_experiment(cfg);
+    std::printf("%-32s %10lld %10lld %10.1f %12.4f\n", scheme.label,
+                static_cast<long long>(r.window.deadlocks),
+                static_cast<long long>(r.window.recovered),
+                r.window.avg_latency, r.normalized_throughput);
+  }
+  std::printf(
+      "\nPaper conclusion (Section 5): with unrestricted use of only a few\n"
+      "virtual channels deadlock becomes highly improbable, so recovery-based\n"
+      "routing is viable and avoidance's restrictions are overly cautious.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "core/cwg.hpp"
+
+#include <stdexcept>
+
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+Cwg::Cwg(int num_vcs, std::vector<CwgMessage> messages)
+    : graph_(num_vcs),
+      messages_(std::move(messages)),
+      owner_(static_cast<std::size_t>(num_vcs), kInvalidMessage) {
+  build();
+}
+
+Cwg Cwg::from_network(const Network& net) {
+  std::vector<CwgMessage> messages;
+  messages.reserve(net.active_messages().size());
+  for (const MessageId id : net.active_messages()) {
+    const Message& msg = net.message(id);
+    CwgMessage entry;
+    entry.id = id;
+    entry.held = msg.held;
+    if (msg.blocked) entry.requests = msg.request_set;
+    messages.push_back(std::move(entry));
+  }
+  return Cwg(static_cast<int>(net.num_vcs()), std::move(messages));
+}
+
+void Cwg::build() {
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    const CwgMessage& msg = messages_[i];
+    if (msg.held.empty()) {
+      throw std::invalid_argument("CWG messages must own at least one VC");
+    }
+    index_.emplace(msg.id, i);
+    for (std::size_t h = 0; h < msg.held.size(); ++h) {
+      const VcId vc = msg.held[h];
+      if (owner_[static_cast<std::size_t>(vc)] != kInvalidMessage) {
+        throw std::invalid_argument("VC owned by two messages");
+      }
+      owner_[static_cast<std::size_t>(vc)] = msg.id;
+      if (h + 1 < msg.held.size()) {
+        graph_.add_edge(vc, msg.held[h + 1]);
+        ++ownership_arcs_;
+      }
+    }
+  }
+  // Request (dashed) arcs leave the newest owned VC of each blocked message.
+  for (const CwgMessage& msg : messages_) {
+    if (msg.requests.empty()) continue;
+    ++blocked_;
+    const VcId tip = msg.held.back();
+    for (const VcId want : msg.requests) {
+      graph_.add_edge(tip, want);
+      ++request_arcs_;
+    }
+  }
+}
+
+const CwgMessage* Cwg::find_message(MessageId id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &messages_[it->second];
+}
+
+}  // namespace flexnet

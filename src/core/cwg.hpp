@@ -1,0 +1,68 @@
+// Channel wait-for graph (CWG) — the paper's Section 2.1 construct.
+//
+// Vertices are virtual channels. For every in-network message, a chain of
+// solid arcs records the temporal order of the VCs it currently owns; if the
+// message is blocked, dashed (request) arcs run from its newest owned VC to
+// every VC its header could acquire at this instant. The graph reflects the
+// network's *dynamic* state — not the routing relation — so it is generally
+// disconnected. A deadlock exists iff the graph contains a knot.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "sim/types.hpp"
+
+namespace flexnet {
+
+class Network;
+
+/// A message's contribution to the CWG.
+struct CwgMessage {
+  MessageId id = kInvalidMessage;
+  std::vector<VcId> held;      ///< Owned VCs, oldest first (solid-arc chain).
+  std::vector<VcId> requests;  ///< Desired VCs; non-empty iff blocked.
+};
+
+class Cwg {
+ public:
+  /// Hand-built scenario (unit tests reproduce the paper's Figs. 1-4).
+  Cwg(int num_vcs, std::vector<CwgMessage> messages);
+
+  /// Snapshot of a live network: every active message's held chain plus the
+  /// request sets recorded by the most recent routing attempt.
+  [[nodiscard]] static Cwg from_network(const Network& net);
+
+  [[nodiscard]] const Digraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] int num_vcs() const noexcept { return graph_.num_vertices(); }
+  [[nodiscard]] std::span<const CwgMessage> messages() const noexcept {
+    return messages_;
+  }
+  /// Owner of a VC vertex; kInvalidMessage when free.
+  [[nodiscard]] MessageId owner_of(VcId vc) const {
+    return owner_[static_cast<std::size_t>(vc)];
+  }
+  /// Lookup by message id; nullptr when the message is not in the graph.
+  [[nodiscard]] const CwgMessage* find_message(MessageId id) const;
+
+  /// Number of solid (ownership) and dashed (request) arcs.
+  [[nodiscard]] int num_ownership_arcs() const noexcept { return ownership_arcs_; }
+  [[nodiscard]] int num_request_arcs() const noexcept { return request_arcs_; }
+  /// Blocked messages = messages contributing request arcs.
+  [[nodiscard]] int num_blocked_messages() const noexcept { return blocked_; }
+
+ private:
+  void build();
+
+  Digraph graph_;
+  std::vector<CwgMessage> messages_;
+  std::vector<MessageId> owner_;
+  std::unordered_map<MessageId, std::size_t> index_;
+  int ownership_arcs_ = 0;
+  int request_arcs_ = 0;
+  int blocked_ = 0;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,166 @@
+#include "core/cycles.hpp"
+
+#include <algorithm>
+
+#include "core/scc.hpp"
+
+namespace flexnet {
+
+namespace {
+
+/// Johnson's elementary-circuit search over one strongly connected component
+/// (self-loops pre-counted and stripped by the caller).
+class JohnsonSearch {
+ public:
+  JohnsonSearch(const Digraph& graph, const std::vector<int>& to_original,
+                std::int64_t cap, std::size_t store_limit,
+                CycleEnumeration& out)
+      : graph_(graph),
+        to_original_(to_original),
+        cap_(cap),
+        store_limit_(store_limit),
+        out_(out) {}
+
+  void run() {
+    const int n = graph_.num_vertices();
+    blocked_.assign(static_cast<std::size_t>(n), false);
+    b_sets_.assign(static_cast<std::size_t>(n), {});
+    for (start_ = 0; start_ < n && !out_.capped; ++start_) {
+      // Restrict to the SCC (within vertices >= start_) containing start_;
+      // this keeps start_ the least vertex of every circuit found.
+      const Digraph restricted = restrict_from(start_);
+      if (restricted.out(start_).empty()) continue;
+      for (int v = start_; v < n; ++v) {
+        blocked_[static_cast<std::size_t>(v)] = false;
+        b_sets_[static_cast<std::size_t>(v)].clear();
+      }
+      circuit(start_, restricted);
+    }
+  }
+
+ private:
+  /// Subgraph on vertices >= start_, limited to start_'s SCC there.
+  [[nodiscard]] Digraph restrict_from(int start) const {
+    const int n = graph_.num_vertices();
+    Digraph high(n);
+    for (int v = start; v < n; ++v) {
+      for (const int w : graph_.out(v)) {
+        if (w >= start) high.add_edge(v, w);
+      }
+    }
+    const SccResult scc = strongly_connected_components(high);
+    const int comp = scc.component[static_cast<std::size_t>(start)];
+    Digraph result(n);
+    for (int v = start; v < n; ++v) {
+      if (scc.component[static_cast<std::size_t>(v)] != comp) continue;
+      for (const int w : high.out(v)) {
+        if (scc.component[static_cast<std::size_t>(w)] == comp) {
+          result.add_edge(v, w);
+        }
+      }
+    }
+    return result;
+  }
+
+  bool circuit(int v, const Digraph& g) {
+    bool found = false;
+    path_.push_back(v);
+    blocked_[static_cast<std::size_t>(v)] = true;
+    for (const int w : g.out(v)) {
+      if (out_.capped) break;
+      if (w == start_) {
+        record_cycle();
+        found = true;
+      } else if (!blocked_[static_cast<std::size_t>(w)]) {
+        if (circuit(w, g)) found = true;
+      }
+    }
+    if (found) {
+      unblock(v);
+    } else {
+      for (const int w : g.out(v)) {
+        auto& b = b_sets_[static_cast<std::size_t>(w)];
+        if (std::find(b.begin(), b.end(), v) == b.end()) b.push_back(v);
+      }
+    }
+    path_.pop_back();
+    return found;
+  }
+
+  void unblock(int v) {
+    blocked_[static_cast<std::size_t>(v)] = false;
+    auto& b = b_sets_[static_cast<std::size_t>(v)];
+    while (!b.empty()) {
+      const int w = b.back();
+      b.pop_back();
+      if (blocked_[static_cast<std::size_t>(w)]) unblock(w);
+    }
+  }
+
+  void record_cycle() {
+    ++out_.count;
+    if (out_.cycles.size() < store_limit_) {
+      std::vector<int> cycle;
+      cycle.reserve(path_.size());
+      for (const int v : path_) {
+        cycle.push_back(to_original_[static_cast<std::size_t>(v)]);
+      }
+      out_.cycles.push_back(std::move(cycle));
+    }
+    if (out_.count >= cap_) out_.capped = true;
+  }
+
+  const Digraph& graph_;
+  const std::vector<int>& to_original_;
+  std::int64_t cap_;
+  std::size_t store_limit_;
+  CycleEnumeration& out_;
+
+  int start_ = 0;
+  std::vector<bool> blocked_;
+  std::vector<std::vector<int>> b_sets_;
+  std::vector<int> path_;
+};
+
+}  // namespace
+
+CycleEnumeration enumerate_simple_cycles(const Digraph& graph, std::int64_t cap,
+                                         std::size_t store_limit) {
+  CycleEnumeration result;
+  if (cap <= 0) {
+    result.capped = true;
+    return result;
+  }
+
+  // Self-loops are length-1 cycles; count them upfront and exclude them from
+  // the search below.
+  for (int v = 0; v < graph.num_vertices() && !result.capped; ++v) {
+    for (const int w : graph.out(v)) {
+      if (w != v) continue;
+      ++result.count;
+      if (result.cycles.size() < store_limit) result.cycles.push_back({v});
+      if (result.count >= cap) result.capped = true;
+    }
+  }
+  if (result.capped) return result;
+
+  // Cycles never span SCCs; search each nontrivial component independently.
+  const SccResult scc = strongly_connected_components(graph);
+  for (int comp = 0; comp < scc.num_components && !result.capped; ++comp) {
+    if (scc.size[static_cast<std::size_t>(comp)] < 2) continue;
+    const std::vector<int> members = scc.members(comp);
+    Digraph sub = graph.induced(members);
+    // Strip self-loops (already counted).
+    Digraph clean(sub.num_vertices());
+    for (int v = 0; v < sub.num_vertices(); ++v) {
+      for (const int w : sub.out(v)) {
+        if (w != v) clean.add_edge(v, w);
+      }
+    }
+    JohnsonSearch search(clean, members, cap, store_limit, result);
+    search.run();
+  }
+  return result;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,95 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+
+#include "core/recovery.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+DeadlockDetector::DeadlockDetector(const DetectorConfig& config,
+                                   std::uint64_t seed)
+    : config_(config), rng_(splitmix64(seed), 0x64657465 /* "dete" */) {}
+
+int DeadlockDetector::tick(Network& net) {
+  if (config_.interval <= 0 || net.now() % config_.interval != 0) return 0;
+  return run_detection(net);
+}
+
+int DeadlockDetector::run_detection(Network& net) {
+  ++invocations_;
+
+  if (config_.livelock_hop_limit > 0) {
+    // Collect first: remove_message mutates the active list.
+    std::vector<MessageId> livelocked;
+    for (const MessageId id : net.active_messages()) {
+      if (net.message(id).hops >= config_.livelock_hop_limit) {
+        livelocked.push_back(id);
+      }
+    }
+    for (const MessageId id : livelocked) {
+      net.remove_message(id);
+      ++livelocks_;
+    }
+  }
+
+  const Cwg cwg = Cwg::from_network(net);
+
+  if (config_.count_total_cycles &&
+      (invocations_ % config_.cycle_sample_every) == 0) {
+    const CycleEnumeration total =
+        enumerate_simple_cycles(cwg.graph(), config_.total_cycle_cap);
+    CycleSample sample;
+    sample.at = net.now();
+    sample.cycles = total.count;
+    sample.capped = total.capped;
+    sample.blocked_messages = cwg.num_blocked_messages();
+    sample.in_network_messages = static_cast<int>(net.active_messages().size());
+    cycle_samples_.push_back(sample);
+  }
+
+  const std::vector<Knot> knots = find_knots(cwg);
+  int confirmed = 0;
+  for (const Knot& knot : knots) {
+    if (config_.require_quiescence) {
+      const bool quiescent =
+          std::all_of(knot.deadlock_set.begin(), knot.deadlock_set.end(),
+                      [&](MessageId id) { return net.message_immobile(id); });
+      if (!quiescent) {
+        ++transient_knots_;  // may dissolve by compaction; recheck next pass
+        continue;
+      }
+    }
+    ++confirmed;
+    ++total_deadlocks_;
+    DeadlockRecord record;
+    record.detected_at = net.now();
+    record.deadlock_set_size = static_cast<int>(knot.deadlock_set.size());
+    record.resource_set_size = static_cast<int>(knot.resource_set.size());
+    record.knot_size = static_cast<int>(knot.knot_vcs.size());
+    record.dependent_count = static_cast<int>(knot.dependent_messages.size());
+    if (config_.measure_knot_density) {
+      const CycleEnumeration density =
+          knot_cycle_density(cwg, knot, config_.knot_density_cap);
+      record.knot_cycle_density = density.count;
+      record.density_capped = density.capped;
+    }
+    if (config_.recovery != RecoveryKind::None) {
+      record.victim =
+          choose_victim(net, knot.deadlock_set, config_.recovery, rng_);
+      net.remove_message(record.victim);
+    }
+    if (config_.keep_records) records_.push_back(record);
+  }
+  return confirmed;
+}
+
+void DeadlockDetector::reset_statistics() {
+  records_.clear();
+  cycle_samples_.clear();
+  total_deadlocks_ = 0;
+  transient_knots_ = 0;
+  livelocks_ = 0;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,123 @@
+// DeadlockDetector: periodically snapshots the network's channel wait-for
+// graph, finds knots (true deadlocks), characterizes each one (deadlock set,
+// resource set, knot cycle density, dependent messages), optionally counts
+// the total resource-dependency cycles in the CWG, and triggers recovery.
+//
+// This mirrors the paper's methodology: detection every 50 cycles, one
+// deadlock-set message removed per detected knot, and residual knots picked
+// up at the next invocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/knot.hpp"
+#include "sim/config.hpp"
+#include "util/rng.hpp"
+
+namespace flexnet {
+
+class Network;
+
+struct DetectorConfig {
+  Cycle interval = 50;  ///< Cycles between detector invocations.
+
+  RecoveryKind recovery = RecoveryKind::RemoveOldest;
+
+  /// Only count a knot as a deadlock once every deadlock-set message is
+  /// fully compacted (Network::message_immobile). An instantaneous knot with
+  /// remaining buffer slack can still dissolve by tail compaction; requiring
+  /// quiescence makes detection *true* rather than conservative. Knots that
+  /// fail the test are tallied as transient_knots and re-examined at the
+  /// next invocation.
+  bool require_quiescence = true;
+
+  /// Compute each knot's cycle density (off only for speed-critical sweeps).
+  bool measure_knot_density = true;
+  /// Enumeration cap for knot cycle density.
+  std::int64_t knot_density_cap = 100000;
+
+  /// Count the CWG's total elementary cycles (Figs. 6a/7b). Expensive at
+  /// saturation, so it runs on every `cycle_sample_every`-th invocation with
+  /// a hard cap; capped counts are lower bounds.
+  bool count_total_cycles = false;
+  int cycle_sample_every = 5;
+  std::int64_t total_cycle_cap = 20000;
+
+  /// Retain per-deadlock records (set/resource sizes etc.).
+  bool keep_records = true;
+
+  /// Livelock guard (0 = off): a message whose hop count reaches this limit
+  /// is removed and delivered via recovery, like Disha's timeout criterion.
+  /// Only relevant with misrouting/faults — minimal routing cannot livelock.
+  int livelock_hop_limit = 0;
+};
+
+/// One detected deadlock's characterization (paper Section 2.2 metrics).
+struct DeadlockRecord {
+  Cycle detected_at = -1;
+  int deadlock_set_size = 0;
+  int resource_set_size = 0;
+  int knot_size = 0;  ///< VCs in the knot itself.
+  int dependent_count = 0;
+  std::int64_t knot_cycle_density = -1;  ///< -1 when not measured.
+  bool density_capped = false;
+  MessageId victim = kInvalidMessage;
+
+  [[nodiscard]] bool multi_cycle() const noexcept { return knot_cycle_density > 1; }
+};
+
+/// One total-cycle-count sample.
+struct CycleSample {
+  Cycle at = -1;
+  std::int64_t cycles = 0;
+  bool capped = false;
+  int blocked_messages = 0;
+  int in_network_messages = 0;
+};
+
+class DeadlockDetector {
+ public:
+  DeadlockDetector(const DetectorConfig& config, std::uint64_t seed);
+
+  /// Call after every Network::step(); runs the detection algorithm when the
+  /// configured interval elapses. Returns the number of knots found this
+  /// cycle (0 on off-cycles).
+  int tick(Network& net);
+
+  /// Forces one detection pass immediately (used by tests/examples).
+  int run_detection(Network& net);
+
+  [[nodiscard]] const std::vector<DeadlockRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const std::vector<CycleSample>& cycle_samples() const noexcept {
+    return cycle_samples_;
+  }
+  [[nodiscard]] std::int64_t total_deadlocks() const noexcept {
+    return total_deadlocks_;
+  }
+  /// Knots seen before quiescence (not yet — possibly never — deadlocks).
+  [[nodiscard]] std::int64_t transient_knots() const noexcept {
+    return transient_knots_;
+  }
+  /// Messages removed by the livelock guard.
+  [[nodiscard]] std::int64_t livelocks() const noexcept { return livelocks_; }
+  [[nodiscard]] std::int64_t invocations() const noexcept { return invocations_; }
+
+  /// Drops accumulated records/samples (e.g. at the end of warmup) while
+  /// keeping detector state.
+  void reset_statistics();
+
+ private:
+  DetectorConfig config_;
+  Pcg32 rng_;
+  std::vector<DeadlockRecord> records_;
+  std::vector<CycleSample> cycle_samples_;
+  std::int64_t total_deadlocks_ = 0;
+  std::int64_t transient_knots_ = 0;
+  std::int64_t livelocks_ = 0;
+  std::int64_t invocations_ = 0;
+};
+
+}  // namespace flexnet

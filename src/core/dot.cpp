@@ -1,0 +1,49 @@
+#include "core/dot.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flexnet {
+
+std::string cwg_to_dot(const Cwg& cwg, std::span<const Knot> knots) {
+  std::vector<bool> in_knot(static_cast<std::size_t>(cwg.num_vcs()), false);
+  for (const Knot& knot : knots) {
+    for (const VcId vc : knot.knot_vcs) {
+      in_knot[static_cast<std::size_t>(vc)] = true;
+    }
+  }
+
+  std::ostringstream out;
+  out << "digraph cwg {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=circle fontsize=10];\n";
+
+  std::vector<bool> used(static_cast<std::size_t>(cwg.num_vcs()), false);
+  for (const CwgMessage& msg : cwg.messages()) {
+    for (const VcId vc : msg.held) used[static_cast<std::size_t>(vc)] = true;
+    for (const VcId vc : msg.requests) used[static_cast<std::size_t>(vc)] = true;
+  }
+  for (int vc = 0; vc < cwg.num_vcs(); ++vc) {
+    if (!used[static_cast<std::size_t>(vc)]) continue;
+    out << "  c" << vc;
+    if (in_knot[static_cast<std::size_t>(vc)]) {
+      out << " [style=filled fillcolor=salmon]";
+    }
+    out << ";\n";
+  }
+
+  for (const CwgMessage& msg : cwg.messages()) {
+    for (std::size_t h = 0; h + 1 < msg.held.size(); ++h) {
+      out << "  c" << msg.held[h] << " -> c" << msg.held[h + 1]
+          << " [label=\"m" << msg.id << "\"];\n";
+    }
+    for (const VcId want : msg.requests) {
+      out << "  c" << msg.held.back() << " -> c" << want
+          << " [style=dashed label=\"m" << msg.id << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace flexnet

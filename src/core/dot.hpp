@@ -1,0 +1,20 @@
+// Graphviz export of channel wait-for graphs, in the visual language of the
+// paper's figures: solid arcs for ownership chains, dashed arcs for requests,
+// knot vertices highlighted. Render with `dot -Tsvg cwg.dot -o cwg.svg`.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/cwg.hpp"
+#include "core/knot.hpp"
+
+namespace flexnet {
+
+/// Serializes the CWG (isolated vertices omitted). Vertices belonging to a
+/// knot in `knots` are filled red; each arc is labeled with the owning or
+/// requesting message id.
+[[nodiscard]] std::string cwg_to_dot(const Cwg& cwg,
+                                     std::span<const Knot> knots = {});
+
+}  // namespace flexnet

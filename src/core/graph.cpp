@@ -1,0 +1,36 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flexnet {
+
+void Digraph::add_edge(int from, int to) {
+  if (from < 0 || from >= num_vertices() || to < 0 || to >= num_vertices()) {
+    throw std::out_of_range("Digraph::add_edge vertex out of range");
+  }
+  adj_[static_cast<std::size_t>(from)].push_back(to);
+  ++num_edges_;
+}
+
+bool Digraph::has_edge(int from, int to) const noexcept {
+  const auto& row = adj_[static_cast<std::size_t>(from)];
+  return std::find(row.begin(), row.end(), to) != row.end();
+}
+
+Digraph Digraph::induced(std::span<const int> vertices) const {
+  Digraph sub(static_cast<int>(vertices.size()));
+  std::vector<int> index(static_cast<std::size_t>(num_vertices()), -1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    index[static_cast<std::size_t>(vertices[i])] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (const int to : out(vertices[i])) {
+      const int mapped = index[static_cast<std::size_t>(to)];
+      if (mapped >= 0) sub.add_edge(static_cast<int>(i), mapped);
+    }
+  }
+  return sub;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,37 @@
+// Dense-vertex directed graph used for channel wait-for graphs and their
+// analysis (SCC, knots, simple-cycle enumeration).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace flexnet {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int num_vertices) : adj_(static_cast<std::size_t>(num_vertices)) {}
+
+  [[nodiscard]] int num_vertices() const noexcept {
+    return static_cast<int>(adj_.size());
+  }
+  [[nodiscard]] int num_edges() const noexcept { return num_edges_; }
+
+  void add_edge(int from, int to);
+
+  [[nodiscard]] std::span<const int> out(int v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] bool has_edge(int from, int to) const noexcept;
+
+  /// Subgraph induced by `vertices`; vertex i of the result corresponds to
+  /// vertices[i] in this graph.
+  [[nodiscard]] Digraph induced(std::span<const int> vertices) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  int num_edges_ = 0;
+};
+
+}  // namespace flexnet

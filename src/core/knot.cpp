@@ -1,0 +1,100 @@
+#include "core/knot.hpp"
+
+#include <algorithm>
+
+#include "core/scc.hpp"
+
+namespace flexnet {
+
+std::vector<Knot> find_knots(const Cwg& cwg) {
+  const Digraph& g = cwg.graph();
+  const SccResult scc = strongly_connected_components(g);
+
+  // A component is terminal when no member has an edge leaving it; it is a
+  // knot when it additionally contains an edge (size >= 2, or a self-loop).
+  std::vector<bool> terminal(static_cast<std::size_t>(scc.num_components), true);
+  std::vector<bool> has_self_loop(static_cast<std::size_t>(scc.num_components), false);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const int cv = scc.component[static_cast<std::size_t>(v)];
+    for (const int w : g.out(v)) {
+      if (w == v) {
+        has_self_loop[static_cast<std::size_t>(cv)] = true;
+      } else if (scc.component[static_cast<std::size_t>(w)] != cv) {
+        terminal[static_cast<std::size_t>(cv)] = false;
+      }
+    }
+  }
+
+  std::vector<int> knot_of_comp(static_cast<std::size_t>(scc.num_components), -1);
+  std::vector<Knot> knots;
+  for (int c = 0; c < scc.num_components; ++c) {
+    const bool nontrivial = scc.size[static_cast<std::size_t>(c)] >= 2 ||
+                            has_self_loop[static_cast<std::size_t>(c)];
+    if (terminal[static_cast<std::size_t>(c)] && nontrivial) {
+      knot_of_comp[static_cast<std::size_t>(c)] = static_cast<int>(knots.size());
+      knots.emplace_back();
+    }
+  }
+  if (knots.empty()) return knots;
+
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const int k =
+        knot_of_comp[static_cast<std::size_t>(scc.component[static_cast<std::size_t>(v)])];
+    if (k >= 0) knots[static_cast<std::size_t>(k)].knot_vcs.push_back(v);
+  }
+
+  // Characterize each knot: deadlock set, resource set, dependent messages.
+  for (Knot& knot : knots) {
+    for (const VcId vc : knot.knot_vcs) {
+      const MessageId owner = cwg.owner_of(vc);
+      if (owner != kInvalidMessage) knot.deadlock_set.push_back(owner);
+    }
+    std::sort(knot.deadlock_set.begin(), knot.deadlock_set.end());
+    knot.deadlock_set.erase(
+        std::unique(knot.deadlock_set.begin(), knot.deadlock_set.end()),
+        knot.deadlock_set.end());
+
+    for (const MessageId id : knot.deadlock_set) {
+      const CwgMessage* msg = cwg.find_message(id);
+      knot.resource_set.insert(knot.resource_set.end(), msg->held.begin(),
+                               msg->held.end());
+    }
+    std::sort(knot.resource_set.begin(), knot.resource_set.end());
+  }
+
+  // Dependent messages: blocked, outside every deadlock set, requesting a VC
+  // inside some knot's resource set.
+  for (const CwgMessage& msg : cwg.messages()) {
+    if (msg.requests.empty()) continue;
+    for (Knot& knot : knots) {
+      if (std::binary_search(knot.deadlock_set.begin(), knot.deadlock_set.end(),
+                             msg.id)) {
+        continue;
+      }
+      const bool waits_on_knot = std::any_of(
+          msg.requests.begin(), msg.requests.end(), [&](VcId want) {
+            return std::binary_search(knot.resource_set.begin(),
+                                      knot.resource_set.end(), want);
+          });
+      if (waits_on_knot) knot.dependent_messages.push_back(msg.id);
+    }
+  }
+  return knots;
+}
+
+CycleEnumeration knot_cycle_density(const Cwg& cwg, const Knot& knot,
+                                    std::int64_t cap, std::size_t store_limit) {
+  const Digraph sub = cwg.graph().induced(knot.knot_vcs);
+  CycleEnumeration result = enumerate_simple_cycles(sub, cap, store_limit);
+  // Map stored cycle vertices back to the original VC ids.
+  for (auto& cycle : result.cycles) {
+    for (int& v : cycle) {
+      v = knot.knot_vcs[static_cast<std::size_t>(v)];
+    }
+  }
+  return result;
+}
+
+bool has_deadlock(const Cwg& cwg) { return !find_knots(cwg).empty(); }
+
+}  // namespace flexnet

@@ -1,0 +1,49 @@
+#include "core/pwg.hpp"
+
+#include <algorithm>
+
+#include "core/scc.hpp"
+
+namespace flexnet {
+
+Pwg Pwg::from_cwg(const Cwg& cwg) {
+  Pwg pwg;
+  pwg.ids.reserve(cwg.messages().size());
+  for (const CwgMessage& msg : cwg.messages()) pwg.ids.push_back(msg.id);
+  std::sort(pwg.ids.begin(), pwg.ids.end());
+
+  pwg.graph = Digraph(static_cast<int>(pwg.ids.size()));
+  for (const CwgMessage& msg : cwg.messages()) {
+    const int from = pwg.index_of(msg.id);
+    for (const VcId want : msg.requests) {
+      const MessageId owner = cwg.owner_of(want);
+      if (owner == kInvalidMessage || owner == msg.id) continue;
+      const int to = pwg.index_of(owner);
+      if (!pwg.graph.has_edge(from, to)) pwg.graph.add_edge(from, to);
+    }
+  }
+  return pwg;
+}
+
+int Pwg::index_of(MessageId id) const {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) return -1;
+  return static_cast<int>(it - ids.begin());
+}
+
+bool Pwg::has_cycle() const { return messages_on_cycles() > 0; }
+
+int Pwg::messages_on_cycles() const {
+  const SccResult scc = strongly_connected_components(graph);
+  int on_cycles = 0;
+  for (int c = 0; c < scc.num_components; ++c) {
+    if (scc.size[static_cast<std::size_t>(c)] >= 2) {
+      on_cycles += scc.size[static_cast<std::size_t>(c)];
+    }
+  }
+  // Self-waits cannot appear (filtered in from_cwg), so size-1 SCCs are
+  // never cyclic here.
+  return on_cycles;
+}
+
+}  // namespace flexnet

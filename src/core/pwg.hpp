@@ -1,0 +1,33 @@
+// Packet (message) wait-for graph.
+//
+// Vertices are in-network messages; an edge m -> m' exists when blocked m
+// requests a VC currently owned by m'. Dally & Aoki's avoidance scheme
+// forbids cycles in this graph; the paper (Section 2.2.3) shows that is
+// overly restrictive: a cyclic non-deadlock has PWG cycles yet no CWG knot,
+// so eliminating PWG cycles sacrifices routing freedom that deadlock freedom
+// does not require. This module exists to quantify exactly that gap.
+#pragma once
+
+#include <vector>
+
+#include "core/cwg.hpp"
+#include "core/graph.hpp"
+
+namespace flexnet {
+
+struct Pwg {
+  /// Derives the message-level graph from a channel wait-for graph.
+  [[nodiscard]] static Pwg from_cwg(const Cwg& cwg);
+
+  Digraph graph;                ///< Vertex i is messages_ids[i].
+  std::vector<MessageId> ids;   ///< Vertex -> message id.
+
+  /// Vertex index for a message id; -1 if absent.
+  [[nodiscard]] int index_of(MessageId id) const;
+  /// True when any wait cycle exists among messages.
+  [[nodiscard]] bool has_cycle() const;
+  /// Number of messages on at least one wait cycle.
+  [[nodiscard]] int messages_on_cycles() const;
+};
+
+}  // namespace flexnet

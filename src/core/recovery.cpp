@@ -1,0 +1,47 @@
+#include "core/recovery.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+MessageId choose_victim(const Network& net,
+                        std::span<const MessageId> deadlock_set,
+                        RecoveryKind kind, Pcg32& rng) {
+  assert(!deadlock_set.empty());
+  switch (kind) {
+    case RecoveryKind::None:
+      throw std::invalid_argument("choose_victim called with RecoveryKind::None");
+    case RecoveryKind::RemoveOldest: {
+      MessageId best = deadlock_set.front();
+      for (const MessageId id : deadlock_set) {
+        if (net.message(id).created < net.message(best).created) best = id;
+      }
+      return best;
+    }
+    case RecoveryKind::RemoveNewest: {
+      MessageId best = deadlock_set.front();
+      for (const MessageId id : deadlock_set) {
+        if (net.message(id).created > net.message(best).created) best = id;
+      }
+      return best;
+    }
+    case RecoveryKind::RemoveMostResources: {
+      MessageId best = deadlock_set.front();
+      for (const MessageId id : deadlock_set) {
+        if (net.message(id).held.size() > net.message(best).held.size()) {
+          best = id;
+        }
+      }
+      return best;
+    }
+    case RecoveryKind::RemoveRandom:
+      return deadlock_set[rng.bounded(
+          static_cast<std::uint32_t>(deadlock_set.size()))];
+  }
+  throw std::invalid_argument("unknown recovery kind");
+}
+
+}  // namespace flexnet

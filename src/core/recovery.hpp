@@ -1,0 +1,25 @@
+// Deadlock recovery: victim selection over a knot's deadlock set.
+//
+// The paper breaks each detected deadlock "by removing a message in the
+// deadlock set (flit-by-flit) from the network so as to synthesize a recovery
+// procedure (as in the Disha scheme)". Network::remove_message performs the
+// removal; this module only decides who dies.
+#pragma once
+
+#include <span>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace flexnet {
+
+class Network;
+
+/// Picks the deadlock-set message to remove according to `kind`.
+/// Precondition: `deadlock_set` is non-empty and RecoveryKind != None.
+[[nodiscard]] MessageId choose_victim(const Network& net,
+                                      std::span<const MessageId> deadlock_set,
+                                      RecoveryKind kind, Pcg32& rng);
+
+}  // namespace flexnet

@@ -1,0 +1,84 @@
+#include "core/scc.hpp"
+
+#include <algorithm>
+
+namespace flexnet {
+
+std::vector<int> SccResult::members(int c) const {
+  std::vector<int> out;
+  for (int v = 0; v < static_cast<int>(component.size()); ++v) {
+    if (component[static_cast<std::size_t>(v)] == c) out.push_back(v);
+  }
+  return out;
+}
+
+SccResult strongly_connected_components(const Digraph& graph) {
+  const int n = graph.num_vertices();
+  SccResult result;
+  result.component.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  // Explicit DFS frames: (vertex, position within its adjacency list).
+  struct Frame {
+    int vertex;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    frames.push_back({root, 0});
+    index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const int v = frame.vertex;
+      const auto edges = graph.out(v);
+      if (frame.edge < edges.size()) {
+        const int w = edges[frame.edge++];
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] = lowlink[static_cast<std::size_t>(w)] = next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(v)] =
+              std::min(lowlink[static_cast<std::size_t>(v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+        continue;
+      }
+      // v is fully explored.
+      if (lowlink[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+        const int comp = result.num_components++;
+        int members = 0;
+        for (;;) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          result.component[static_cast<std::size_t>(w)] = comp;
+          ++members;
+          if (w == v) break;
+        }
+        result.size.push_back(members);
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const int parent = frames.back().vertex;
+        lowlink[static_cast<std::size_t>(parent)] =
+            std::min(lowlink[static_cast<std::size_t>(parent)],
+                     lowlink[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace flexnet

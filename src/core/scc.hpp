@@ -1,0 +1,24 @@
+// Strongly connected components via an iterative Tarjan's algorithm
+// (explicit stack; CWGs at saturation can hold thousands of vertices, so no
+// recursion). Components are numbered in reverse topological order: every
+// edge between components goes from a higher component id to a lower one.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace flexnet {
+
+struct SccResult {
+  int num_components = 0;
+  std::vector<int> component;  ///< vertex -> component id
+  std::vector<int> size;       ///< component id -> vertex count
+
+  /// Vertices of component `c` (computed on demand, O(V)).
+  [[nodiscard]] std::vector<int> members(int c) const;
+};
+
+[[nodiscard]] SccResult strongly_connected_components(const Digraph& graph);
+
+}  // namespace flexnet

@@ -1,0 +1,59 @@
+#include "core/timeout.hpp"
+
+#include <algorithm>
+
+#include "core/knot.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+std::vector<MessageId> presumed_deadlocked(const Network& net,
+                                           Cycle threshold) {
+  std::vector<MessageId> out;
+  for (const MessageId id : net.active_messages()) {
+    const Message& msg = net.message(id);
+    if (msg.blocked && net.now() - msg.blocked_since >= threshold) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TimeoutAccuracy classify_timeout_detection(const Network& net,
+                                           Cycle threshold) {
+  TimeoutAccuracy acc;
+  const std::vector<MessageId> presumed = presumed_deadlocked(net, threshold);
+  acc.presumed = static_cast<std::int64_t>(presumed.size());
+
+  // Ground truth: quiescent knots only (true deadlocks).
+  const Cwg cwg = Cwg::from_network(net);
+  std::vector<MessageId> deadlocked;
+  std::vector<MessageId> dependents;
+  for (const Knot& knot : find_knots(cwg)) {
+    const bool quiescent =
+        std::all_of(knot.deadlock_set.begin(), knot.deadlock_set.end(),
+                    [&](MessageId id) { return net.message_immobile(id); });
+    if (!quiescent) continue;
+    deadlocked.insert(deadlocked.end(), knot.deadlock_set.begin(),
+                      knot.deadlock_set.end());
+    dependents.insert(dependents.end(), knot.dependent_messages.begin(),
+                      knot.dependent_messages.end());
+  }
+  std::sort(deadlocked.begin(), deadlocked.end());
+  std::sort(dependents.begin(), dependents.end());
+  acc.actually_deadlocked = static_cast<std::int64_t>(deadlocked.size());
+
+  for (const MessageId id : presumed) {
+    if (std::binary_search(deadlocked.begin(), deadlocked.end(), id)) {
+      ++acc.true_positive;
+    } else if (std::binary_search(dependents.begin(), dependents.end(), id)) {
+      ++acc.dependent;  // removing it would NOT resolve the deadlock
+    } else {
+      ++acc.false_positive;  // merely congested
+    }
+  }
+  return acc;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,44 @@
+// Timeout-based (approximate) deadlock detection, as used by recovery
+// schemes before true detection existed: Compressionless Routing presumes
+// deadlock when a packet stalls longer than its path latency; Disha uses a
+// blocked-time-out counter. The paper's Related Work notes such schemes
+// "provided little insight into the frequency of true deadlocks" — this
+// module quantifies how badly a timeout over-approximates by classifying
+// every presumed-deadlocked message against the knot-based ground truth.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace flexnet {
+
+class Network;
+
+struct TimeoutAccuracy {
+  std::int64_t presumed = 0;        ///< Messages over the timeout.
+  std::int64_t true_positive = 0;   ///< ...that really are in a deadlock set.
+  std::int64_t dependent = 0;       ///< ...blocked on a deadlock but not in it.
+  std::int64_t false_positive = 0;  ///< ...merely congested.
+  std::int64_t actually_deadlocked = 0;  ///< Ground truth (all deadlock sets).
+
+  [[nodiscard]] double false_positive_rate() const noexcept {
+    return presumed > 0
+               ? static_cast<double>(false_positive) / static_cast<double>(presumed)
+               : 0.0;
+  }
+  /// Deadlocked messages the timeout has not (yet) flagged.
+  [[nodiscard]] std::int64_t missed() const noexcept {
+    return actually_deadlocked - true_positive;
+  }
+};
+
+/// Messages continuously blocked for at least `threshold` cycles.
+[[nodiscard]] std::vector<MessageId> presumed_deadlocked(const Network& net,
+                                                         Cycle threshold);
+
+/// Classifies the presumed set against true (quiescent-knot) deadlocks.
+[[nodiscard]] TimeoutAccuracy classify_timeout_detection(const Network& net,
+                                                         Cycle threshold);
+
+}  // namespace flexnet

@@ -1,0 +1,138 @@
+#include "exp/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "exp/sweep.hpp"
+
+namespace flexnet {
+
+namespace {
+[[noreturn]] void unknown(const char* what, std::string_view name) {
+  throw std::invalid_argument(std::string("unknown ") + what + ": " +
+                              std::string(name));
+}
+}  // namespace
+
+RoutingKind parse_routing(std::string_view name) {
+  for (const RoutingKind kind :
+       {RoutingKind::DOR, RoutingKind::TFAR, RoutingKind::DatelineDOR,
+        RoutingKind::DuatoTFAR, RoutingKind::NegativeFirst}) {
+    if (name == to_string(kind)) return kind;
+  }
+  unknown("routing", name);
+}
+
+SelectionKind parse_selection(std::string_view name) {
+  for (const SelectionKind kind :
+       {SelectionKind::PreferStraight, SelectionKind::Random,
+        SelectionKind::LowestIndex}) {
+    if (name == to_string(kind)) return kind;
+  }
+  unknown("selection", name);
+}
+
+TrafficKind parse_traffic(std::string_view name) {
+  for (const TrafficKind kind :
+       {TrafficKind::Uniform, TrafficKind::BitReversal, TrafficKind::Transpose,
+        TrafficKind::PerfectShuffle, TrafficKind::HotSpot, TrafficKind::Tornado,
+        TrafficKind::NearestNeighbor}) {
+    if (name == to_string(kind)) return kind;
+  }
+  unknown("traffic", name);
+}
+
+RecoveryKind parse_recovery(std::string_view name) {
+  for (const RecoveryKind kind :
+       {RecoveryKind::None, RecoveryKind::RemoveOldest, RecoveryKind::RemoveNewest,
+        RecoveryKind::RemoveMostResources, RecoveryKind::RemoveRandom}) {
+    if (name == to_string(kind)) return kind;
+  }
+  unknown("recovery", name);
+}
+
+ExperimentConfig experiment_from_options(const Options& opts) {
+  ExperimentConfig cfg;
+
+  cfg.sim.topology.k = static_cast<int>(opts.get_int("k", cfg.sim.topology.k));
+  cfg.sim.topology.n = static_cast<int>(opts.get_int("n", cfg.sim.topology.n));
+  cfg.sim.topology.bidirectional = !opts.get_bool("uni", false);
+  cfg.sim.topology.wrap = !opts.get_bool("mesh", false);
+
+  cfg.sim.vcs = static_cast<int>(opts.get_int("vcs", cfg.sim.vcs));
+  cfg.sim.buffer_depth =
+      static_cast<int>(opts.get_int("buffer", cfg.sim.buffer_depth));
+  cfg.sim.injection_vcs =
+      static_cast<int>(opts.get_int("ivcs", cfg.sim.injection_vcs));
+  cfg.sim.ejection_vcs =
+      static_cast<int>(opts.get_int("evcs", cfg.sim.ejection_vcs));
+  cfg.sim.message_length =
+      static_cast<int>(opts.get_int("length", cfg.sim.message_length));
+  cfg.sim.short_message_length = static_cast<int>(
+      opts.get_int("short-length", cfg.sim.short_message_length));
+  cfg.sim.short_message_fraction =
+      opts.get_double("short-fraction", cfg.sim.short_message_fraction);
+
+  cfg.sim.routing = parse_routing(opts.get("routing", "TFAR"));
+  cfg.sim.selection = parse_selection(opts.get("selection", "PreferStraight"));
+  cfg.sim.max_misroutes =
+      static_cast<int>(opts.get_int("misroutes", cfg.sim.max_misroutes));
+  cfg.sim.link_fault_fraction =
+      opts.get_double("faults", cfg.sim.link_fault_fraction);
+  cfg.sim.source_queue_limit =
+      static_cast<int>(opts.get_int("queue-limit", cfg.sim.source_queue_limit));
+  cfg.sim.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+
+  cfg.traffic.pattern = parse_traffic(opts.get("traffic", "Uniform"));
+  cfg.traffic.load = opts.get_double("load", cfg.traffic.load);
+  cfg.traffic.hotspot_nodes =
+      static_cast<int>(opts.get_int("hotspots", cfg.traffic.hotspot_nodes));
+  cfg.traffic.hotspot_fraction =
+      opts.get_double("hotspot-fraction", cfg.traffic.hotspot_fraction);
+  cfg.traffic.hybrid_fraction =
+      opts.get_double("hybrid-fraction", cfg.traffic.hybrid_fraction);
+  if (opts.has("hybrid")) {
+    cfg.traffic.hybrid_with = parse_traffic(opts.get("hybrid"));
+  }
+
+  cfg.detector.interval = opts.get_int("interval", cfg.detector.interval);
+  cfg.detector.recovery = parse_recovery(opts.get("recovery", "RemoveOldest"));
+  cfg.detector.require_quiescence = !opts.get_bool("no-quiescence", false);
+  cfg.detector.count_total_cycles = opts.get_bool("count-cycles", false);
+  cfg.detector.total_cycle_cap =
+      opts.get_int("cycle-cap", cfg.detector.total_cycle_cap);
+  cfg.detector.livelock_hop_limit = static_cast<int>(
+      opts.get_int("livelock-limit", cfg.detector.livelock_hop_limit));
+
+  cfg.run.warmup = opts.get_int("warmup", cfg.run.warmup);
+  cfg.run.measure = opts.get_int("measure", cfg.run.measure);
+  cfg.run.check_invariants = opts.get_bool("check", false);
+
+  cfg.sim.validate();
+  return cfg;
+}
+
+std::vector<double> loads_from_options(const Options& opts) {
+  if (opts.has("loads")) {
+    std::vector<double> loads;
+    const std::string list = opts.get("loads");
+    const char* cursor = list.c_str();
+    while (*cursor != '\0') {
+      char* end = nullptr;
+      const double value = std::strtod(cursor, &end);
+      if (end == cursor) {
+        throw std::invalid_argument("malformed --loads list: " + list);
+      }
+      loads.push_back(value);
+      cursor = (*end == ',') ? end + 1 : end;
+    }
+    if (loads.empty()) throw std::invalid_argument("--loads list is empty");
+    return loads;
+  }
+  const double lo = opts.get_double("load-min", 0.05);
+  const double hi = opts.get_double("load-max", 0.9);
+  const int steps = static_cast<int>(opts.get_int("load-steps", 8));
+  return linspace(lo, hi, steps);
+}
+
+}  // namespace flexnet

@@ -1,0 +1,36 @@
+// Command-line construction of experiment configurations, shared by the
+// sweep_cli example and tests. Every knob of SimConfig / TrafficConfig /
+// DetectorConfig / RunConfig is reachable by name.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/options.hpp"
+
+namespace flexnet {
+
+/// Parse enum spellings (exact, as printed by to_string). Throws
+/// std::invalid_argument on unknown names.
+[[nodiscard]] RoutingKind parse_routing(std::string_view name);
+[[nodiscard]] SelectionKind parse_selection(std::string_view name);
+[[nodiscard]] TrafficKind parse_traffic(std::string_view name);
+[[nodiscard]] RecoveryKind parse_recovery(std::string_view name);
+
+/// Builds a full experiment configuration from options:
+///   --k --n --uni --mesh --vcs --buffer --ivcs --evcs --length
+///   --short-length --short-fraction --routing --selection --misroutes
+///   --faults --queue-limit --seed
+///   --traffic --load --hotspots --hotspot-fraction --hybrid --hybrid-fraction
+///   --interval --recovery --no-quiescence --count-cycles --cycle-cap
+///   --warmup --measure --check
+/// Unspecified options keep the paper's defaults.
+[[nodiscard]] ExperimentConfig experiment_from_options(const Options& opts);
+
+/// Parses a comma-separated load list ("0.1,0.2,0.5") or, when absent, an
+/// even sweep from --load-min/--load-max/--load-steps.
+[[nodiscard]] std::vector<double> loads_from_options(const Options& opts);
+
+}  // namespace flexnet

@@ -1,0 +1,64 @@
+#include "exp/experiment.hpp"
+
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+
+namespace flexnet {
+
+Simulation::Simulation(const ExperimentConfig& config)
+    : config_(config), metrics_(config.run.sample_every) {
+  config_.sim.validate();
+  network_ = std::make_unique<Network>(config_.sim, make_routing(config_.sim),
+                                       make_selection(config_.sim.selection));
+  injection_ = std::make_unique<InjectionProcess>(*network_, config_.traffic,
+                                                  config_.sim.seed);
+  detector_ =
+      std::make_unique<DeadlockDetector>(config_.detector, config_.sim.seed);
+}
+
+void Simulation::run_cycles(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) {
+    injection_->tick(*network_);
+    network_->step();
+    detector_->tick(*network_);
+    if (measuring_) metrics_.sample(*network_);
+    if (config_.run.check_invariants &&
+        network_->now() % config_.run.check_every == 0) {
+      network_->check_invariants();
+    }
+  }
+}
+
+ExperimentResult Simulation::run() {
+  run_cycles(config_.run.warmup);
+  detector_->reset_statistics();
+  metrics_.begin_window(*network_);
+  measuring_ = true;
+  run_cycles(config_.run.measure);
+  measuring_ = false;
+
+  ExperimentResult result;
+  result.load = config_.traffic.load;
+  result.capacity_flits_per_node = injection_->capacity_flits_per_node();
+  result.offered_flit_rate = injection_->offered_flit_rate();
+  result.avg_distance = injection_->average_distance();
+  result.window =
+      metrics_.finish(*network_, *detector_, config_.count_recovered_as_delivered);
+  if (result.capacity_flits_per_node > 0) {
+    result.normalized_throughput =
+        result.window.throughput_flits_per_node / result.capacity_flits_per_node;
+  }
+  if (result.offered_flit_rate > 0) {
+    result.accepted_ratio =
+        result.window.throughput_flits_per_node / result.offered_flit_rate;
+  }
+  result.saturated = result.accepted_ratio < 0.95;
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  Simulation sim(config);
+  return sim.run();
+}
+
+}  // namespace flexnet

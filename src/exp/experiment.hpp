@@ -1,0 +1,78 @@
+// Experiment driver: wires topology, routing, injection, detector and
+// metrics together and runs the paper's methodology — warm up to (approach)
+// steady state, then measure for a fixed window with detection every
+// `detector.interval` cycles.
+#pragma once
+
+#include <memory>
+
+#include "core/detector.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/network.hpp"
+#include "traffic/injection.hpp"
+
+namespace flexnet {
+
+struct RunConfig {
+  Cycle warmup = 10000;   ///< Cycles before measurement starts.
+  Cycle measure = 30000;  ///< Measured cycles (paper: 30,000 beyond steady state).
+  int sample_every = 1;   ///< Congestion sampling stride.
+  bool check_invariants = false;  ///< Periodic full invariant validation.
+  Cycle check_every = 997;
+};
+
+struct ExperimentConfig {
+  SimConfig sim;
+  TrafficConfig traffic;
+  DetectorConfig detector;
+  RunConfig run;
+  /// Count recovery-delivered messages in the normalized-deadlock
+  /// denominator (Disha delivers its victims).
+  bool count_recovered_as_delivered = true;
+};
+
+struct ExperimentResult {
+  double load = 0.0;
+  double capacity_flits_per_node = 0.0;
+  double offered_flit_rate = 0.0;
+  double avg_distance = 0.0;
+  WindowMetrics window;
+
+  /// Accepted throughput normalized to channel capacity.
+  double normalized_throughput = 0.0;
+  /// Accepted / offered; < ~0.95 marks saturation.
+  double accepted_ratio = 0.0;
+  bool saturated = false;
+};
+
+/// A constructed, steppable simulation (examples drive this directly; the
+/// one-shot helper below wraps it).
+class Simulation {
+ public:
+  explicit Simulation(const ExperimentConfig& config);
+
+  /// Advances injection + network + detector by `cycles`.
+  void run_cycles(Cycle cycles);
+
+  [[nodiscard]] Network& network() noexcept { return *network_; }
+  [[nodiscard]] const Network& network() const noexcept { return *network_; }
+  [[nodiscard]] DeadlockDetector& detector() noexcept { return *detector_; }
+  [[nodiscard]] InjectionProcess& injection() noexcept { return *injection_; }
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+
+  /// Runs warmup + measurement and returns the result.
+  [[nodiscard]] ExperimentResult run();
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<InjectionProcess> injection_;
+  std::unique_ptr<DeadlockDetector> detector_;
+  MetricsCollector metrics_;
+  bool measuring_ = false;
+};
+
+/// One-shot: build, warm up, measure, summarize.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace flexnet

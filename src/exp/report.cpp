@@ -1,0 +1,195 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace flexnet {
+
+void print_load_series(std::ostream& out, const std::string& title,
+                       std::span<const ExperimentResult> results,
+                       std::span<const SeriesColumn> columns) {
+  TableWriter table(title);
+  std::vector<std::string> header{"load"};
+  for (const SeriesColumn& col : columns) header.push_back(col.name);
+  header.emplace_back("sat");
+  table.header(std::move(header));
+
+  bool saturation_marked = false;
+  for (const ExperimentResult& r : results) {
+    std::vector<std::string> row{TableWriter::num(r.load, 3)};
+    for (const SeriesColumn& col : columns) {
+      row.push_back(TableWriter::num(col.value(r), col.digits));
+    }
+    if (r.saturated && !saturation_marked) {
+      row.emplace_back("*");  // the paper's vertical dashed line
+      saturation_marked = true;
+    } else {
+      row.emplace_back(r.saturated ? "+" : "");
+    }
+    table.row(std::move(row));
+  }
+  table.print(out);
+}
+
+void write_results_csv(std::ostream& out,
+                       std::span<const ExperimentResult> results,
+                       const std::string& label) {
+  CsvWriter csv(out);
+  csv.header({"label", "load", "capacity", "offered", "avg_distance",
+              "throughput", "norm_throughput", "accepted_ratio", "saturated",
+              "generated", "delivered", "recovered", "latency", "hops",
+              "blocked_mean", "blocked_frac_mean", "in_network_mean",
+              "queued_mean", "deadlocks", "norm_deadlocks",
+              "deadlock_set_mean", "deadlock_set_max", "resource_set_mean",
+              "resource_set_max", "knot_density_mean", "knot_density_max",
+              "dependent_mean", "single_cycle", "multi_cycle", "cycles_mean",
+              "cycles_max", "cycles_capped"});
+  for (const ExperimentResult& r : results) {
+    const WindowMetrics& w = r.window;
+    csv.row({label, TableWriter::num(r.load, 4),
+             TableWriter::num(r.capacity_flits_per_node, 6),
+             TableWriter::num(r.offered_flit_rate, 6),
+             TableWriter::num(r.avg_distance, 4),
+             TableWriter::num(w.throughput_flits_per_node, 6),
+             TableWriter::num(r.normalized_throughput, 4),
+             TableWriter::num(r.accepted_ratio, 4),
+             r.saturated ? "1" : "0", TableWriter::integer(w.generated),
+             TableWriter::integer(w.delivered),
+             TableWriter::integer(w.recovered),
+             TableWriter::num(w.avg_latency, 2), TableWriter::num(w.avg_hops, 2),
+             TableWriter::num(w.blocked_messages.mean(), 2),
+             TableWriter::num(w.blocked_fraction.mean(), 4),
+             TableWriter::num(w.in_network_messages.mean(), 2),
+             TableWriter::num(w.queued_messages.mean(), 2),
+             TableWriter::integer(w.deadlocks),
+             TableWriter::num(w.normalized_deadlocks, 6),
+             TableWriter::num(w.deadlock_set_size.mean(), 2),
+             TableWriter::num(w.deadlock_set_size.max(), 0),
+             TableWriter::num(w.resource_set_size.mean(), 2),
+             TableWriter::num(w.resource_set_size.max(), 0),
+             TableWriter::num(w.knot_cycle_density.mean(), 2),
+             TableWriter::num(w.knot_cycle_density.max(), 0),
+             TableWriter::num(w.dependent_messages.mean(), 2),
+             TableWriter::integer(w.single_cycle_deadlocks),
+             TableWriter::integer(w.multi_cycle_deadlocks),
+             TableWriter::num(w.cwg_cycles.mean(), 1),
+             TableWriter::num(w.cwg_cycles.max(), 0),
+             w.cycle_count_capped ? "1" : "0"});
+  }
+}
+
+void write_deadlock_records_csv(std::ostream& out,
+                                std::span<const DeadlockRecord> records,
+                                const std::string& label) {
+  CsvWriter csv(out);
+  csv.header({"label", "cycle", "deadlock_set", "resource_set", "knot_size",
+              "dependents", "knot_cycle_density", "density_capped", "victim"});
+  for (const DeadlockRecord& r : records) {
+    csv.row({label, TableWriter::integer(r.detected_at),
+             TableWriter::integer(r.deadlock_set_size),
+             TableWriter::integer(r.resource_set_size),
+             TableWriter::integer(r.knot_size),
+             TableWriter::integer(r.dependent_count),
+             TableWriter::integer(r.knot_cycle_density),
+             r.density_capped ? "1" : "0",
+             TableWriter::integer(r.victim)});
+  }
+}
+
+void print_set_size_histogram(std::ostream& out, const std::string& title,
+                              const Histogram& histogram, int max_rows) {
+  out << "== " << title << " ==\n";
+  if (histogram.total() == 0) {
+    out << "(no deadlocks)\n";
+    return;
+  }
+  // Find the densest populated range and scale bars to the largest bucket.
+  std::int64_t peak = 1;
+  std::size_t last_used = 0;
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    if (histogram.bucket(i) > 0) last_used = i;
+    peak = std::max(peak, histogram.bucket(i));
+  }
+  const std::size_t rows =
+      std::min<std::size_t>(last_used + 1, static_cast<std::size_t>(max_rows));
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::int64_t count = histogram.bucket(i);
+    const int bar = static_cast<int>((40 * count) / peak);
+    out << TableWriter::integer(static_cast<long long>(i)) << "\t" << count
+        << "\t" << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  if (last_used + 1 > rows) {
+    std::int64_t tail = 0;
+    for (std::size_t i = rows; i < histogram.size(); ++i) {
+      tail += histogram.bucket(i);
+    }
+    out << ">=" << rows << "\t" << tail << '\n';
+  }
+}
+
+std::vector<SeriesColumn> deadlock_columns() {
+  return {
+      {"norm_deadlocks",
+       [](const ExperimentResult& r) { return r.window.normalized_deadlocks; },
+       5},
+      {"deadlocks",
+       [](const ExperimentResult& r) {
+         return static_cast<double>(r.window.deadlocks);
+       },
+       0},
+      {"delivered",
+       [](const ExperimentResult& r) {
+         return static_cast<double>(r.window.delivered + r.window.recovered);
+       },
+       0},
+  };
+}
+
+std::vector<SeriesColumn> set_size_columns() {
+  return {
+      {"dset_mean",
+       [](const ExperimentResult& r) { return r.window.deadlock_set_size.mean(); },
+       2},
+      {"dset_max",
+       [](const ExperimentResult& r) { return r.window.deadlock_set_size.max(); },
+       0},
+      {"rset_mean",
+       [](const ExperimentResult& r) { return r.window.resource_set_size.mean(); },
+       2},
+      {"rset_max",
+       [](const ExperimentResult& r) { return r.window.resource_set_size.max(); },
+       0},
+      {"knot_density_mean",
+       [](const ExperimentResult& r) { return r.window.knot_cycle_density.mean(); },
+       2},
+  };
+}
+
+std::vector<SeriesColumn> cycle_columns() {
+  return {
+      {"cycles_mean",
+       [](const ExperimentResult& r) { return r.window.cwg_cycles.mean(); }, 1},
+      {"cycles_max",
+       [](const ExperimentResult& r) { return r.window.cwg_cycles.max(); }, 0},
+      {"blocked_pct",
+       [](const ExperimentResult& r) {
+         return 100.0 * r.window.blocked_fraction.mean();
+       },
+       2},
+  };
+}
+
+std::vector<SeriesColumn> throughput_columns() {
+  return {
+      {"norm_throughput",
+       [](const ExperimentResult& r) { return r.normalized_throughput; }, 4},
+      {"accepted_ratio",
+       [](const ExperimentResult& r) { return r.accepted_ratio; }, 4},
+      {"latency",
+       [](const ExperimentResult& r) { return r.window.avg_latency; }, 1},
+  };
+}
+
+}  // namespace flexnet

@@ -1,0 +1,50 @@
+// Paper-style reporting: prints swept results as aligned series tables (one
+// row per load, one column per metric) and as CSV for downstream plotting.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace flexnet {
+
+/// One column of a printed series.
+struct SeriesColumn {
+  std::string name;
+  std::function<double(const ExperimentResult&)> value;
+  int digits = 4;
+};
+
+/// Prints a table with a leading "load" column and one column per metric,
+/// marking the first saturated load with a '*' (the paper's dashed vertical
+/// line).
+void print_load_series(std::ostream& out, const std::string& title,
+                       std::span<const ExperimentResult> results,
+                       std::span<const SeriesColumn> columns);
+
+/// Full-width CSV dump (fixed schema covering every windowed metric).
+void write_results_csv(std::ostream& out,
+                       std::span<const ExperimentResult> results,
+                       const std::string& label);
+
+/// Per-deadlock event log: one CSV row per detected deadlock with its full
+/// characterization (detection cycle, set sizes, knot size, density, victim).
+void write_deadlock_records_csv(std::ostream& out,
+                                std::span<const DeadlockRecord> records,
+                                const std::string& label);
+
+/// Prints a deadlock-set size distribution as an ASCII histogram.
+void print_set_size_histogram(std::ostream& out, const std::string& title,
+                              const Histogram& histogram, int max_rows = 24);
+
+/// Ready-made column sets matching the paper's figures.
+[[nodiscard]] std::vector<SeriesColumn> deadlock_columns();
+[[nodiscard]] std::vector<SeriesColumn> set_size_columns();
+[[nodiscard]] std::vector<SeriesColumn> cycle_columns();
+[[nodiscard]] std::vector<SeriesColumn> throughput_columns();
+
+}  // namespace flexnet

@@ -1,0 +1,52 @@
+#include "exp/sweep.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace flexnet {
+
+std::vector<double> linspace(double lo, double hi, int steps) {
+  if (steps < 1) throw std::invalid_argument("linspace needs >= 1 step");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  if (steps == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double delta = (hi - lo) / static_cast<double>(steps - 1);
+  for (int i = 0; i < steps; ++i) {
+    out.push_back(lo + delta * static_cast<double>(i));
+  }
+  return out;
+}
+
+std::vector<ExperimentResult> sweep_loads(const ExperimentConfig& base,
+                                          std::span<const double> loads,
+                                          bool parallel) {
+  std::vector<ExperimentResult> results(loads.size());
+  auto run_point = [&](std::size_t i) {
+    ExperimentConfig config = base;
+    config.traffic.load = loads[i];
+    // Decorrelate per-point random streams while keeping determinism.
+    config.sim.seed = splitmix64(base.sim.seed + i + 1);
+    results[i] = run_experiment(config);
+  };
+  if (parallel) {
+    parallel_for(loads.size(), run_point);
+  } else {
+    for (std::size_t i = 0; i < loads.size(); ++i) run_point(i);
+  }
+  return results;
+}
+
+double saturation_load(std::span<const ExperimentResult> results) {
+  for (const ExperimentResult& r : results) {
+    if (r.saturated) return r.load;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace flexnet

@@ -1,0 +1,26 @@
+// Load sweeps: run the same configuration across a set of normalized loads,
+// optionally in parallel (each point is an independent, deterministically
+// seeded simulation).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace flexnet {
+
+/// `steps` evenly spaced values over [lo, hi], inclusive.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, int steps);
+
+/// Runs `base` once per load (overriding traffic.load); results are returned
+/// in load order regardless of execution order.
+[[nodiscard]] std::vector<ExperimentResult> sweep_loads(
+    const ExperimentConfig& base, std::span<const double> loads,
+    bool parallel = true);
+
+/// First swept load whose point saturated (accepted < 95% of offered);
+/// returns a quiet NaN when none did.
+[[nodiscard]] double saturation_load(std::span<const ExperimentResult> results);
+
+}  // namespace flexnet

@@ -1,0 +1,87 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+namespace flexnet {
+
+void MetricsCollector::begin_window(const Network& net) {
+  start_cycle_ = net.now();
+  start_ = net.counters();
+  blocked_ = RunningStat{};
+  blocked_fraction_ = RunningStat{};
+  in_network_ = RunningStat{};
+  queued_ = RunningStat{};
+}
+
+void MetricsCollector::sample(const Network& net) {
+  if ((net.now() - start_cycle_) % sample_every_ != 0) return;
+  const auto in_net = static_cast<double>(net.active_messages().size());
+  const auto blocked = static_cast<double>(net.blocked_message_count());
+  blocked_.add(blocked);
+  if (in_net > 0) blocked_fraction_.add(blocked / in_net);
+  in_network_.add(in_net);
+  queued_.add(static_cast<double>(net.queued_message_count()));
+}
+
+WindowMetrics MetricsCollector::finish(const Network& net,
+                                       const DeadlockDetector& detector,
+                                       bool count_recovered_as_delivered) const {
+  WindowMetrics m;
+  m.window_cycles = net.now() - start_cycle_;
+  const Network::Counters& end = net.counters();
+  m.generated = end.generated - start_.generated;
+  m.injected = end.injected - start_.injected;
+  m.delivered = end.delivered - start_.delivered;
+  m.recovered = end.recovered - start_.recovered;
+  m.flits_delivered = end.flits_delivered - start_.flits_delivered;
+
+  const double node_cycles =
+      static_cast<double>(net.topology().num_nodes()) *
+      static_cast<double>(std::max<Cycle>(m.window_cycles, 1));
+  m.throughput_flits_per_node = static_cast<double>(m.flits_delivered) / node_cycles;
+
+  const std::int64_t delivered_msgs = m.delivered;
+  if (delivered_msgs > 0) {
+    m.avg_latency =
+        static_cast<double>(end.delivered_latency_sum - start_.delivered_latency_sum) /
+        static_cast<double>(delivered_msgs);
+    m.avg_hops =
+        static_cast<double>(end.delivered_hops_sum - start_.delivered_hops_sum) /
+        static_cast<double>(delivered_msgs);
+  }
+
+  m.blocked_messages = blocked_;
+  m.blocked_fraction = blocked_fraction_;
+  m.in_network_messages = in_network_;
+  m.queued_messages = queued_;
+
+  for (const DeadlockRecord& record : detector.records()) {
+    if (record.detected_at < start_cycle_) continue;
+    ++m.deadlocks;
+    m.deadlock_set_size.add(record.deadlock_set_size);
+    m.deadlock_set_histogram.add(record.deadlock_set_size);
+    m.resource_set_size.add(record.resource_set_size);
+    m.dependent_messages.add(record.dependent_count);
+    if (record.knot_cycle_density >= 0) {
+      m.knot_cycle_density.add(static_cast<double>(record.knot_cycle_density));
+      if (record.knot_cycle_density == 1) {
+        ++m.single_cycle_deadlocks;
+      } else {
+        ++m.multi_cycle_deadlocks;
+      }
+    }
+  }
+  const std::int64_t completed = m.completed(count_recovered_as_delivered);
+  m.normalized_deadlocks =
+      static_cast<double>(m.deadlocks) /
+      static_cast<double>(std::max<std::int64_t>(completed, 1));
+
+  for (const CycleSample& sample : detector.cycle_samples()) {
+    if (sample.at < start_cycle_) continue;
+    m.cwg_cycles.add(static_cast<double>(sample.cycles));
+    m.cycle_count_capped = m.cycle_count_capped || sample.capped;
+  }
+  return m;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,84 @@
+// Windowed measurement: snapshots the network's monotonic counters at the
+// start of the measurement window, samples congestion every cycle, and folds
+// in the detector's deadlock records at the end — producing exactly the
+// quantities the paper plots (normalized deadlocks, deadlock/resource set
+// sizes, knot cycle density, cycle counts, blocked percentages, messages in
+// the network).
+#pragma once
+
+#include "core/detector.hpp"
+#include "sim/network.hpp"
+#include "util/stats.hpp"
+
+namespace flexnet {
+
+struct WindowMetrics {
+  Cycle window_cycles = 0;
+
+  // Message flow over the window.
+  std::int64_t generated = 0;
+  std::int64_t injected = 0;
+  std::int64_t delivered = 0;   ///< via the network
+  std::int64_t recovered = 0;   ///< via deadlock recovery
+  std::int64_t flits_delivered = 0;
+  double throughput_flits_per_node = 0.0;  ///< flits/node/cycle accepted
+  double avg_latency = 0.0;                ///< cycles, delivered messages
+  double avg_hops = 0.0;
+
+  // Congestion (per-cycle samples).
+  RunningStat blocked_messages;
+  RunningStat blocked_fraction;  ///< blocked / in-network
+  RunningStat in_network_messages;
+  RunningStat queued_messages;
+
+  // Deadlocks.
+  std::int64_t deadlocks = 0;
+  double normalized_deadlocks = 0.0;  ///< deadlocks per message completed
+  RunningStat deadlock_set_size;
+  RunningStat resource_set_size;
+  RunningStat knot_cycle_density;
+  RunningStat dependent_messages;
+  std::int64_t single_cycle_deadlocks = 0;
+  std::int64_t multi_cycle_deadlocks = 0;
+  /// Full deadlock-set size distribution (bucket i = deadlocks of i messages,
+  /// larger sets clamped into the last bucket).
+  Histogram deadlock_set_histogram{128};
+
+  // CWG cycle counts (only when the detector samples them).
+  RunningStat cwg_cycles;
+  bool cycle_count_capped = false;
+
+  /// Messages completed (the normalized-deadlock denominator).
+  [[nodiscard]] std::int64_t completed(bool count_recovered) const noexcept {
+    return delivered + (count_recovered ? recovered : 0);
+  }
+};
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(int sample_every = 1)
+      : sample_every_(sample_every < 1 ? 1 : sample_every) {}
+
+  /// Marks the start of the measurement window.
+  void begin_window(const Network& net);
+
+  /// Per-cycle congestion sampling (subsampled by `sample_every`).
+  void sample(const Network& net);
+
+  /// Produces the window's metrics. Pass the detector whose statistics were
+  /// reset at the window start.
+  [[nodiscard]] WindowMetrics finish(const Network& net,
+                                     const DeadlockDetector& detector,
+                                     bool count_recovered_as_delivered) const;
+
+ private:
+  int sample_every_;
+  Cycle start_cycle_ = 0;
+  Network::Counters start_{};
+  RunningStat blocked_;
+  RunningStat blocked_fraction_;
+  RunningStat in_network_;
+  RunningStat queued_;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,43 @@
+#include "routing/dateline.hpp"
+
+#include <cassert>
+
+#include "routing/dor.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+int DatelineDorRouting::dateline_class(const Network& net, const Message& msg,
+                                       ChannelId out_ch) {
+  const KAryNCube& topo = net.topology();
+  const PhysChannel& pc = net.phys(out_ch);
+  assert(pc.kind == ChannelKind::Network);
+  const int dim = pc.dim;
+  const NodeId here = pc.src;
+
+  // DOR enters a dimension at the source's coordinate and travels one fixed
+  // direction, so "crossed the wrap link already" is a pure function of the
+  // source and current coordinates.
+  const int c_src = topo.coordinates().coordinate(msg.src, dim);
+  const int c_here = topo.coordinates().coordinate(here, dim);
+  const bool crossed_already =
+      pc.dir > 0 ? (c_here < c_src) : (c_here > c_src);
+  return (crossed_already || pc.is_wrap) ? 1 : 0;
+}
+
+void DatelineDorRouting::candidate_channels(const Network& net,
+                                            const Message& msg, NodeId here,
+                                            VcId /*in_vc*/,
+                                            std::vector<ChannelId>& out) const {
+  const ChannelId ch = DorRouting::dor_channel(net, here, msg.dst);
+  assert(ch != kInvalidChannel);
+  out.push_back(ch);
+}
+
+bool DatelineDorRouting::vc_allowed(const Network& net, const Message& msg,
+                                    ChannelId out_ch, int vc_index,
+                                    VcId /*in_vc*/) const {
+  return vc_index % 2 == dateline_class(net, msg, out_ch);
+}
+
+}  // namespace flexnet

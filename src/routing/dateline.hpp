@@ -1,0 +1,36 @@
+// Dateline (Dally/Seitz-style) deadlock-AVOIDANCE routing for tori: DOR with
+// two VC classes per direction. A message uses class-0 VCs until it crosses
+// the wrap-around ("dateline") link of the dimension it is traversing, then
+// class-1 VCs. The class split breaks the ring dependency cycle, so no knot
+// can ever form — a baseline the paper's recovery-based approach is compared
+// against.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace flexnet {
+
+class DatelineDorRouting final : public RoutingAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "DatelineDOR";
+  }
+
+  void candidate_channels(const Network& net, const Message& msg, NodeId here,
+                          VcId in_vc,
+                          std::vector<ChannelId>& out) const override;
+
+  [[nodiscard]] bool vc_allowed(const Network& net, const Message& msg,
+                                ChannelId out_ch, int vc_index,
+                                VcId in_vc) const override;
+
+  [[nodiscard]] bool deadlock_free() const noexcept override { return true; }
+
+  /// VC class (0 before the dateline, 1 after) a message needs on `out_ch`.
+  /// Derivable without per-message state because DOR's per-dimension path is
+  /// deterministic from (src, dst).
+  static int dateline_class(const Network& net, const Message& msg,
+                            ChannelId out_ch);
+};
+
+}  // namespace flexnet

@@ -1,0 +1,31 @@
+#include "routing/dor.hpp"
+
+#include <cassert>
+
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+ChannelId DorRouting::dor_channel(const Network& net, NodeId here, NodeId dst) {
+  const KAryNCube& topo = net.topology();
+  for (int dim = 0; dim < topo.dimensions(); ++dim) {
+    if (topo.dim_distance(here, dst, dim) == 0) continue;
+    const DimRoute route = topo.minimal_dirs(here, dst, dim);
+    assert(route.count >= 1);
+    // minimal_dirs lists +1 first on a tie, making DOR fully deterministic.
+    const ChannelId ch = topo.out_channel(here, dim, route.dirs[0]);
+    assert(ch != kInvalidChannel);
+    return ch;
+  }
+  return kInvalidChannel;  // already at destination
+}
+
+void DorRouting::candidate_channels(const Network& net, const Message& msg,
+                                    NodeId here, VcId /*in_vc*/,
+                                    std::vector<ChannelId>& out) const {
+  const ChannelId ch = dor_channel(net, here, msg.dst);
+  assert(ch != kInvalidChannel);
+  out.push_back(ch);
+}
+
+}  // namespace flexnet

@@ -1,0 +1,23 @@
+// Static dimension-order routing (DOR). Resolves dimensions lowest-first and
+// supplies exactly one output channel; with unrestricted VC use this is the
+// paper's deadlock-prone static algorithm (Fig. 1).
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace flexnet {
+
+class DorRouting final : public RoutingAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "DOR"; }
+
+  void candidate_channels(const Network& net, const Message& msg, NodeId here,
+                          VcId in_vc,
+                          std::vector<ChannelId>& out) const override;
+
+  /// The single (dim, dir) DOR takes from `here` toward `dst`; used by the
+  /// dateline and Duato escape layers as well.
+  static ChannelId dor_channel(const Network& net, NodeId here, NodeId dst);
+};
+
+}  // namespace flexnet

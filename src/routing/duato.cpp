@@ -1,0 +1,41 @@
+#include "routing/duato.hpp"
+
+#include <cassert>
+
+#include "routing/dateline.hpp"
+#include "routing/dor.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+void DuatoTfarRouting::candidate_channels(const Network& net,
+                                          const Message& msg, NodeId here,
+                                          VcId /*in_vc*/,
+                                          std::vector<ChannelId>& out) const {
+  // All minimal channels; the DOR channel (which carries the escape VCs) is
+  // always among them, so the escape path is reachable from every state.
+  const KAryNCube& topo = net.topology();
+  for (int dim = 0; dim < topo.dimensions(); ++dim) {
+    const DimRoute route = topo.minimal_dirs(here, msg.dst, dim);
+    for (int i = 0; i < route.count; ++i) {
+      const ChannelId ch =
+          topo.out_channel(here, dim, route.dirs[static_cast<std::size_t>(i)]);
+      assert(ch != kInvalidChannel);
+      out.push_back(ch);
+    }
+  }
+  assert(!out.empty());
+}
+
+bool DuatoTfarRouting::vc_allowed(const Network& net, const Message& msg,
+                                  ChannelId out_ch, int vc_index,
+                                  VcId /*in_vc*/) const {
+  if (vc_index >= 2) return true;  // adaptive class, any minimal channel
+  const NodeId here = net.phys(out_ch).src;
+  if (out_ch != DorRouting::dor_channel(net, here, msg.dst)) {
+    return false;  // escape VCs only along the DOR path
+  }
+  return vc_index == DatelineDorRouting::dateline_class(net, msg, out_ch);
+}
+
+}  // namespace flexnet

@@ -1,0 +1,34 @@
+// Duato's-protocol-style deadlock-AVOIDANCE adaptive routing: VC indices >= 2
+// are minimal fully adaptive; indices 0 and 1 form a dateline-DOR escape
+// pair. Cycles may appear among the adaptive VCs, but the connected,
+// cycle-free escape sub-function guarantees an exit — exactly the "escape
+// resource" the paper's Fig. 4 discussion describes. Requires >= 3 VCs.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace flexnet {
+
+class DuatoTfarRouting final : public RoutingAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "DuatoTFAR";
+  }
+
+  void candidate_channels(const Network& net, const Message& msg, NodeId here,
+                          VcId in_vc,
+                          std::vector<ChannelId>& out) const override;
+
+  [[nodiscard]] bool vc_allowed(const Network& net, const Message& msg,
+                                ChannelId out_ch, int vc_index,
+                                VcId in_vc) const override;
+
+  /// Adaptive VCs are tried before the escape pair.
+  [[nodiscard]] bool prefer_high_vc_indices() const noexcept override {
+    return true;
+  }
+
+  [[nodiscard]] bool deadlock_free() const noexcept override { return true; }
+};
+
+}  // namespace flexnet

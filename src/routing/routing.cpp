@@ -1,0 +1,36 @@
+#include "routing/routing.hpp"
+
+#include <stdexcept>
+
+#include "routing/dateline.hpp"
+#include "routing/dor.hpp"
+#include "routing/duato.hpp"
+#include "routing/tfar.hpp"
+#include "routing/turnmodel.hpp"
+
+namespace flexnet {
+
+bool RoutingAlgorithm::vc_allowed(const Network& /*net*/,
+                                  const Message& /*msg*/,
+                                  ChannelId /*out_ch*/, int /*vc_index*/,
+                                  VcId /*in_vc*/) const {
+  return true;  // the paper's unrestricted VC use
+}
+
+std::unique_ptr<RoutingAlgorithm> make_routing(const SimConfig& config) {
+  switch (config.routing) {
+    case RoutingKind::DOR:
+      return std::make_unique<DorRouting>();
+    case RoutingKind::TFAR:
+      return std::make_unique<TfarRouting>(config.max_misroutes);
+    case RoutingKind::DatelineDOR:
+      return std::make_unique<DatelineDorRouting>();
+    case RoutingKind::DuatoTFAR:
+      return std::make_unique<DuatoTfarRouting>();
+    case RoutingKind::NegativeFirst:
+      return std::make_unique<NegativeFirstRouting>();
+  }
+  throw std::invalid_argument("unknown routing kind");
+}
+
+}  // namespace flexnet

@@ -1,0 +1,62 @@
+#include "routing/tfar.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+void TfarRouting::candidate_channels(const Network& net, const Message& msg,
+                                     NodeId here, VcId in_vc,
+                                     std::vector<ChannelId>& out) const {
+  const KAryNCube& topo = net.topology();
+  for (int dim = 0; dim < topo.dimensions(); ++dim) {
+    const DimRoute route = topo.minimal_dirs(here, msg.dst, dim);
+    for (int i = 0; i < route.count; ++i) {
+      const ChannelId ch =
+          topo.out_channel(here, dim, route.dirs[static_cast<std::size_t>(i)]);
+      assert(ch != kInvalidChannel);
+      if (!net.phys(ch).faulted) out.push_back(ch);
+    }
+  }
+
+  ChannelId reverse = kInvalidChannel;
+  const PhysChannel& in_ch = net.phys(net.vc(in_vc).channel);
+  if (in_ch.kind == ChannelKind::Network) {
+    reverse = topo.out_channel(here, in_ch.dim, -in_ch.dir);
+  }
+
+  // Non-minimal candidates: voluntarily when the misroute budget allows, and
+  // forcibly when faults have removed every minimal channel at this router
+  // (the fault injector guarantees the network stays strongly connected, so
+  // some non-faulted escape always exists). Note that unconstrained
+  // misrouting lets a message circle back onto a channel it already owns —
+  // a self-deadlock the detector reports as a knot whose deadlock set is the
+  // message itself; recovery resolves it like any other deadlock.
+  // A candidate channel is useless if every one of its VCs is owned by this
+  // very message (it wrapped a ring onto its own body); such a request can
+  // never be granted, so a detour is forced just as with faults.
+  const auto self_owned = [&](ChannelId ch) {
+    const PhysChannel& pc = net.phys(ch);
+    for (int v = 0; v < pc.num_vcs; ++v) {
+      if (net.vc(pc.first_vc + v).owner != msg.id) return false;
+    }
+    return true;
+  };
+  const bool forced =
+      out.empty() || std::all_of(out.begin(), out.end(), self_owned);
+  if (!forced && msg.misroutes >= max_misroutes_) return;
+  for (int dim = 0; dim < topo.dimensions(); ++dim) {
+    for (const int dir : {+1, -1}) {
+      const ChannelId ch = topo.out_channel(here, dim, dir);
+      if (ch == kInvalidChannel || net.phys(ch).faulted) continue;
+      if (!forced && ch == reverse) continue;
+      if (std::find(out.begin(), out.end(), ch) != out.end()) continue;
+      out.push_back(ch);
+    }
+  }
+  assert(!out.empty());
+}
+
+}  // namespace flexnet

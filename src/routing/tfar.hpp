@@ -1,0 +1,26 @@
+// Minimal true fully adaptive routing (TFAR): every channel that reduces the
+// distance to the destination is a candidate, on any VC, with no ordering
+// restriction — the paper's deadlock-prone adaptive algorithm. Optionally
+// extended with bounded misrouting (non-minimal hops), one of the paper's
+// stated future-work directions.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace flexnet {
+
+class TfarRouting final : public RoutingAlgorithm {
+ public:
+  explicit TfarRouting(int max_misroutes = 0) : max_misroutes_(max_misroutes) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "TFAR"; }
+
+  void candidate_channels(const Network& net, const Message& msg, NodeId here,
+                          VcId in_vc,
+                          std::vector<ChannelId>& out) const override;
+
+ private:
+  int max_misroutes_;
+};
+
+}  // namespace flexnet

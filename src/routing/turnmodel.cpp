@@ -1,0 +1,40 @@
+#include "routing/turnmodel.hpp"
+
+#include <cassert>
+
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+void NegativeFirstRouting::candidate_channels(const Network& net,
+                                              const Message& msg, NodeId here,
+                                              VcId /*in_vc*/,
+                                              std::vector<ChannelId>& out) const {
+  const KAryNCube& topo = net.topology();
+  assert(!topo.wrap() && "negative-first targets meshes");
+
+  // Phase 1: while any dimension still needs a negative hop, only negative
+  // hops are offered. Phase 2: the remaining (positive) hops, adaptively.
+  bool needs_negative = false;
+  for (int dim = 0; dim < topo.dimensions(); ++dim) {
+    const DimRoute route = topo.minimal_dirs(here, msg.dst, dim);
+    if (route.count > 0 && route.dirs[0] == -1) {
+      needs_negative = true;
+      const ChannelId ch = topo.out_channel(here, dim, -1);
+      assert(ch != kInvalidChannel);
+      out.push_back(ch);
+    }
+  }
+  if (needs_negative) return;
+  for (int dim = 0; dim < topo.dimensions(); ++dim) {
+    const DimRoute route = topo.minimal_dirs(here, msg.dst, dim);
+    if (route.count > 0) {
+      const ChannelId ch = topo.out_channel(here, dim, route.dirs[0]);
+      assert(ch != kInvalidChannel);
+      out.push_back(ch);
+    }
+  }
+  assert(!out.empty());
+}
+
+}  // namespace flexnet

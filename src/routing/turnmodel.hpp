@@ -1,0 +1,25 @@
+// Negative-first turn-model routing (Glass & Ni) for meshes: a message first
+// makes every hop in a negative direction (fully adaptively among them), then
+// every positive hop; no turn from a positive to a negative direction ever
+// occurs, which provably breaks all dependency cycles on a mesh with a single
+// VC. Deadlock-avoidance baseline for the mesh extension.
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace flexnet {
+
+class NegativeFirstRouting final : public RoutingAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "NegativeFirst";
+  }
+
+  void candidate_channels(const Network& net, const Message& msg, NodeId here,
+                          VcId in_vc,
+                          std::vector<ChannelId>& out) const override;
+
+  [[nodiscard]] bool deadlock_free() const noexcept override { return true; }
+};
+
+}  // namespace flexnet

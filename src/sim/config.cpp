@@ -1,0 +1,82 @@
+#include "sim/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace flexnet {
+
+std::string_view to_string(RoutingKind kind) noexcept {
+  switch (kind) {
+    case RoutingKind::DOR: return "DOR";
+    case RoutingKind::TFAR: return "TFAR";
+    case RoutingKind::DatelineDOR: return "DatelineDOR";
+    case RoutingKind::DuatoTFAR: return "DuatoTFAR";
+    case RoutingKind::NegativeFirst: return "NegativeFirst";
+  }
+  return "?";
+}
+
+std::string_view to_string(SelectionKind kind) noexcept {
+  switch (kind) {
+    case SelectionKind::PreferStraight: return "PreferStraight";
+    case SelectionKind::Random: return "Random";
+    case SelectionKind::LowestIndex: return "LowestIndex";
+  }
+  return "?";
+}
+
+std::string_view to_string(RecoveryKind kind) noexcept {
+  switch (kind) {
+    case RecoveryKind::None: return "None";
+    case RecoveryKind::RemoveOldest: return "RemoveOldest";
+    case RecoveryKind::RemoveNewest: return "RemoveNewest";
+    case RecoveryKind::RemoveMostResources: return "RemoveMostResources";
+    case RecoveryKind::RemoveRandom: return "RemoveRandom";
+  }
+  return "?";
+}
+
+void SimConfig::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("SimConfig: " + what);
+  };
+  if (topology.k < 2) fail("radix k must be >= 2");
+  if (topology.n < 1) fail("dimensions n must be >= 1");
+  if (!topology.wrap && !topology.bidirectional) {
+    fail("a unidirectional mesh is not connected");
+  }
+  if (vcs < 1) fail("vcs must be >= 1");
+  if (buffer_depth < 1) fail("buffer_depth must be >= 1");
+  if (injection_vcs < 1 || ejection_vcs < 1) {
+    fail("injection/ejection channels need at least one VC");
+  }
+  if (message_length < 1) fail("message_length must be >= 1");
+  if (short_message_fraction < 0.0 || short_message_fraction > 1.0) {
+    fail("short_message_fraction must be within [0, 1]");
+  }
+  if (short_message_fraction > 0.0 && short_message_length < 1) {
+    fail("short_message_length must be >= 1");
+  }
+  if (max_misroutes < 0) fail("max_misroutes must be >= 0");
+  if (routing == RoutingKind::DatelineDOR) {
+    if (vcs < 2) fail("DatelineDOR needs at least 2 VCs");
+    if (!topology.wrap) fail("DatelineDOR targets tori");
+  }
+  if (routing == RoutingKind::DuatoTFAR && vcs < 3) {
+    fail("DuatoTFAR needs at least 3 VCs (escape pair + adaptive)");
+  }
+  if (routing == RoutingKind::NegativeFirst) {
+    if (topology.wrap) fail("NegativeFirst (turn model) targets meshes");
+  }
+  if (routing == RoutingKind::DOR || routing == RoutingKind::DatelineDOR) {
+    if (max_misroutes != 0) fail("misrouting requires an adaptive algorithm");
+  }
+  if (link_fault_fraction < 0.0 || link_fault_fraction >= 0.5) {
+    fail("link_fault_fraction must be within [0, 0.5)");
+  }
+  if (link_fault_fraction > 0.0 && routing != RoutingKind::TFAR) {
+    fail("only TFAR can route around faulted links");
+  }
+}
+
+}  // namespace flexnet

@@ -1,0 +1,88 @@
+// Simulator configuration. Defaults reproduce the paper's baseline setup
+// (Section 3): 16-ary 2-cube, bidirectional torus, 1 VC per physical channel,
+// 2-flit edge buffers, 32-flit messages, one injection and one reception
+// channel, prefer-straight channel selection.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "topo/torus.hpp"
+
+namespace flexnet {
+
+/// Routing algorithms. DOR and TFAR use VCs *unrestrictedly* so deadlock is
+/// possible (the paper's subjects); the rest are deadlock-avoidance baselines.
+enum class RoutingKind : std::uint8_t {
+  DOR,           ///< Static dimension-order routing.
+  TFAR,          ///< Minimal true fully adaptive routing.
+  DatelineDOR,   ///< DOR + Dally/Seitz dateline VC classes (avoidance, >=2 VCs).
+  DuatoTFAR,     ///< Adaptive VCs + dateline escape pair (avoidance, >=3 VCs).
+  NegativeFirst, ///< Turn-model adaptive routing (avoidance, mesh only).
+};
+
+/// Channel-selection policy applied when several candidate VCs are free.
+enum class SelectionKind : std::uint8_t {
+  PreferStraight,  ///< Favor continuing in the current dimension (paper default).
+  Random,          ///< Uniformly random among candidates.
+  LowestIndex,     ///< Deterministic lowest channel id first.
+};
+
+/// Which deadlock-set message the recovery procedure removes.
+enum class RecoveryKind : std::uint8_t {
+  None,               ///< Detect only; deadlocks persist.
+  RemoveOldest,       ///< Longest-lived message (paper-style victim).
+  RemoveNewest,       ///< Most recently injected message.
+  RemoveMostResources,///< Message holding the most VCs.
+  RemoveRandom,       ///< Uniform random member of the deadlock set.
+};
+
+[[nodiscard]] std::string_view to_string(RoutingKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(SelectionKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(RecoveryKind kind) noexcept;
+
+struct SimConfig {
+  TopologyConfig topology;
+
+  int vcs = 1;            ///< Virtual channels per network physical channel.
+  int buffer_depth = 2;   ///< Flits of buffering per VC (edge buffer depth).
+  int injection_vcs = 1;  ///< VCs on each node's injection channel.
+  int ejection_vcs = 1;   ///< VCs on each node's reception channel.
+
+  int message_length = 32;  ///< Flits per message.
+  /// Hybrid (bimodal) message lengths, a paper "future work" extension:
+  /// fraction of messages drawn at `short_message_length` instead.
+  double short_message_fraction = 0.0;
+  int short_message_length = 8;
+
+  RoutingKind routing = RoutingKind::TFAR;
+  SelectionKind selection = SelectionKind::PreferStraight;
+  /// Maximum non-minimal hops per message (0 = strictly minimal). Only TFAR
+  /// honors misrouting; another paper "future work" extension.
+  int max_misroutes = 0;
+
+  /// Fraction of network channels disabled at construction (paper future
+  /// work: irregular/faulty topologies). Faults are sampled so the surviving
+  /// network stays strongly connected; only TFAR can route around them
+  /// (forced misroutes when every minimal channel at a router is faulted).
+  double link_fault_fraction = 0.0;
+
+  /// Maximum messages waiting in a node's source queue; generation at a full
+  /// node stalls (the source is busy). 0 = unbounded. Bounding the backlog
+  /// keeps post-saturation pressure finite, so "deep saturation" is a
+  /// congested-but-flowing regime rather than total gridlock.
+  int source_queue_limit = 4;
+
+  std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument describing the first inconsistency found
+  /// (e.g. DuatoTFAR with fewer than 3 VCs).
+  void validate() const;
+
+  /// Flits a single message needs buffered for virtual cut-through behavior.
+  [[nodiscard]] bool is_virtual_cut_through() const noexcept {
+    return buffer_depth >= message_length;
+  }
+};
+
+}  // namespace flexnet

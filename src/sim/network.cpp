@@ -1,0 +1,507 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+
+namespace flexnet {
+
+namespace {
+[[noreturn]] void invariant_failure(const std::string& what) {
+  throw std::logic_error("Network invariant violated: " + what);
+}
+}  // namespace
+
+Network::Network(const SimConfig& config,
+                 std::unique_ptr<RoutingAlgorithm> routing,
+                 std::unique_ptr<SelectionPolicy> selection)
+    : config_(config),
+      topo_(config.topology),
+      routing_(std::move(routing)),
+      selection_(std::move(selection)),
+      rng_(splitmix64(config.seed), 0x6e657477 /* "netw" */) {
+  config_.validate();
+  if (!routing_ || !selection_) {
+    throw std::invalid_argument("Network requires routing and selection policies");
+  }
+
+  const NodeId nodes = topo_.num_nodes();
+
+  // Physical channels: the topology's network links keep their ids; one
+  // injection and one ejection channel per node follow.
+  phys_.reserve(topo_.channels().size() + 2 * static_cast<std::size_t>(nodes));
+  for (const ChannelDesc& link : topo_.channels()) {
+    PhysChannel pc;
+    pc.id = link.id;
+    pc.kind = ChannelKind::Network;
+    pc.src = link.src;
+    pc.dst = link.dst;
+    pc.dim = link.dim;
+    pc.dir = link.dir;
+    pc.is_wrap = link.is_wrap;
+    pc.num_vcs = config_.vcs;
+    phys_.push_back(pc);
+  }
+  first_injection_ = static_cast<ChannelId>(phys_.size());
+  for (NodeId node = 0; node < nodes; ++node) {
+    PhysChannel pc;
+    pc.id = static_cast<ChannelId>(phys_.size());
+    pc.kind = ChannelKind::Injection;
+    pc.src = node;
+    pc.dst = node;
+    pc.num_vcs = config_.injection_vcs;
+    phys_.push_back(pc);
+  }
+  first_ejection_ = static_cast<ChannelId>(phys_.size());
+  for (NodeId node = 0; node < nodes; ++node) {
+    PhysChannel pc;
+    pc.id = static_cast<ChannelId>(phys_.size());
+    pc.kind = ChannelKind::Ejection;
+    pc.src = node;
+    pc.dst = node;
+    pc.num_vcs = config_.ejection_vcs;
+    phys_.push_back(pc);
+  }
+
+  std::size_t total_vcs = 0;
+  for (PhysChannel& pc : phys_) {
+    pc.first_vc = static_cast<VcId>(total_vcs);
+    total_vcs += static_cast<std::size_t>(pc.num_vcs);
+  }
+  vcs_.reserve(total_vcs);
+  for (const PhysChannel& pc : phys_) {
+    for (int i = 0; i < pc.num_vcs; ++i) {
+      VcState vc(config_.buffer_depth);
+      vc.id = static_cast<VcId>(vcs_.size());
+      vc.channel = pc.id;
+      vc.index = i;
+      vcs_.push_back(std::move(vc));
+    }
+  }
+
+  source_queues_.resize(static_cast<std::size_t>(nodes));
+
+  if (config_.link_fault_fraction > 0.0) inject_link_faults();
+}
+
+bool Network::network_strongly_connected() const {
+  const NodeId nodes = topo_.num_nodes();
+  // One forward and one backward reachability sweep from node 0 over the
+  // surviving network channels.
+  for (const bool forward : {true, false}) {
+    std::vector<bool> seen(static_cast<std::size_t>(nodes), false);
+    std::vector<NodeId> frontier{0};
+    seen[0] = true;
+    NodeId reached = 1;
+    while (!frontier.empty()) {
+      const NodeId at = frontier.back();
+      frontier.pop_back();
+      for (std::size_t c = 0; c < num_network_channels(); ++c) {
+        const PhysChannel& pc = phys_[c];
+        if (pc.faulted) continue;
+        const NodeId from = forward ? pc.src : pc.dst;
+        const NodeId to = forward ? pc.dst : pc.src;
+        if (from != at || seen[static_cast<std::size_t>(to)]) continue;
+        seen[static_cast<std::size_t>(to)] = true;
+        ++reached;
+        frontier.push_back(to);
+      }
+    }
+    if (reached != nodes) return false;
+  }
+  return true;
+}
+
+void Network::inject_link_faults() {
+  const auto network_channels = num_network_channels();
+  const int target = static_cast<int>(config_.link_fault_fraction *
+                                      static_cast<double>(network_channels));
+  if (target == 0) return;
+
+  std::vector<ChannelId> order(network_channels);
+  for (std::size_t i = 0; i < network_channels; ++i) {
+    order[i] = static_cast<ChannelId>(i);
+  }
+  Pcg32 rng(splitmix64(config_.seed), 0x6661756c /* "faul" */);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.bounded(static_cast<std::uint32_t>(i))]);
+  }
+
+  // Greedily fault channels, keeping the survivors strongly connected so
+  // every destination stays reachable.
+  for (const ChannelId ch : order) {
+    if (faulted_ >= target) break;
+    PhysChannel& pc = phys_[static_cast<std::size_t>(ch)];
+    pc.faulted = true;
+    if (network_strongly_connected()) {
+      ++faulted_;
+    } else {
+      pc.faulted = false;
+    }
+  }
+  if (faulted_ < target) {
+    throw std::invalid_argument(
+        "link_fault_fraction too high: network would disconnect");
+  }
+}
+
+Network::~Network() = default;
+
+ChannelId Network::injection_channel(NodeId node) const noexcept {
+  return first_injection_ + node;
+}
+
+ChannelId Network::ejection_channel(NodeId node) const noexcept {
+  return first_ejection_ + node;
+}
+
+MessageId Network::enqueue_message(NodeId src, NodeId dst, std::int32_t length) {
+  if (src == dst) throw std::invalid_argument("messages must leave their source");
+  if (length < 1) throw std::invalid_argument("message length must be >= 1");
+  const auto id = static_cast<MessageId>(messages_.size());
+  Message msg;
+  msg.id = id;
+  msg.src = src;
+  msg.dst = dst;
+  msg.length = length;
+  msg.created = now_;
+  messages_.push_back(std::move(msg));
+  active_pos_.push_back(-1);
+  source_queues_[static_cast<std::size_t>(src)].push_back(id);
+  ++counters_.generated;
+  return id;
+}
+
+std::int64_t Network::queued_message_count() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& q : source_queues_) total += static_cast<std::int64_t>(q.size());
+  return total;
+}
+
+double Network::capacity_flits_per_node(double avg_distance) const noexcept {
+  return static_cast<double>(num_network_channels()) /
+         (static_cast<double>(topo_.num_nodes()) * avg_distance);
+}
+
+void Network::step() {
+  deliver_phase();
+  route_phase();
+  transmit_phase();
+  ++now_;
+}
+
+void Network::deliver_phase() {
+  const NodeId nodes = topo_.num_nodes();
+  for (NodeId node = 0; node < nodes; ++node) {
+    PhysChannel& pc = phys_[static_cast<std::size_t>(ejection_channel(node))];
+    for (int j = 0; j < pc.num_vcs; ++j) {
+      const int idx = (pc.rr_cursor + j) % pc.num_vcs;
+      VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
+      if (w.buffer.empty() || w.buffer.front().arrived >= now_) continue;
+      const Flit flit = w.buffer.pop();
+      Message& msg = messages_[static_cast<std::size_t>(flit.message)];
+      ++msg.flits_delivered;
+      ++counters_.flits_delivered;
+      if (flit.is_tail_of(msg.length)) complete_delivery(msg, w);
+      pc.rr_cursor = (idx + 1) % pc.num_vcs;
+      break;  // one flit per reception channel per cycle
+    }
+  }
+}
+
+void Network::complete_delivery(Message& msg, VcState& eject_vc) {
+  assert(msg.held.size() == 1 && msg.held.front() == eject_vc.id);
+  eject_vc.release();
+  msg.held.clear();
+  msg.status = MessageStatus::Delivered;
+  msg.finished = now_;
+  ++counters_.delivered;
+  counters_.delivered_latency_sum += msg.finished - msg.created;
+  counters_.delivered_hops_sum += msg.hops;
+  deactivate(msg);
+}
+
+void Network::deactivate(Message& msg) {
+  const auto pos = active_pos_[static_cast<std::size_t>(msg.id)];
+  assert(pos >= 0 && active_[static_cast<std::size_t>(pos)] == msg.id);
+  const MessageId moved = active_.back();
+  active_[static_cast<std::size_t>(pos)] = moved;
+  active_pos_[static_cast<std::size_t>(moved)] = pos;
+  active_.pop_back();
+  active_pos_[static_cast<std::size_t>(msg.id)] = -1;
+}
+
+void Network::route_phase() {
+  blocked_count_ = 0;
+
+  // Grant injection VCs to source-queue heads.
+  const NodeId nodes = topo_.num_nodes();
+  for (NodeId node = 0; node < nodes; ++node) {
+    if (!source_queues_[static_cast<std::size_t>(node)].empty()) {
+      try_injection_grants(node);
+    }
+  }
+
+  // Retry every unrouted header (fair rotation across cycles).
+  scratch_pending_.clear();
+  const std::size_t count = pending_.size();
+  const std::size_t offset =
+      count == 0 ? 0 : static_cast<std::size_t>(now_) % count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const VcId head_vc = pending_[(offset + i) % count];
+    if (!try_route_header(head_vc)) {
+      scratch_pending_.push_back(head_vc);
+      ++blocked_count_;
+    }
+  }
+  pending_.swap(scratch_pending_);
+}
+
+void Network::try_injection_grants(NodeId node) {
+  auto& queue = source_queues_[static_cast<std::size_t>(node)];
+  const PhysChannel& pc =
+      phys_[static_cast<std::size_t>(injection_channel(node))];
+  for (int i = 0; i < pc.num_vcs && !queue.empty(); ++i) {
+    VcState& vc = vcs_[static_cast<std::size_t>(pc.first_vc + i)];
+    if (!vc.is_free()) continue;
+    Message& msg = messages_[static_cast<std::size_t>(queue.front())];
+    queue.pop_front();
+    vc.owner = msg.id;
+    vc.route_in = kInvalidVc;  // fed directly by the source
+    msg.held.push_back(vc.id);
+    msg.status = MessageStatus::InFlight;
+    msg.injected = now_;
+    active_pos_[static_cast<std::size_t>(msg.id)] =
+        static_cast<std::int32_t>(active_.size());
+    active_.push_back(msg.id);
+    ++counters_.injected;
+  }
+}
+
+bool Network::try_route_header(VcId head_vc) {
+  VcState& v = vcs_[static_cast<std::size_t>(head_vc)];
+  assert(v.owner != kInvalidMessage && v.route_out == kInvalidVc);
+  assert(!v.buffer.empty() && v.buffer.front().is_head());
+  Message& msg = messages_[static_cast<std::size_t>(v.owner)];
+  const NodeId here = phys(v.channel).dst;
+
+  scratch_channels_.clear();
+  const bool ejecting = (here == msg.dst);
+  if (ejecting) {
+    scratch_channels_.push_back(ejection_channel(here));
+  } else {
+    routing_->candidate_channels(*this, msg, here, v.id, scratch_channels_);
+    assert(!scratch_channels_.empty());
+    selection_->order(*this, msg, v.id, scratch_channels_, rng_);
+  }
+
+  scratch_vcs_.clear();
+  const bool high_first = routing_->prefer_high_vc_indices();
+  for (const ChannelId ch : scratch_channels_) {
+    const PhysChannel& pc = phys(ch);
+    for (int j = 0; j < pc.num_vcs; ++j) {
+      const int idx = high_first ? pc.num_vcs - 1 - j : j;
+      if (pc.kind == ChannelKind::Network &&
+          !routing_->vc_allowed(*this, msg, ch, idx, v.id)) {
+        continue;
+      }
+      scratch_vcs_.push_back(pc.first_vc + idx);
+    }
+  }
+  assert(!scratch_vcs_.empty());
+
+  for (const VcId candidate : scratch_vcs_) {
+    VcState& w = vcs_[static_cast<std::size_t>(candidate)];
+    if (w.is_free()) {
+      acquire_vc(msg, v, w);
+      return true;
+    }
+  }
+
+  if (!msg.blocked) {
+    msg.blocked = true;
+    msg.blocked_since = now_;
+  }
+  msg.request_set.assign(scratch_vcs_.begin(), scratch_vcs_.end());
+  return false;
+}
+
+void Network::acquire_vc(Message& msg, VcState& from, VcState& target) {
+  assert(target.is_free() && target.buffer.empty());
+  assert(!phys(target.channel).faulted);
+  target.owner = msg.id;
+  target.route_in = from.id;
+  from.route_out = target.id;
+  msg.held.push_back(target.id);
+
+  const PhysChannel& pc = phys(target.channel);
+  if (pc.kind == ChannelKind::Network) {
+    ++msg.hops;
+    const DimRoute minimal = topo_.minimal_dirs(pc.src, msg.dst, pc.dim);
+    bool is_minimal = false;
+    for (int i = 0; i < minimal.count; ++i) {
+      if (minimal.dirs[static_cast<std::size_t>(i)] == pc.dir) is_minimal = true;
+    }
+    if (!is_minimal) ++msg.misroutes;
+  }
+  msg.blocked = false;
+  msg.request_set.clear();
+}
+
+void Network::transmit_phase() {
+  for (PhysChannel& pc : phys_) {
+    if (pc.kind == ChannelKind::Injection) {
+      for (int j = 0; j < pc.num_vcs; ++j) {
+        const int idx = (pc.rr_cursor + j) % pc.num_vcs;
+        VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
+        if (w.is_free() || w.buffer.full()) continue;
+        // w.buffer.full() checked above; also need unsent flits.
+        Message& msg = messages_[static_cast<std::size_t>(w.owner)];
+        if (msg.flits_sent >= msg.length) continue;
+        Flit flit;
+        flit.message = msg.id;
+        flit.seq = msg.flits_sent++;
+        flit.arrived = now_;
+        w.buffer.push(flit);
+        if (flit.is_head()) pending_.push_back(w.id);
+        pc.rr_cursor = (idx + 1) % pc.num_vcs;
+        break;
+      }
+      continue;
+    }
+
+    // Network and ejection channels pull from the feeding upstream VC.
+    for (int j = 0; j < pc.num_vcs; ++j) {
+      const int idx = (pc.rr_cursor + j) % pc.num_vcs;
+      VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
+      if (w.is_free() || w.route_in == kInvalidVc || w.buffer.full()) continue;
+      VcState& u = vcs_[static_cast<std::size_t>(w.route_in)];
+      if (u.buffer.empty() || u.buffer.front().arrived >= now_) continue;
+      Flit flit = u.buffer.pop();
+      assert(flit.message == w.owner);
+      Message& msg = messages_[static_cast<std::size_t>(flit.message)];
+      if (flit.is_tail_of(msg.length)) {
+        assert(!msg.held.empty() && msg.held.front() == u.id);
+        msg.held.erase(msg.held.begin());
+        u.release();
+        w.route_in = kInvalidVc;  // no further flits arrive from upstream
+      }
+      flit.arrived = now_;
+      w.buffer.push(flit);
+      if (flit.is_head() && pc.kind != ChannelKind::Ejection) {
+        pending_.push_back(w.id);
+      }
+      pc.rr_cursor = (idx + 1) % pc.num_vcs;
+      break;  // one flit per physical channel per cycle
+    }
+  }
+}
+
+void Network::remove_message(MessageId id) {
+  Message& msg = messages_[static_cast<std::size_t>(id)];
+  if (msg.status != MessageStatus::InFlight) {
+    throw std::invalid_argument("remove_message: message is not in flight");
+  }
+  for (const VcId held : msg.held) {
+    VcState& vc = vcs_[static_cast<std::size_t>(held)];
+    assert(vc.owner == msg.id);
+    vc.buffer.clear();
+    vc.release();
+  }
+  std::erase_if(pending_, [this](VcId v) {
+    return vcs_[static_cast<std::size_t>(v)].is_free();
+  });
+  msg.held.clear();
+  msg.request_set.clear();
+  msg.blocked = false;
+  msg.status = MessageStatus::Recovered;
+  msg.finished = now_;
+  ++counters_.recovered;
+  deactivate(msg);
+}
+
+bool Network::message_immobile(MessageId id) const {
+  const Message& msg = message(id);
+  if (msg.status != MessageStatus::InFlight || !msg.blocked) return false;
+  // Unsent flits could still enter the injection VC.
+  if (msg.flits_sent < msg.length &&
+      !vc(msg.held.front()).buffer.full()) {
+    return false;
+  }
+  // Any routed hop with a flit to send and downstream space can still move.
+  for (const VcId held : msg.held) {
+    const VcState& u = vc(held);
+    if (u.route_out == kInvalidVc) continue;  // the blocked header
+    if (!u.buffer.empty() && !vc(u.route_out).buffer.full()) return false;
+  }
+  return true;
+}
+
+void Network::check_invariants() const {
+  // Per-VC exclusivity and linkage.
+  for (const VcState& vc : vcs_) {
+    if (vc.is_free()) {
+      if (!vc.buffer.empty()) invariant_failure("free VC with buffered flits");
+      if (vc.route_out != kInvalidVc || vc.route_in != kInvalidVc) {
+        invariant_failure("free VC with route state");
+      }
+      continue;
+    }
+    const Message& owner = message(vc.owner);
+    if (owner.status != MessageStatus::InFlight) {
+      invariant_failure("VC owned by a finished message");
+    }
+    for (int i = 0; i < vc.buffer.size(); ++i) {
+      if (vc.buffer.at(i).message != vc.owner) {
+        invariant_failure("buffered flit does not belong to the VC owner");
+      }
+    }
+    if (std::find(owner.held.begin(), owner.held.end(), vc.id) ==
+        owner.held.end()) {
+      invariant_failure("owned VC missing from the owner's held chain");
+    }
+  }
+
+  // Per-message chain structure and flit conservation.
+  for (const MessageId id : active_) {
+    const Message& msg = message(id);
+    if (msg.held.empty()) invariant_failure("in-flight message holds no VC");
+    int buffered = 0;
+    for (std::size_t i = 0; i < msg.held.size(); ++i) {
+      const VcState& vc = vcs_[static_cast<std::size_t>(msg.held[i])];
+      if (vc.owner != msg.id) invariant_failure("held VC not owned");
+      buffered += vc.buffer.size();
+      const bool last = (i + 1 == msg.held.size());
+      if (last) {
+        if (vc.route_out != kInvalidVc) {
+          invariant_failure("newest held VC already routed");
+        }
+      } else if (vc.route_out != msg.held[i + 1]) {
+        invariant_failure("held chain route_out linkage broken");
+      }
+      if (i > 0 && vc.route_in != msg.held[i - 1]) {
+        invariant_failure("held chain route_in linkage broken");
+      }
+    }
+    if (buffered != msg.flits_sent - msg.flits_delivered) {
+      invariant_failure("flit conservation broken");
+    }
+  }
+
+  // Pending entries are exactly the owned, unrouted heads.
+  for (const VcId v : pending_) {
+    const VcState& vc = vcs_[static_cast<std::size_t>(v)];
+    if (vc.is_free() || vc.route_out != kInvalidVc) {
+      invariant_failure("pending VC is free or already routed");
+    }
+    if (vc.buffer.empty() || !vc.buffer.front().is_head()) {
+      invariant_failure("pending VC front is not a header flit");
+    }
+  }
+}
+
+}  // namespace flexnet

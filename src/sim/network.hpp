@@ -1,0 +1,174 @@
+// The flit-level network simulator (the paper's "FlexSim" substrate).
+//
+// Each cycle advances three phases:
+//   1. deliver  — reception interfaces drain ejection-VC buffers (1 flit per
+//                 reception channel per cycle); tails complete messages.
+//   2. route    — queued messages contend for injection VCs; every unrouted
+//                 header retries VC allocation against the routing relation's
+//                 candidate set. Failures mark the message blocked and record
+//                 its request set (the CWG's dashed arcs).
+//   3. transmit — every physical channel moves at most one flit from the
+//                 feeding VC into the owned downstream VC (or from the source
+//                 queue into an injection VC). A tail flit leaving a buffer
+//                 releases that VC in acquisition order (wormhole).
+//
+// Virtual cut-through behavior emerges when buffer_depth >= message_length.
+// The class performs no deadlock handling itself: detection and recovery
+// live in src/core and operate through the public observers plus
+// remove_message().
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/config.hpp"
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace flexnet {
+
+class RoutingAlgorithm;
+class SelectionPolicy;
+
+class Network {
+ public:
+  /// Monotonic event counters; windowed metrics diff snapshots of these.
+  struct Counters {
+    std::int64_t generated = 0;
+    std::int64_t injected = 0;          ///< Messages whose head left the source.
+    std::int64_t delivered = 0;         ///< Completed via the network.
+    std::int64_t recovered = 0;         ///< Completed via deadlock recovery.
+    std::int64_t flits_delivered = 0;
+    std::int64_t delivered_latency_sum = 0;
+    std::int64_t delivered_hops_sum = 0;
+  };
+
+  Network(const SimConfig& config, std::unique_ptr<RoutingAlgorithm> routing,
+          std::unique_ptr<SelectionPolicy> selection);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Advances the simulation by one cycle.
+  void step();
+
+  /// Creates a message in `src`'s source queue. Returns its id.
+  MessageId enqueue_message(NodeId src, NodeId dst, std::int32_t length);
+
+  /// Deadlock recovery: removes an in-flight message flit-by-flit, freeing
+  /// every VC it owns (synthesizes Disha-style recovery delivery).
+  void remove_message(MessageId id);
+
+  // --- observers -----------------------------------------------------------
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const KAryNCube& topology() const noexcept { return topo_; }
+  [[nodiscard]] const RoutingAlgorithm& routing_algorithm() const noexcept {
+    return *routing_;
+  }
+
+  [[nodiscard]] std::size_t num_vcs() const noexcept { return vcs_.size(); }
+  [[nodiscard]] const VcState& vc(VcId id) const {
+    return vcs_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::size_t num_channels() const noexcept { return phys_.size(); }
+  [[nodiscard]] const PhysChannel& phys(ChannelId id) const {
+    return phys_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] ChannelId injection_channel(NodeId node) const noexcept;
+  [[nodiscard]] ChannelId ejection_channel(NodeId node) const noexcept;
+  /// Number of network (router-to-router) channels; their ids are [0, count).
+  [[nodiscard]] std::size_t num_network_channels() const noexcept {
+    return topo_.channels().size();
+  }
+
+  [[nodiscard]] const Message& message(MessageId id) const {
+    return messages_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::size_t num_messages() const noexcept {
+    return messages_.size();
+  }
+  /// Messages currently in the network (own at least one VC).
+  [[nodiscard]] const std::vector<MessageId>& active_messages() const noexcept {
+    return active_;
+  }
+
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+  /// In-network messages whose header allocation failed this cycle.
+  [[nodiscard]] int blocked_message_count() const noexcept { return blocked_count_; }
+  /// Messages still waiting in source queues.
+  [[nodiscard]] std::int64_t queued_message_count() const noexcept;
+  /// Messages waiting in one node's source queue.
+  [[nodiscard]] std::size_t source_queue_length(NodeId node) const noexcept {
+    return source_queues_[static_cast<std::size_t>(node)].size();
+  }
+
+  /// Channels disabled by fault injection.
+  [[nodiscard]] int faulted_channel_count() const noexcept { return faulted_; }
+
+  /// Peak normalized injection bandwidth: flits/node/cycle at which average
+  /// network-channel utilization reaches 1 (paper Section 3 normalization).
+  [[nodiscard]] double capacity_flits_per_node(double avg_distance) const noexcept;
+
+  /// True when a blocked message is fully compacted: no flit of it can move
+  /// now, and none ever will unless its header is granted a new VC. A knot
+  /// whose deadlock set is entirely immobile is a *true* deadlock; a knot
+  /// with residual buffer slack can still dissolve on its own (the owner of
+  /// a requested VC may release it by tail compaction even though its own
+  /// header stays blocked).
+  [[nodiscard]] bool message_immobile(MessageId id) const;
+
+  /// Validates every structural invariant (VC exclusivity, chain linkage,
+  /// flit conservation). Throws std::logic_error on violation. O(state size);
+  /// intended for tests.
+  void check_invariants() const;
+
+ private:
+  void inject_link_faults();
+  [[nodiscard]] bool network_strongly_connected() const;
+  void deliver_phase();
+  void route_phase();
+  void transmit_phase();
+
+  void try_injection_grants(NodeId node);
+  /// Attempts allocation for the unrouted header in `head_vc`; returns true
+  /// on success.
+  bool try_route_header(VcId head_vc);
+  void acquire_vc(Message& msg, VcState& from, VcState& target);
+  void complete_delivery(Message& msg, VcState& eject_vc);
+  void deactivate(Message& msg);
+
+  SimConfig config_;
+  KAryNCube topo_;
+  std::unique_ptr<RoutingAlgorithm> routing_;
+  std::unique_ptr<SelectionPolicy> selection_;
+  Pcg32 rng_;
+
+  std::vector<PhysChannel> phys_;  // network channels, then injection, then ejection
+  std::vector<VcState> vcs_;
+  ChannelId first_injection_ = kInvalidChannel;
+  ChannelId first_ejection_ = kInvalidChannel;
+
+  std::vector<Message> messages_;
+  std::vector<std::deque<MessageId>> source_queues_;
+  std::vector<MessageId> active_;
+  std::vector<std::int32_t> active_pos_;  // message id -> index in active_
+  std::vector<VcId> pending_;             // VCs holding unrouted headers
+
+  Cycle now_ = 0;
+  int blocked_count_ = 0;
+  int faulted_ = 0;
+  Counters counters_;
+
+  // scratch buffers reused across cycles to avoid per-cycle allocation
+  std::vector<ChannelId> scratch_channels_;
+  std::vector<VcId> scratch_vcs_;
+  std::vector<VcId> scratch_pending_;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,54 @@
+#include "topo/coordinates.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace flexnet {
+
+Coordinates::Coordinates(int radix, int dimensions) : k_(radix), n_(dimensions) {
+  if (radix < 2) throw std::invalid_argument("radix must be >= 2");
+  if (dimensions < 1) throw std::invalid_argument("dimensions must be >= 1");
+  stride_.resize(static_cast<std::size_t>(n_));
+  NodeId s = 1;
+  for (int d = 0; d < n_; ++d) {
+    stride_[static_cast<std::size_t>(d)] = s;
+    if (s > (1 << 28) / k_) throw std::invalid_argument("network too large");
+    s *= k_;
+  }
+  num_nodes_ = s;
+}
+
+int Coordinates::coordinate(NodeId id, int dim) const noexcept {
+  assert(id >= 0 && id < num_nodes_ && dim >= 0 && dim < n_);
+  return (id / stride_[static_cast<std::size_t>(dim)]) % k_;
+}
+
+std::vector<int> Coordinates::unpack(NodeId id) const {
+  std::vector<int> coords(static_cast<std::size_t>(n_));
+  for (int d = 0; d < n_; ++d) {
+    coords[static_cast<std::size_t>(d)] = coordinate(id, d);
+  }
+  return coords;
+}
+
+NodeId Coordinates::pack(const std::vector<int>& coords) const {
+  if (coords.size() != static_cast<std::size_t>(n_)) {
+    throw std::invalid_argument("coordinate vector has wrong dimensionality");
+  }
+  NodeId id = 0;
+  for (int d = 0; d < n_; ++d) {
+    const int c = ((coords[static_cast<std::size_t>(d)] % k_) + k_) % k_;
+    id += c * stride_[static_cast<std::size_t>(d)];
+  }
+  return id;
+}
+
+NodeId Coordinates::neighbor(NodeId id, int dim, int dir) const noexcept {
+  assert(dir == 1 || dir == -1);
+  const NodeId stride = stride_[static_cast<std::size_t>(dim)];
+  const int c = coordinate(id, dim);
+  const int next = (c + dir + k_) % k_;
+  return id + (next - c) * stride;
+}
+
+}  // namespace flexnet

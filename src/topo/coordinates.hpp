@@ -1,0 +1,41 @@
+// Mixed-radix coordinate helpers for k-ary n-cube node numbering.
+//
+// Node i has coordinates (c0, c1, ..., c_{n-1}) with c_d = (i / k^d) mod k;
+// dimension 0 is the least significant digit.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace flexnet {
+
+class Coordinates {
+ public:
+  Coordinates(int radix, int dimensions);
+
+  [[nodiscard]] int radix() const noexcept { return k_; }
+  [[nodiscard]] int dimensions() const noexcept { return n_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  /// Coordinate of node `id` along dimension `dim`.
+  [[nodiscard]] int coordinate(NodeId id, int dim) const noexcept;
+
+  /// Full coordinate vector of a node.
+  [[nodiscard]] std::vector<int> unpack(NodeId id) const;
+
+  /// Node id from a coordinate vector (values taken mod k).
+  [[nodiscard]] NodeId pack(const std::vector<int>& coords) const;
+
+  /// Neighbor of `id` one hop along `dim` in direction `dir` (+1 / -1) with
+  /// wrap-around. Callers handle mesh boundaries themselves.
+  [[nodiscard]] NodeId neighbor(NodeId id, int dim, int dir) const noexcept;
+
+ private:
+  int k_;
+  int n_;
+  NodeId num_nodes_;
+  std::vector<NodeId> stride_;  // k^d for each dimension
+};
+
+}  // namespace flexnet

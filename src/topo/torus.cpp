@@ -1,0 +1,114 @@
+#include "topo/torus.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace flexnet {
+
+KAryNCube::KAryNCube(const TopologyConfig& config)
+    : config_(config), coords_(config.k, config.n) {
+  if (!config_.wrap && !config_.bidirectional) {
+    throw std::invalid_argument("a unidirectional mesh is not connected");
+  }
+  const NodeId nodes = coords_.num_nodes();
+  out_table_.assign(static_cast<std::size_t>(nodes) *
+                        static_cast<std::size_t>(config_.n) * 2,
+                    kInvalidChannel);
+
+  for (NodeId node = 0; node < nodes; ++node) {
+    for (int dim = 0; dim < config_.n; ++dim) {
+      for (const int dir : {+1, -1}) {
+        if (dir == -1 && !config_.bidirectional) continue;
+        const int c = coords_.coordinate(node, dim);
+        const bool wraps = (dir == +1 && c == config_.k - 1) ||
+                           (dir == -1 && c == 0);
+        if (wraps && !config_.wrap) continue;
+        ChannelDesc desc;
+        desc.id = static_cast<ChannelId>(channels_.size());
+        desc.src = node;
+        desc.dst = coords_.neighbor(node, dim, dir);
+        desc.dim = dim;
+        desc.dir = dir;
+        desc.is_wrap = wraps;
+        out_table_[port_index(node, dim, dir)] = desc.id;
+        channels_.push_back(desc);
+      }
+    }
+  }
+  avg_distance_ = compute_average_distance();
+}
+
+std::size_t KAryNCube::port_index(NodeId node, int dim, int dir) const noexcept {
+  assert(dir == 1 || dir == -1);
+  return (static_cast<std::size_t>(node) * static_cast<std::size_t>(config_.n) +
+          static_cast<std::size_t>(dim)) *
+             2 +
+         (dir == 1 ? 0 : 1);
+}
+
+ChannelId KAryNCube::out_channel(NodeId node, int dim, int dir) const noexcept {
+  return out_table_[port_index(node, dim, dir)];
+}
+
+int KAryNCube::dim_distance(NodeId from, NodeId to, int dim) const noexcept {
+  const int a = coords_.coordinate(from, dim);
+  const int b = coords_.coordinate(to, dim);
+  if (!config_.wrap) return std::abs(b - a);
+  const int fwd = ((b - a) % config_.k + config_.k) % config_.k;
+  if (!config_.bidirectional) return fwd;
+  return std::min(fwd, config_.k - fwd);
+}
+
+int KAryNCube::min_distance(NodeId from, NodeId to) const noexcept {
+  int total = 0;
+  for (int dim = 0; dim < config_.n; ++dim) {
+    total += dim_distance(from, to, dim);
+  }
+  return total;
+}
+
+DimRoute KAryNCube::minimal_dirs(NodeId from, NodeId to, int dim) const noexcept {
+  DimRoute route;
+  const int a = coords_.coordinate(from, dim);
+  const int b = coords_.coordinate(to, dim);
+  if (a == b) return route;
+  if (!config_.wrap) {
+    route.dirs[route.count++] = b > a ? +1 : -1;
+    return route;
+  }
+  const int fwd = ((b - a) % config_.k + config_.k) % config_.k;
+  if (!config_.bidirectional) {
+    route.dirs[route.count++] = +1;
+    return route;
+  }
+  const int bwd = config_.k - fwd;
+  if (fwd <= bwd) route.dirs[route.count++] = +1;
+  if (bwd <= fwd) route.dirs[route.count++] = -1;
+  return route;
+}
+
+double KAryNCube::compute_average_distance() const {
+  // Distances decompose per dimension, so average the one-dimensional ring
+  // (or path) distance and scale; then condition on src != dst.
+  const int k = config_.k;
+  double per_dim = 0.0;
+  if (config_.wrap) {
+    long long sum = 0;
+    for (int delta = 0; delta < k; ++delta) {
+      sum += config_.bidirectional ? std::min(delta, k - delta) : delta;
+    }
+    per_dim = static_cast<double>(sum) / k;
+  } else {
+    long long sum = 0;
+    for (int a = 0; a < k; ++a) {
+      for (int b = 0; b < k; ++b) sum += std::abs(a - b);
+    }
+    per_dim = static_cast<double>(sum) / (static_cast<double>(k) * k);
+  }
+  const double nodes = static_cast<double>(coords_.num_nodes());
+  return per_dim * config_.n * nodes / (nodes - 1.0);
+}
+
+}  // namespace flexnet

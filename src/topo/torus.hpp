@@ -1,0 +1,87 @@
+// k-ary n-cube topology (torus), the network family studied by the paper,
+// with unidirectional or bidirectional channels, plus the mesh variant
+// (wrap-around disabled) used by the turn-model routing extension.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "topo/coordinates.hpp"
+
+namespace flexnet {
+
+struct TopologyConfig {
+  int k = 16;                 ///< Nodes per dimension (radix).
+  int n = 2;                  ///< Number of dimensions.
+  bool bidirectional = true;  ///< Channels in both +/- directions per dim.
+  bool wrap = true;           ///< Torus (true) or mesh (false).
+};
+
+/// A directed physical link between two routers.
+struct ChannelDesc {
+  ChannelId id = kInvalidChannel;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int dim = -1;  ///< Dimension the link travels along.
+  int dir = 0;   ///< +1 or -1.
+  bool is_wrap = false;  ///< Link from coordinate k-1 to 0 (or 0 to k-1).
+};
+
+/// Minimal directions within one dimension: zero (aligned), one, or two
+/// (bidirectional torus with the destination exactly halfway around).
+struct DimRoute {
+  std::array<int, 2> dirs{};
+  int count = 0;
+};
+
+class KAryNCube {
+ public:
+  explicit KAryNCube(const TopologyConfig& config);
+
+  [[nodiscard]] const TopologyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int radix() const noexcept { return config_.k; }
+  [[nodiscard]] int dimensions() const noexcept { return config_.n; }
+  [[nodiscard]] bool bidirectional() const noexcept { return config_.bidirectional; }
+  [[nodiscard]] bool wrap() const noexcept { return config_.wrap; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return coords_.num_nodes(); }
+  [[nodiscard]] const Coordinates& coordinates() const noexcept { return coords_; }
+
+  [[nodiscard]] const std::vector<ChannelDesc>& channels() const noexcept {
+    return channels_;
+  }
+  [[nodiscard]] const ChannelDesc& channel(ChannelId id) const {
+    return channels_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Outgoing channel at `node` along (dim, dir); kInvalidChannel if absent
+  /// (unidirectional -1 direction, or mesh boundary).
+  [[nodiscard]] ChannelId out_channel(NodeId node, int dim, int dir) const noexcept;
+
+  /// Hops required along `dim` to align `from` with `to`.
+  [[nodiscard]] int dim_distance(NodeId from, NodeId to, int dim) const noexcept;
+
+  /// Total minimal hop distance.
+  [[nodiscard]] int min_distance(NodeId from, NodeId to) const noexcept;
+
+  /// Directions along `dim` that reduce distance (the routing relation's raw
+  /// material). On a bidirectional torus with the destination exactly k/2
+  /// away both directions are minimal.
+  [[nodiscard]] DimRoute minimal_dirs(NodeId from, NodeId to, int dim) const noexcept;
+
+  /// Exact mean minimal distance over all ordered pairs with src != dst;
+  /// used for load normalization (paper Section 3).
+  [[nodiscard]] double average_distance() const noexcept { return avg_distance_; }
+
+ private:
+  [[nodiscard]] std::size_t port_index(NodeId node, int dim, int dir) const noexcept;
+  [[nodiscard]] double compute_average_distance() const;
+
+  TopologyConfig config_;
+  Coordinates coords_;
+  std::vector<ChannelDesc> channels_;
+  std::vector<ChannelId> out_table_;  // node-major [node][dim][dir]
+  double avg_distance_ = 0.0;
+};
+
+}  // namespace flexnet

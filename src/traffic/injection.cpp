@@ -1,0 +1,51 @@
+#include "traffic/injection.hpp"
+
+#include <stdexcept>
+
+namespace flexnet {
+
+InjectionProcess::InjectionProcess(const Network& net,
+                                   const TrafficConfig& traffic,
+                                   std::uint64_t seed)
+    : pattern_(make_traffic(traffic.pattern, net.topology(), traffic)),
+      rng_(splitmix64(seed), 0x696e6a65 /* "inje" */),
+      length_(net.config().message_length),
+      short_length_(net.config().short_message_length),
+      short_fraction_(net.config().short_message_fraction) {
+  if (traffic.load < 0.0) throw std::invalid_argument("load must be >= 0");
+  avg_distance_ = average_pattern_distance(net.topology(), *pattern_, seed);
+  capacity_ = net.capacity_flits_per_node(avg_distance_);
+  offered_ = traffic.load * capacity_;
+  mean_length_ = short_fraction_ * short_length_ +
+                 (1.0 - short_fraction_) * length_;
+  probability_ = offered_ / mean_length_;
+  if (probability_ > 1.0) {
+    throw std::invalid_argument(
+        "offered load exceeds one message per node per cycle");
+  }
+}
+
+std::int32_t InjectionProcess::draw_length(Pcg32& rng) const {
+  if (short_fraction_ > 0.0 && rng.chance(short_fraction_)) {
+    return short_length_;
+  }
+  return length_;
+}
+
+void InjectionProcess::tick(Network& net) {
+  const NodeId nodes = net.topology().num_nodes();
+  const int limit = net.config().source_queue_limit;
+  for (NodeId src = 0; src < nodes; ++src) {
+    if (!rng_.chance(probability_)) continue;
+    if (limit > 0 &&
+        net.source_queue_length(src) >= static_cast<std::size_t>(limit)) {
+      ++stalled_;  // source busy: offered load beyond what the node can queue
+      continue;
+    }
+    const NodeId dst = pattern_->destination(src, rng_);
+    if (dst == kInvalidNode) continue;
+    net.enqueue_message(src, dst, draw_length(rng_));
+  }
+}
+
+}  // namespace flexnet

@@ -1,0 +1,55 @@
+// Bernoulli injection process with the paper's load normalization: a
+// normalized load of 1.0 offers exactly the flit rate at which average
+// network-channel utilization reaches one flit/cycle, computed from total
+// link bandwidth and the traffic pattern's average internode distance. This
+// is why uni- and bidirectional tori (different channel counts and average
+// distances) are compared on the same normalized axis (paper Section 3.1).
+#pragma once
+
+#include <memory>
+
+#include "sim/network.hpp"
+#include "traffic/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace flexnet {
+
+class InjectionProcess {
+ public:
+  InjectionProcess(const Network& net, const TrafficConfig& traffic,
+                   std::uint64_t seed);
+
+  /// Generates this cycle's new messages into the network's source queues.
+  /// Call once per cycle before Network::step().
+  void tick(Network& net);
+
+  [[nodiscard]] const TrafficPattern& pattern() const noexcept { return *pattern_; }
+  /// Mean minimal distance under the pattern.
+  [[nodiscard]] double average_distance() const noexcept { return avg_distance_; }
+  /// Flits/node/cycle corresponding to normalized load 1.0.
+  [[nodiscard]] double capacity_flits_per_node() const noexcept { return capacity_; }
+  /// Offered flit rate per node at the configured load.
+  [[nodiscard]] double offered_flit_rate() const noexcept { return offered_; }
+  /// Per-node per-cycle message generation probability.
+  [[nodiscard]] double message_probability() const noexcept { return probability_; }
+  /// Generation attempts suppressed by a full source queue.
+  [[nodiscard]] std::int64_t stalled_generations() const noexcept { return stalled_; }
+
+ private:
+  [[nodiscard]] std::int32_t draw_length(Pcg32& rng) const;
+
+  std::unique_ptr<TrafficPattern> pattern_;
+  Pcg32 rng_;
+  double avg_distance_ = 0.0;
+  double capacity_ = 0.0;
+  double offered_ = 0.0;
+  double probability_ = 0.0;
+  double mean_length_ = 0.0;
+  std::int64_t stalled_ = 0;
+  // message length parameters (copied from SimConfig)
+  std::int32_t length_;
+  std::int32_t short_length_;
+  double short_fraction_;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,284 @@
+#include "traffic/traffic.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace flexnet {
+
+std::string_view to_string(TrafficKind kind) noexcept {
+  switch (kind) {
+    case TrafficKind::Uniform: return "Uniform";
+    case TrafficKind::BitReversal: return "BitReversal";
+    case TrafficKind::Transpose: return "Transpose";
+    case TrafficKind::PerfectShuffle: return "PerfectShuffle";
+    case TrafficKind::HotSpot: return "HotSpot";
+    case TrafficKind::Tornado: return "Tornado";
+    case TrafficKind::NearestNeighbor: return "NearestNeighbor";
+  }
+  return "?";
+}
+
+namespace {
+
+class UniformTraffic final : public TrafficPattern {
+ public:
+  explicit UniformTraffic(NodeId nodes) : nodes_(nodes) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "Uniform"; }
+  [[nodiscard]] bool deterministic() const noexcept override { return false; }
+
+  [[nodiscard]] NodeId destination(NodeId src, Pcg32& rng) const override {
+    // Uniform over all nodes except the source.
+    const auto draw =
+        static_cast<NodeId>(rng.bounded(static_cast<std::uint32_t>(nodes_ - 1)));
+    return draw >= src ? draw + 1 : draw;
+  }
+
+ private:
+  NodeId nodes_;
+};
+
+/// Base for the bit-permutation patterns; requires a power-of-two node count.
+class BitPermutationTraffic : public TrafficPattern {
+ public:
+  explicit BitPermutationTraffic(NodeId nodes) : nodes_(nodes) {
+    if (!std::has_single_bit(static_cast<unsigned>(nodes))) {
+      throw std::invalid_argument(
+          "bit-permutation traffic needs a power-of-two node count");
+    }
+    bits_ = std::bit_width(static_cast<unsigned>(nodes)) - 1;
+  }
+
+  [[nodiscard]] NodeId destination(NodeId src, Pcg32& /*rng*/) const override {
+    const NodeId dst = permute(static_cast<std::uint32_t>(src));
+    return dst == src ? kInvalidNode : dst;
+  }
+
+ protected:
+  [[nodiscard]] virtual NodeId permute(std::uint32_t src) const = 0;
+  NodeId nodes_;
+  int bits_ = 0;
+};
+
+class BitReversalTraffic final : public BitPermutationTraffic {
+ public:
+  using BitPermutationTraffic::BitPermutationTraffic;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "BitReversal";
+  }
+
+ protected:
+  [[nodiscard]] NodeId permute(std::uint32_t src) const override {
+    std::uint32_t out = 0;
+    for (int b = 0; b < bits_; ++b) {
+      out = (out << 1) | ((src >> b) & 1u);
+    }
+    return static_cast<NodeId>(out);
+  }
+};
+
+class TransposeTraffic final : public BitPermutationTraffic {
+ public:
+  explicit TransposeTraffic(NodeId nodes) : BitPermutationTraffic(nodes) {
+    if (bits_ % 2 != 0) {
+      throw std::invalid_argument("matrix transpose needs an even bit count");
+    }
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Transpose";
+  }
+
+ protected:
+  [[nodiscard]] NodeId permute(std::uint32_t src) const override {
+    const int half = bits_ / 2;
+    const std::uint32_t mask = (1u << half) - 1;
+    return static_cast<NodeId>(((src & mask) << half) | (src >> half));
+  }
+};
+
+class PerfectShuffleTraffic final : public BitPermutationTraffic {
+ public:
+  using BitPermutationTraffic::BitPermutationTraffic;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "PerfectShuffle";
+  }
+
+ protected:
+  [[nodiscard]] NodeId permute(std::uint32_t src) const override {
+    // Rotate the address left by one bit.
+    const std::uint32_t top = (src >> (bits_ - 1)) & 1u;
+    const std::uint32_t mask = (1u << bits_) - 1;
+    return static_cast<NodeId>(((src << 1) & mask) | top);
+  }
+};
+
+class HotSpotTraffic final : public TrafficPattern {
+ public:
+  HotSpotTraffic(NodeId nodes, int hotspots, double fraction)
+      : nodes_(nodes), fraction_(fraction) {
+    if (hotspots < 1 || hotspots > nodes) {
+      throw std::invalid_argument("hotspot count out of range");
+    }
+    // Spread the hot nodes evenly across the id space.
+    for (int i = 0; i < hotspots; ++i) {
+      hot_.push_back(static_cast<NodeId>(
+          (static_cast<std::int64_t>(i) * nodes) / hotspots));
+    }
+  }
+  [[nodiscard]] std::string_view name() const noexcept override { return "HotSpot"; }
+  [[nodiscard]] bool deterministic() const noexcept override { return false; }
+
+  [[nodiscard]] NodeId destination(NodeId src, Pcg32& rng) const override {
+    if (rng.chance(fraction_)) {
+      const NodeId dst =
+          hot_[rng.bounded(static_cast<std::uint32_t>(hot_.size()))];
+      if (dst != src) return dst;
+    }
+    const auto draw =
+        static_cast<NodeId>(rng.bounded(static_cast<std::uint32_t>(nodes_ - 1)));
+    return draw >= src ? draw + 1 : draw;
+  }
+
+ private:
+  NodeId nodes_;
+  double fraction_;
+  std::vector<NodeId> hot_;
+};
+
+class TornadoTraffic final : public TrafficPattern {
+ public:
+  explicit TornadoTraffic(const KAryNCube& topo) : topo_(&topo) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "Tornado"; }
+
+  [[nodiscard]] NodeId destination(NodeId src, Pcg32& /*rng*/) const override {
+    // Nearly half-way around every dimension — the classic adversarial
+    // pattern for rings.
+    const int hop = (topo_->radix() + 1) / 2 - 1;
+    if (hop == 0) return kInvalidNode;
+    std::vector<int> coords = topo_->coordinates().unpack(src);
+    for (int& c : coords) c = (c + hop) % topo_->radix();
+    return topo_->coordinates().pack(coords);
+  }
+
+ private:
+  const KAryNCube* topo_;
+};
+
+class NearestNeighborTraffic final : public TrafficPattern {
+ public:
+  explicit NearestNeighborTraffic(const KAryNCube& topo) : topo_(&topo) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "NearestNeighbor";
+  }
+  [[nodiscard]] bool deterministic() const noexcept override { return false; }
+
+  [[nodiscard]] NodeId destination(NodeId src, Pcg32& rng) const override {
+    // A random adjacent node (uniform over the outgoing links).
+    for (int attempts = 0; attempts < 8; ++attempts) {
+      const int dim = static_cast<int>(
+          rng.bounded(static_cast<std::uint32_t>(topo_->dimensions())));
+      const int dir = topo_->bidirectional() && rng.chance(0.5) ? -1 : +1;
+      const ChannelId ch = topo_->out_channel(src, dim, dir);
+      if (ch != kInvalidChannel) return topo_->channel(ch).dst;
+    }
+    return kInvalidNode;  // boundary corner of a tiny mesh
+  }
+
+ private:
+  const KAryNCube* topo_;
+};
+
+/// Probabilistic mixture of two patterns.
+class HybridTraffic final : public TrafficPattern {
+ public:
+  HybridTraffic(std::unique_ptr<TrafficPattern> primary,
+                std::unique_ptr<TrafficPattern> secondary, double fraction)
+      : primary_(std::move(primary)),
+        secondary_(std::move(secondary)),
+        fraction_(fraction) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Hybrid";
+  }
+  [[nodiscard]] bool deterministic() const noexcept override { return false; }
+
+  [[nodiscard]] NodeId destination(NodeId src, Pcg32& rng) const override {
+    return rng.chance(fraction_) ? secondary_->destination(src, rng)
+                                 : primary_->destination(src, rng);
+  }
+
+ private:
+  std::unique_ptr<TrafficPattern> primary_;
+  std::unique_ptr<TrafficPattern> secondary_;
+  double fraction_;
+};
+
+/// Dispatch on a single kind (no hybrid wrapping).
+std::unique_ptr<TrafficPattern> make_single(TrafficKind kind,
+                                            const KAryNCube& topo,
+                                            const TrafficConfig& config) {
+  switch (kind) {
+    case TrafficKind::Uniform:
+      return std::make_unique<UniformTraffic>(topo.num_nodes());
+    case TrafficKind::BitReversal:
+      return std::make_unique<BitReversalTraffic>(topo.num_nodes());
+    case TrafficKind::Transpose:
+      return std::make_unique<TransposeTraffic>(topo.num_nodes());
+    case TrafficKind::PerfectShuffle:
+      return std::make_unique<PerfectShuffleTraffic>(topo.num_nodes());
+    case TrafficKind::HotSpot:
+      return std::make_unique<HotSpotTraffic>(
+          topo.num_nodes(), config.hotspot_nodes, config.hotspot_fraction);
+    case TrafficKind::Tornado:
+      return std::make_unique<TornadoTraffic>(topo);
+    case TrafficKind::NearestNeighbor:
+      return std::make_unique<NearestNeighborTraffic>(topo);
+  }
+  throw std::invalid_argument("unknown traffic kind");
+}
+
+}  // namespace
+
+std::unique_ptr<TrafficPattern> make_traffic(TrafficKind kind,
+                                             const KAryNCube& topo,
+                                             const TrafficConfig& config) {
+  auto primary = make_single(kind, topo, config);
+  if (config.hybrid_fraction <= 0.0) return primary;
+  if (config.hybrid_fraction > 1.0) {
+    throw std::invalid_argument("hybrid_fraction must be within [0, 1]");
+  }
+  auto secondary = make_single(config.hybrid_with, topo, config);
+  return std::make_unique<HybridTraffic>(std::move(primary),
+                                         std::move(secondary),
+                                         config.hybrid_fraction);
+}
+
+double average_pattern_distance(const KAryNCube& topo,
+                                const TrafficPattern& pattern,
+                                std::uint64_t seed, int samples) {
+  Pcg32 rng(splitmix64(seed), 0x74726166 /* "traf" */);
+  double total = 0.0;
+  std::int64_t count = 0;
+  if (pattern.deterministic()) {
+    for (NodeId src = 0; src < topo.num_nodes(); ++src) {
+      const NodeId dst = pattern.destination(src, rng);
+      if (dst == kInvalidNode) continue;
+      total += topo.min_distance(src, dst);
+      ++count;
+    }
+  } else {
+    for (int i = 0; i < samples; ++i) {
+      const auto src = static_cast<NodeId>(
+          rng.bounded(static_cast<std::uint32_t>(topo.num_nodes())));
+      const NodeId dst = pattern.destination(src, rng);
+      if (dst == kInvalidNode) continue;
+      total += topo.min_distance(src, dst);
+      ++count;
+    }
+  }
+  if (count == 0) {
+    throw std::runtime_error("traffic pattern generates no traffic");
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace flexnet

@@ -1,0 +1,71 @@
+// Traffic patterns (paper Section 3 and 3.6): uniform plus the classic
+// non-uniform permutations (bit-reversal, matrix transpose, perfect shuffle)
+// and hot-spot, with tornado and nearest-neighbor as extras.
+//
+// Permutation patterns map some sources to themselves; those sources simply
+// generate no traffic (the paper notes such patterns preclude the circular
+// overlap DOR deadlocks need).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "topo/torus.hpp"
+#include "util/rng.hpp"
+
+namespace flexnet {
+
+enum class TrafficKind : std::uint8_t {
+  Uniform,
+  BitReversal,
+  Transpose,
+  PerfectShuffle,
+  HotSpot,
+  Tornado,
+  NearestNeighbor,
+};
+
+[[nodiscard]] std::string_view to_string(TrafficKind kind) noexcept;
+
+struct TrafficConfig {
+  TrafficKind pattern = TrafficKind::Uniform;
+  /// Normalized offered load in [0, ~1.5]; 1.0 saturates the channel budget.
+  double load = 0.5;
+  // Hot-spot parameters.
+  int hotspot_nodes = 4;
+  double hotspot_fraction = 0.3;
+  /// Hybrid traffic (paper future work: "hybrid non-uniform traffic loads"):
+  /// with probability hybrid_fraction a message follows hybrid_with instead
+  /// of the primary pattern.
+  double hybrid_fraction = 0.0;
+  TrafficKind hybrid_with = TrafficKind::Uniform;
+};
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Destination for a message from `src`. May be random. Returns
+  /// kInvalidNode when this source generates no traffic (self-mapped
+  /// permutation entries).
+  [[nodiscard]] virtual NodeId destination(NodeId src, Pcg32& rng) const = 0;
+
+  /// Whether destination() is a deterministic function of src.
+  [[nodiscard]] virtual bool deterministic() const noexcept { return true; }
+};
+
+[[nodiscard]] std::unique_ptr<TrafficPattern> make_traffic(
+    TrafficKind kind, const KAryNCube& topo, const TrafficConfig& config);
+
+/// Mean minimal src->dst distance under the pattern: exact for deterministic
+/// permutations, Monte Carlo (`samples` draws) otherwise. Used to normalize
+/// load by "total link bandwidth and average internode distance" (paper
+/// Section 3).
+[[nodiscard]] double average_pattern_distance(const KAryNCube& topo,
+                                              const TrafficPattern& pattern,
+                                              std::uint64_t seed,
+                                              int samples = 50000);
+
+}  // namespace flexnet

@@ -1,0 +1,84 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace flexnet {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { row(names); }
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void TableWriter::header(std::vector<std::string> names) {
+  header_ = std::move(names);
+}
+
+void TableWriter::row(std::vector<std::string> fields) {
+  rows_.push_back(std::move(fields));
+}
+
+void TableWriter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i >= widths.size()) widths.resize(i + 1, 0);
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i != 0) out << "  ";
+      out << r[i];
+      if (i + 1 < r.size()) {
+        for (std::size_t pad = r[i].size(); pad < widths[i]; ++pad) out << ' ';
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TableWriter::num(double v, int digits) {
+  if (std::isnan(v)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TableWriter::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,48 @@
+// Lightweight CSV and aligned-console-table writers for experiment output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexnet {
+
+/// Writes RFC-4180-ish CSV: fields containing commas, quotes or newlines are
+/// quoted, embedded quotes doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<std::string>& fields);
+
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Buffers rows then prints them with aligned columns; used by the bench
+/// harness to print paper-style tables.
+class TableWriter {
+ public:
+  explicit TableWriter(std::string title = {}) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> names);
+  void row(std::vector<std::string> fields);
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Formats a double with `digits` places, trimming to "-" for NaN.
+  [[nodiscard]] static std::string num(double v, int digits = 4);
+  [[nodiscard]] static std::string integer(long long v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,37 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace flexnet {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+[[nodiscard]] const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+namespace detail {
+void log_line(LogLevel level, std::string_view message) {
+  const std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace detail
+
+}  // namespace flexnet

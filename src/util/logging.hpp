@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr. Default level is Warn so simulations are
+// quiet unless something is wrong; examples raise it for narration.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace flexnet {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Process-wide log threshold.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view message);
+}
+
+/// Usage: FLEXNET_LOG(Info) << "delivered " << n << " messages";
+#define FLEXNET_LOG(severity)                                         \
+  if (::flexnet::LogLevel::severity < ::flexnet::log_level()) {       \
+  } else                                                              \
+    ::flexnet::detail::LogStream(::flexnet::LogLevel::severity)
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace flexnet

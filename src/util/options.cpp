@@ -1,0 +1,75 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+
+namespace flexnet {
+
+std::optional<Options> Options::parse(int argc, const char* const* argv,
+                                      std::string* error) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      opts.positional_.emplace_back(arg);
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    if (body.empty()) {
+      if (error) *error = "bare '--' is not a valid option";
+      return std::nullopt;
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      opts.values_[std::string(body.substr(0, eq))] =
+          std::string(body.substr(eq + 1));
+      continue;
+    }
+    // `--name value` if the next token is not itself an option; otherwise a
+    // boolean flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      opts.values_[std::string(body)] = argv[i + 1];
+      ++i;
+    } else {
+      opts.values_[std::string(body)] = "true";
+    }
+  }
+  return opts;
+}
+
+bool Options::has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Options::get(std::string_view name, std::string def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::move(def) : it->second;
+}
+
+long long Options::get_int(std::string_view name, long long def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(std::string_view name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(std::string_view name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+double bench_scale() {
+  if (const char* env = std::getenv("FLEXNET_BENCH_SCALE")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+}  // namespace flexnet

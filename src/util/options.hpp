@@ -1,0 +1,43 @@
+// Minimal command-line option parser for examples and bench binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms; every
+// option declares a default so binaries are runnable with no arguments.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexnet {
+
+class Options {
+ public:
+  /// Parses argv; returns std::nullopt and fills `error` on malformed input.
+  static std::optional<Options> parse(int argc, const char* const* argv,
+                                      std::string* error = nullptr);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::string get(std::string_view name,
+                                std::string def = {}) const;
+  [[nodiscard]] long long get_int(std::string_view name, long long def) const;
+  [[nodiscard]] double get_double(std::string_view name, double def) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool def) const;
+
+  /// Positional (non --option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads a scale factor from the FLEXNET_BENCH_SCALE environment variable
+/// (default 1.0); bench binaries multiply their warmup/measure windows by it
+/// so CI can run quick smoke passes.
+[[nodiscard]] double bench_scale();
+
+}  // namespace flexnet

@@ -1,0 +1,22 @@
+// Small task-parallel helper used to run independent simulation points
+// (load sweeps, config grids) across hardware threads.
+//
+// Simulations are deterministic per (config, seed), so running points in
+// parallel never changes results — only wall-clock time. Thread count comes
+// from FLEXNET_THREADS or std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace flexnet {
+
+/// Number of worker threads to use (>= 1).
+[[nodiscard]] std::size_t worker_thread_count() noexcept;
+
+/// Runs fn(i) for i in [0, count), distributing indices over worker threads.
+/// Blocks until all invocations complete. Exceptions from workers are
+/// rethrown (first one wins).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+}  // namespace flexnet

@@ -1,0 +1,91 @@
+// Deterministic, seedable random number generation for simulations.
+//
+// PCG32 (O'Neill, pcg-random.org, minimal variant) is used as the workhorse
+// generator: small state, excellent statistical quality, and fully
+// reproducible across platforms (unlike std::default_random_engine).
+// SplitMix64 is provided for seed expansion so that correlated user seeds
+// (1, 2, 3, ...) still yield decorrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace flexnet {
+
+/// SplitMix64 mixer; used to derive well-distributed seeds from simple ones.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Minimal PCG32 generator (XSH-RR variant). Satisfies
+/// std::uniform_random_bit_generator so it composes with <random> if needed.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  constexpr Pcg32() noexcept { seed(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL); }
+
+  explicit constexpr Pcg32(std::uint64_t seed_value,
+                           std::uint64_t stream = 0) noexcept {
+    seed(seed_value, stream);
+  }
+
+  constexpr void seed(std::uint64_t seed_value, std::uint64_t stream = 0) noexcept {
+    state_ = 0;
+    inc_ = (splitmix64(stream) << 1u) | 1u;
+    next();
+    state_ += splitmix64(seed_value);
+    next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [0, bound). Uses Lemire's nearly-divisionless method
+  /// with rejection to remove modulo bias.
+  [[nodiscard]] constexpr std::uint32_t bounded(std::uint32_t bound) noexcept {
+    if (bound <= 1) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    auto low = static_cast<std::uint32_t>(m);
+    if (low < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<std::uint64_t>(next()) * bound;
+        low = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  [[nodiscard]] constexpr double uniform() noexcept {
+    const std::uint64_t bits =
+        (static_cast<std::uint64_t>(next()) << 32) | next();
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  constexpr result_type next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((0u - rot) & 31u));
+  }
+
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace flexnet

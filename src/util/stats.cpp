@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexnet {
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Histogram::add(std::int64_t value) noexcept {
+  if (buckets_.empty()) return;
+  const auto idx = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(value, 0,
+                               static_cast<std::int64_t>(buckets_.size()) - 1));
+  ++buckets_[idx];
+  ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+}
+
+std::int64_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return static_cast<std::int64_t>(buckets_.size()) - 1;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,54 @@
+// Streaming statistics helpers used throughout the metrics layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flexnet {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable; O(1) memory regardless of sample count.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+  void reset() noexcept { *this = RunningStat{}; }
+
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over non-negative integers; values beyond the last
+/// bucket are clamped into it. Used for deadlock set size distributions.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_buckets = 64) : buckets_(num_buckets, 0) {}
+
+  void add(std::int64_t value) noexcept;
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buckets_.size(); }
+  [[nodiscard]] std::int64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  /// Smallest value v such that at least `q` fraction of samples are <= v.
+  [[nodiscard]] std::int64_t quantile(double q) const noexcept;
+
+ private:
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,96 @@
+#include "sim/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flexnet {
+namespace {
+
+Flit flit(MessageId m, std::int32_t seq) {
+  Flit f;
+  f.message = m;
+  f.seq = seq;
+  return f;
+}
+
+TEST(FlitFifo, StartsEmpty) {
+  FlitFifo fifo(4);
+  EXPECT_TRUE(fifo.empty());
+  EXPECT_FALSE(fifo.full());
+  EXPECT_EQ(fifo.size(), 0);
+  EXPECT_EQ(fifo.capacity(), 4);
+}
+
+TEST(FlitFifo, FifoOrder) {
+  FlitFifo fifo(3);
+  fifo.push(flit(7, 0));
+  fifo.push(flit(7, 1));
+  fifo.push(flit(7, 2));
+  EXPECT_TRUE(fifo.full());
+  EXPECT_EQ(fifo.pop().seq, 0);
+  EXPECT_EQ(fifo.pop().seq, 1);
+  EXPECT_EQ(fifo.pop().seq, 2);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(FlitFifo, RingWrapsCorrectly) {
+  FlitFifo fifo(2);
+  for (std::int32_t i = 0; i < 10; ++i) {
+    fifo.push(flit(1, i));
+    EXPECT_EQ(fifo.front().seq, i);
+    EXPECT_EQ(fifo.pop().seq, i);
+  }
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(FlitFifo, InterleavedPushPopKeepsOrder) {
+  FlitFifo fifo(4);
+  fifo.push(flit(1, 0));
+  fifo.push(flit(1, 1));
+  EXPECT_EQ(fifo.pop().seq, 0);
+  fifo.push(flit(1, 2));
+  fifo.push(flit(1, 3));
+  fifo.push(flit(1, 4));
+  EXPECT_TRUE(fifo.full());
+  EXPECT_EQ(fifo.pop().seq, 1);
+  EXPECT_EQ(fifo.pop().seq, 2);
+  EXPECT_EQ(fifo.pop().seq, 3);
+  EXPECT_EQ(fifo.pop().seq, 4);
+}
+
+TEST(FlitFifo, RandomAccessAt) {
+  FlitFifo fifo(3);
+  fifo.push(flit(1, 5));
+  fifo.push(flit(1, 6));
+  EXPECT_EQ(fifo.at(0).seq, 5);
+  EXPECT_EQ(fifo.at(1).seq, 6);
+}
+
+TEST(FlitFifo, ClearEmpties) {
+  FlitFifo fifo(3);
+  fifo.push(flit(1, 0));
+  fifo.push(flit(1, 1));
+  fifo.clear();
+  EXPECT_TRUE(fifo.empty());
+  fifo.push(flit(2, 0));
+  EXPECT_EQ(fifo.front().message, 2);
+}
+
+TEST(FlitFifo, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(FlitFifo(0), std::invalid_argument);
+  EXPECT_THROW(FlitFifo(-1), std::invalid_argument);
+}
+
+TEST(Flit, HeadTailClassification) {
+  EXPECT_TRUE(flit(1, 0).is_head());
+  EXPECT_FALSE(flit(1, 1).is_head());
+  EXPECT_TRUE(flit(1, 31).is_tail_of(32));
+  EXPECT_FALSE(flit(1, 30).is_tail_of(32));
+  // A single-flit message is both head and tail.
+  EXPECT_TRUE(flit(1, 0).is_head());
+  EXPECT_TRUE(flit(1, 0).is_tail_of(1));
+}
+
+}  // namespace
+}  // namespace flexnet

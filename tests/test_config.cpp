@@ -1,0 +1,122 @@
+#include "sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flexnet {
+namespace {
+
+TEST(SimConfig, DefaultsMatchThePaperBaseline) {
+  const SimConfig cfg;
+  EXPECT_EQ(cfg.topology.k, 16);
+  EXPECT_EQ(cfg.topology.n, 2);
+  EXPECT_TRUE(cfg.topology.bidirectional);
+  EXPECT_TRUE(cfg.topology.wrap);
+  EXPECT_EQ(cfg.vcs, 1);
+  EXPECT_EQ(cfg.buffer_depth, 2);
+  EXPECT_EQ(cfg.message_length, 32);
+  EXPECT_EQ(cfg.injection_vcs, 1);
+  EXPECT_EQ(cfg.ejection_vcs, 1);
+  EXPECT_EQ(cfg.selection, SelectionKind::PreferStraight);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(SimConfig, VirtualCutThroughDetection) {
+  SimConfig cfg;
+  cfg.buffer_depth = 32;
+  EXPECT_TRUE(cfg.is_virtual_cut_through());
+  cfg.buffer_depth = 16;
+  EXPECT_FALSE(cfg.is_virtual_cut_through());
+}
+
+TEST(SimConfig, RejectsBadShapes) {
+  SimConfig cfg;
+  cfg.topology.k = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.topology.n = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.topology.wrap = false;
+  cfg.topology.bidirectional = false;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SimConfig, RejectsBadResources) {
+  SimConfig cfg;
+  cfg.vcs = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.buffer_depth = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.injection_vcs = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.message_length = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SimConfig, RejectsBadHybridLengths) {
+  SimConfig cfg;
+  cfg.short_message_fraction = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.short_message_fraction = 0.5;
+  cfg.short_message_length = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.short_message_length = 4;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(SimConfig, AvoidanceAlgorithmsNeedTheirResources) {
+  SimConfig cfg;
+  cfg.routing = RoutingKind::DatelineDOR;
+  cfg.vcs = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.vcs = 2;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.topology.wrap = false;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);  // dateline targets tori
+
+  cfg = SimConfig{};
+  cfg.routing = RoutingKind::DuatoTFAR;
+  cfg.vcs = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.vcs = 3;
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg = SimConfig{};
+  cfg.routing = RoutingKind::NegativeFirst;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);  // torus by default
+  cfg.topology.wrap = false;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(SimConfig, MisroutingNeedsAdaptivity) {
+  SimConfig cfg;
+  cfg.routing = RoutingKind::DOR;
+  cfg.max_misroutes = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.routing = RoutingKind::TFAR;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.max_misroutes = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(EnumNames, RoundTripStrings) {
+  EXPECT_EQ(to_string(RoutingKind::DOR), "DOR");
+  EXPECT_EQ(to_string(RoutingKind::TFAR), "TFAR");
+  EXPECT_EQ(to_string(RoutingKind::DatelineDOR), "DatelineDOR");
+  EXPECT_EQ(to_string(RoutingKind::DuatoTFAR), "DuatoTFAR");
+  EXPECT_EQ(to_string(RoutingKind::NegativeFirst), "NegativeFirst");
+  EXPECT_EQ(to_string(SelectionKind::PreferStraight), "PreferStraight");
+  EXPECT_EQ(to_string(SelectionKind::Random), "Random");
+  EXPECT_EQ(to_string(SelectionKind::LowestIndex), "LowestIndex");
+  EXPECT_EQ(to_string(RecoveryKind::RemoveOldest), "RemoveOldest");
+  EXPECT_EQ(to_string(RecoveryKind::None), "None");
+}
+
+}  // namespace
+}  // namespace flexnet

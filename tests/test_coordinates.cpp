@@ -1,0 +1,71 @@
+#include "topo/coordinates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flexnet {
+namespace {
+
+TEST(Coordinates, SizesAndStrides) {
+  const Coordinates c(16, 2);
+  EXPECT_EQ(c.radix(), 16);
+  EXPECT_EQ(c.dimensions(), 2);
+  EXPECT_EQ(c.num_nodes(), 256);
+
+  const Coordinates d(4, 4);
+  EXPECT_EQ(d.num_nodes(), 256);
+}
+
+TEST(Coordinates, PackUnpackRoundTrip) {
+  const Coordinates c(5, 3);
+  for (NodeId id = 0; id < c.num_nodes(); ++id) {
+    EXPECT_EQ(c.pack(c.unpack(id)), id);
+  }
+}
+
+TEST(Coordinates, CoordinateExtraction) {
+  const Coordinates c(16, 2);
+  // Node 0x4A = 74 = (10, 4): dimension 0 is the least significant digit.
+  EXPECT_EQ(c.coordinate(74, 0), 10);
+  EXPECT_EQ(c.coordinate(74, 1), 4);
+}
+
+TEST(Coordinates, PackNormalizesModuloRadix) {
+  const Coordinates c(8, 2);
+  EXPECT_EQ(c.pack({9, 0}), c.pack({1, 0}));
+  EXPECT_EQ(c.pack({-1, 0}), c.pack({7, 0}));
+}
+
+TEST(Coordinates, NeighborWrapsAround) {
+  const Coordinates c(4, 2);
+  // (3, 0) + dim0 -> (0, 0)
+  EXPECT_EQ(c.neighbor(3, 0, +1), 0);
+  // (0, 0) - dim0 -> (3, 0)
+  EXPECT_EQ(c.neighbor(0, 0, -1), 3);
+  // (1, 3) + dim1 -> (1, 0)
+  EXPECT_EQ(c.neighbor(c.pack({1, 3}), 1, +1), c.pack({1, 0}));
+}
+
+TEST(Coordinates, NeighborIsInvolutionWithOpposite) {
+  const Coordinates c(6, 3);
+  for (NodeId id = 0; id < c.num_nodes(); id += 7) {
+    for (int dim = 0; dim < 3; ++dim) {
+      EXPECT_EQ(c.neighbor(c.neighbor(id, dim, +1), dim, -1), id);
+    }
+  }
+}
+
+TEST(Coordinates, RejectsInvalidShapes) {
+  EXPECT_THROW(Coordinates(1, 2), std::invalid_argument);
+  EXPECT_THROW(Coordinates(4, 0), std::invalid_argument);
+  EXPECT_THROW(Coordinates(2, 40), std::invalid_argument);  // overflow guard
+}
+
+TEST(Coordinates, PackRejectsWrongArity) {
+  const Coordinates c(4, 2);
+  EXPECT_THROW((void)c.pack({1, 2, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,155 @@
+#include "core/cycles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace flexnet {
+namespace {
+
+TEST(Cycles, AcyclicGraphHasNone) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  const CycleEnumeration r = enumerate_simple_cycles(g, 1000);
+  EXPECT_EQ(r.count, 0);
+  EXPECT_FALSE(r.capped);
+}
+
+TEST(Cycles, SingleCycle) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const CycleEnumeration r = enumerate_simple_cycles(g, 1000, 10);
+  EXPECT_EQ(r.count, 1);
+  ASSERT_EQ(r.cycles.size(), 1u);
+  EXPECT_EQ(r.cycles[0].size(), 4u);
+}
+
+TEST(Cycles, CompleteDigraphK3HasFive) {
+  // K3 with all directed edges: three 2-cycles and two 3-cycles.
+  Digraph g(3);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a != b) g.add_edge(a, b);
+    }
+  }
+  const CycleEnumeration r = enumerate_simple_cycles(g, 1000);
+  EXPECT_EQ(r.count, 5);
+}
+
+TEST(Cycles, CompleteDigraphK4HasTwenty) {
+  // 6 two-cycles + 8 three-cycles + 6 four-cycles = 20.
+  Digraph g(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) g.add_edge(a, b);
+    }
+  }
+  const CycleEnumeration r = enumerate_simple_cycles(g, 1000);
+  EXPECT_EQ(r.count, 20);
+}
+
+TEST(Cycles, SelfLoopsAreLengthOneCycles) {
+  Digraph g(3);
+  g.add_edge(0, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  const CycleEnumeration r = enumerate_simple_cycles(g, 1000, 10);
+  EXPECT_EQ(r.count, 2);
+  // One stored cycle is the self-loop {0}.
+  const bool has_self = std::any_of(
+      r.cycles.begin(), r.cycles.end(),
+      [](const std::vector<int>& c) { return c == std::vector<int>{0}; });
+  EXPECT_TRUE(has_self);
+}
+
+TEST(Cycles, DisjointCyclesCounted) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  const CycleEnumeration r = enumerate_simple_cycles(g, 1000);
+  EXPECT_EQ(r.count, 2);
+}
+
+TEST(Cycles, ChordAddsExactlyOneCycle) {
+  Digraph g(5);
+  for (int i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  g.add_edge(0, 2);  // shortcut: ring cycle + chord cycle
+  const CycleEnumeration r = enumerate_simple_cycles(g, 1000);
+  EXPECT_EQ(r.count, 2);
+}
+
+TEST(Cycles, CapStopsEnumeration) {
+  Digraph g(6);
+  for (int a = 0; a < 6; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      if (a != b) g.add_edge(a, b);
+    }
+  }
+  const CycleEnumeration r = enumerate_simple_cycles(g, 10);
+  EXPECT_TRUE(r.capped);
+  EXPECT_GE(r.count, 10);
+  EXPECT_LE(r.count, 11);  // stops promptly after reaching the cap
+}
+
+TEST(Cycles, ZeroCapReportsCapped) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const CycleEnumeration r = enumerate_simple_cycles(g, 0);
+  EXPECT_TRUE(r.capped);
+  EXPECT_EQ(r.count, 0);
+}
+
+TEST(Cycles, StoreLimitBoundsMaterialization) {
+  Digraph g(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) g.add_edge(a, b);
+    }
+  }
+  const CycleEnumeration r = enumerate_simple_cycles(g, 1000, 3);
+  EXPECT_EQ(r.count, 20);
+  EXPECT_EQ(r.cycles.size(), 3u);
+}
+
+TEST(Cycles, StoredCyclesAreValidElementaryCycles) {
+  Digraph g(5);
+  for (int i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  g.add_edge(1, 3);
+  g.add_edge(3, 1);
+  const CycleEnumeration r = enumerate_simple_cycles(g, 1000, 100);
+  ASSERT_EQ(static_cast<std::size_t>(r.count), r.cycles.size());
+  for (const auto& cycle : r.cycles) {
+    // Vertices distinct and consecutive edges present (wrapping).
+    std::vector<int> sorted = cycle;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(cycle[i], cycle[(i + 1) % cycle.size()]));
+    }
+  }
+}
+
+TEST(Cycles, FigureEightSharedVertex) {
+  // Two triangles sharing vertex 0: exactly two cycles.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 0);
+  const CycleEnumeration r = enumerate_simple_cycles(g, 1000);
+  EXPECT_EQ(r.count, 2);
+}
+
+}  // namespace
+}  // namespace flexnet

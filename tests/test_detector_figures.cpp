@@ -1,0 +1,197 @@
+// The paper's Section 2 worked examples (Figures 1-4), reconstructed as
+// channel wait-for graphs and pushed through the exact detection pipeline.
+// These tests pin down the definitions: deadlock set, resource set, knot
+// cycle density, dependent messages, and the cycles-without-knot case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/knot.hpp"
+
+namespace flexnet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Figure 1: "single-cycle deadlock" under DOR with 1 VC.
+// m1 owns {c1,c2} and requires c3; m2 owns {c3,c4,c5} and requires c6;
+// m3 owns {c6,c7,c0} and requires c1. m4 and m5 are en route and own all the
+// channels they need (no request arcs).
+Cwg figure1() {
+  return Cwg(12, {{.id = 1, .held = {1, 2}, .requests = {3}},
+                  {.id = 2, .held = {3, 4, 5}, .requests = {6}},
+                  {.id = 3, .held = {6, 7, 0}, .requests = {1}},
+                  {.id = 4, .held = {8, 9}, .requests = {}},
+                  {.id = 5, .held = {10, 11}, .requests = {}}});
+}
+
+TEST(PaperFigure1, KnotContainsAllEightChannels) {
+  const auto knots = find_knots(figure1());
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].knot_vcs, (std::vector<VcId>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(PaperFigure1, DeadlockSetIsTheThreeBlockedMessages) {
+  const auto knots = find_knots(figure1());
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].deadlock_set, (std::vector<MessageId>{1, 2, 3}));
+  EXPECT_EQ(knots[0].resource_set.size(), 8u);
+}
+
+TEST(PaperFigure1, KnotCycleDensityIsOne) {
+  const Cwg cwg = figure1();
+  const auto knots = find_knots(cwg);
+  ASSERT_EQ(knots.size(), 1u);
+  const CycleEnumeration density = knot_cycle_density(cwg, knots[0], 100);
+  EXPECT_EQ(density.count, 1);  // single-cycle deadlock
+}
+
+TEST(PaperFigure1, MovingMessagesStayOutOfEverything) {
+  const auto knots = find_knots(figure1());
+  ASSERT_EQ(knots.size(), 1u);
+  for (const MessageId moving : {4, 5}) {
+    EXPECT_FALSE(std::binary_search(knots[0].deadlock_set.begin(),
+                                    knots[0].deadlock_set.end(),
+                                    static_cast<MessageId>(moving)));
+  }
+  EXPECT_TRUE(knots[0].dependent_messages.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: "single-cycle deadlock" under minimal adaptive routing, 1 VC.
+// Four messages have exhausted their adaptivity; each owns two channels and
+// waits for the single channel that continues its route, owned by the next
+// member. The knot is {c1,c3,c5,c7} while the resource set has 8 channels.
+// m6 owns {c8,c9} and waits on c1 - a *dependent* message.
+Cwg figure2() {
+  return Cwg(10, {{.id = 1, .held = {0, 1}, .requests = {3}},
+                  {.id = 2, .held = {2, 3}, .requests = {5}},
+                  {.id = 3, .held = {4, 5}, .requests = {7}},
+                  {.id = 4, .held = {6, 7}, .requests = {1}},
+                  {.id = 6, .held = {8, 9}, .requests = {1}}});
+}
+
+TEST(PaperFigure2, KnotIsTheOddChannels) {
+  const auto knots = find_knots(figure2());
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].knot_vcs, (std::vector<VcId>{1, 3, 5, 7}));
+}
+
+TEST(PaperFigure2, DeadlockSetHasFourMessagesAndEightResources) {
+  const auto knots = find_knots(figure2());
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].deadlock_set, (std::vector<MessageId>{1, 2, 3, 4}));
+  EXPECT_EQ(knots[0].resource_set, (std::vector<VcId>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(PaperFigure2, DensityOneDespiteAdaptiveRouting) {
+  const Cwg cwg = figure2();
+  const auto knots = find_knots(cwg);
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knot_cycle_density(cwg, knots[0], 100).count, 1);
+}
+
+TEST(PaperFigure2, M6IsDependentNotDeadlocked) {
+  const auto knots = find_knots(figure2());
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].dependent_messages, (std::vector<MessageId>{6}));
+  EXPECT_FALSE(std::binary_search(knots[0].deadlock_set.begin(),
+                                  knots[0].deadlock_set.end(),
+                                  static_cast<MessageId>(6)));
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: "multi-cycle deadlock" under minimal adaptive routing with 2 VCs.
+// The figure's exact wiring is not recoverable from the text, so this graph
+// reproduces its published characterization instead: 8 blocked messages,
+// 16 occupied VCs, an 8-VC knot, and a knot cycle density of 4.
+//
+// Tips t_i are the odd VCs {1,3,...,15}; message i holds {2i, 2i+1}. The tip
+// ring t1->t2->...->t8->t1 carries one cycle; three chords (t1->t4, t2->t7,
+// t3->t2) each add exactly one more and are mutually incompatible, so the
+// density is exactly 4.
+Cwg figure3() {
+  auto tip = [](int i) { return 2 * (i - 1) + 1; };  // t1..t8 -> 1,3,...,15
+  std::vector<CwgMessage> messages;
+  for (int i = 1; i <= 8; ++i) {
+    CwgMessage m;
+    m.id = i;
+    m.held = {2 * (i - 1), 2 * (i - 1) + 1};
+    m.requests = {tip(i % 8 + 1)};  // ring successor
+    messages.push_back(std::move(m));
+  }
+  messages[0].requests.push_back(tip(4));  // t1 -> t4
+  messages[1].requests.push_back(tip(7));  // t2 -> t7
+  messages[2].requests.push_back(tip(2));  // t3 -> t2
+  return Cwg(16, std::move(messages));
+}
+
+TEST(PaperFigure3, EightMessageSixteenResourceKnot) {
+  const auto knots = find_knots(figure3());
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].knot_vcs,
+            (std::vector<VcId>{1, 3, 5, 7, 9, 11, 13, 15}));
+  EXPECT_EQ(knots[0].deadlock_set.size(), 8u);
+  EXPECT_EQ(knots[0].resource_set.size(), 16u);
+}
+
+TEST(PaperFigure3, KnotCycleDensityIsFour) {
+  const Cwg cwg = figure3();
+  const auto knots = find_knots(cwg);
+  ASSERT_EQ(knots.size(), 1u);
+  const CycleEnumeration density = knot_cycle_density(cwg, knots[0], 1000);
+  EXPECT_EQ(density.count, 4);  // multi-cycle deadlock
+  EXPECT_FALSE(density.capped);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: "cyclic non-deadlock". Identical to Figure 3 except one message's
+// destination changed so that it can also acquire an escape VC (c16, held by
+// a draining message m9). Cycles abound, yet no knot exists: c16 is reachable
+// from the would-be knot but nothing returns from it.
+Cwg figure4() {
+  auto tip = [](int i) { return 2 * (i - 1) + 1; };
+  std::vector<CwgMessage> messages;
+  for (int i = 1; i <= 8; ++i) {
+    CwgMessage m;
+    m.id = i;
+    m.held = {2 * (i - 1), 2 * (i - 1) + 1};
+    m.requests = {tip(i % 8 + 1)};
+    messages.push_back(std::move(m));
+  }
+  messages[0].requests.push_back(tip(4));
+  messages[1].requests.push_back(tip(7));
+  messages[2].requests.push_back(tip(2));
+  // The changed destination: m5 can now also use c16.
+  messages[4].requests.push_back(16);
+  // m9 currently owns c16 but is draining toward delivery (not blocked).
+  messages.push_back({.id = 9, .held = {16, 17}, .requests = {}});
+  return Cwg(18, std::move(messages));
+}
+
+TEST(PaperFigure4, CyclesExistButNoKnot) {
+  const Cwg cwg = figure4();
+  EXPECT_FALSE(has_deadlock(cwg));
+  const CycleEnumeration cycles = enumerate_simple_cycles(cwg.graph(), 1000);
+  EXPECT_EQ(cycles.count, 4);  // the same cycles as Figure 3 remain
+}
+
+TEST(PaperFigure4, EscapeVertexReachableButNotReturning) {
+  const Cwg cwg = figure4();
+  // c16 reachable from the cycle set; nothing returns (its owner drains).
+  EXPECT_TRUE(cwg.graph().has_edge(9, 16));  // m5's tip is VC 9
+  EXPECT_TRUE(cwg.graph().out(16).size() == 1u);  // solid arc 16->17 only
+  EXPECT_TRUE(cwg.graph().out(17).empty());
+}
+
+TEST(PaperFigure4, CyclesAreNecessaryButNotSufficient) {
+  // The headline of the paper's Section 2.2.3, per Duato: eliminating all
+  // cycles (as strict avoidance does) is overly restrictive.
+  const Cwg with_escape = figure4();
+  const Cwg without_escape = figure3();
+  EXPECT_GT(enumerate_simple_cycles(with_escape.graph(), 100).count, 0);
+  EXPECT_FALSE(has_deadlock(with_escape));
+  EXPECT_TRUE(has_deadlock(without_escape));
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,94 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexnet {
+namespace {
+
+ExperimentConfig small_config(double load) {
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 4;
+  cfg.sim.topology.n = 2;
+  cfg.sim.routing = RoutingKind::TFAR;
+  cfg.sim.message_length = 8;
+  cfg.traffic.load = load;
+  cfg.run.warmup = 500;
+  cfg.run.measure = 1500;
+  return cfg;
+}
+
+TEST(Experiment, BelowSaturationAcceptsOfferedLoad) {
+  // A 4x4 torus saturates far below its nominal channel capacity (rings are
+  // only four channels long), so "below saturation" means a light load.
+  const ExperimentResult r = run_experiment(small_config(0.15));
+  EXPECT_DOUBLE_EQ(r.load, 0.15);
+  EXPECT_GT(r.capacity_flits_per_node, 0.0);
+  EXPECT_NEAR(r.offered_flit_rate, 0.15 * r.capacity_flits_per_node, 1e-9);
+  EXPECT_GT(r.accepted_ratio, 0.95);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_GT(r.window.delivered, 0);
+  EXPECT_NEAR(r.normalized_throughput,
+              r.window.throughput_flits_per_node / r.capacity_flits_per_node,
+              1e-12);
+}
+
+TEST(Experiment, OverloadSaturates) {
+  const ExperimentResult r = run_experiment(small_config(1.4));
+  EXPECT_TRUE(r.saturated);
+  EXPECT_LT(r.accepted_ratio, 0.95);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const ExperimentResult a = run_experiment(small_config(0.5));
+  const ExperimentResult b = run_experiment(small_config(0.5));
+  EXPECT_EQ(a.window.delivered, b.window.delivered);
+  EXPECT_EQ(a.window.generated, b.window.generated);
+  EXPECT_EQ(a.window.deadlocks, b.window.deadlocks);
+  EXPECT_DOUBLE_EQ(a.window.avg_latency, b.window.avg_latency);
+  EXPECT_DOUBLE_EQ(a.window.blocked_messages.mean(),
+                   b.window.blocked_messages.mean());
+}
+
+TEST(Experiment, SeedChangesTheRun) {
+  ExperimentConfig cfg = small_config(0.5);
+  const ExperimentResult a = run_experiment(cfg);
+  cfg.sim.seed = 999;
+  const ExperimentResult b = run_experiment(cfg);
+  EXPECT_NE(a.window.generated, b.window.generated);
+}
+
+TEST(Experiment, InvariantCheckingModeRuns) {
+  ExperimentConfig cfg = small_config(0.6);
+  cfg.run.check_invariants = true;
+  cfg.run.check_every = 50;
+  EXPECT_NO_THROW((void)run_experiment(cfg));
+}
+
+TEST(Experiment, WarmupIsExcludedFromTheWindow) {
+  ExperimentConfig cfg = small_config(0.3);
+  cfg.run.warmup = 2000;
+  cfg.run.measure = 500;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.window.window_cycles, 500);
+  // Delivered in the window must be far less than total generated over the
+  // whole run (most of it happened during warmup).
+  EXPECT_LT(r.window.delivered, 2 * r.window.generated);
+}
+
+TEST(Experiment, SimulationExposesLiveObjects) {
+  Simulation sim(small_config(0.4));
+  sim.run_cycles(200);
+  EXPECT_EQ(sim.network().now(), 200);
+  EXPECT_GT(sim.network().counters().generated, 0);
+  EXPECT_GT(sim.injection().capacity_flits_per_node(), 0.0);
+  EXPECT_EQ(sim.detector().invocations(), 200 / sim.config().detector.interval);
+}
+
+TEST(Experiment, InvalidConfigThrowsAtConstruction) {
+  ExperimentConfig cfg = small_config(0.4);
+  cfg.sim.vcs = 0;
+  EXPECT_THROW(Simulation sim(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,70 @@
+#include "core/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace flexnet {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  const Digraph g(0);
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Digraph, AddAndQueryEdges) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(3, 1));
+  EXPECT_EQ(g.out(1).size(), 2u);
+  EXPECT_EQ(g.out(3).size(), 0u);
+}
+
+TEST(Digraph, SelfLoopsAllowed) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  EXPECT_TRUE(g.has_edge(0, 0));
+}
+
+TEST(Digraph, BoundsChecked) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+}
+
+TEST(Digraph, InducedSubgraphRemapsVertices) {
+  Digraph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  g.add_edge(4, 0);
+  g.add_edge(1, 2);  // 1 excluded below
+  g.add_edge(2, 3);  // 3 excluded below
+
+  const std::vector<int> keep{0, 2, 4};
+  const Digraph sub = g.induced(keep);
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 3);
+  // keep[0]=0, keep[1]=2, keep[2]=4.
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_TRUE(sub.has_edge(2, 0));
+  EXPECT_FALSE(sub.has_edge(1, 0));
+}
+
+TEST(Digraph, InducedEmptySelection) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const Digraph sub = g.induced(std::vector<int>{});
+  EXPECT_EQ(sub.num_vertices(), 0);
+  EXPECT_EQ(sub.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,149 @@
+#include "traffic/injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+
+namespace flexnet {
+namespace {
+
+std::unique_ptr<Network> make_net(SimConfig cfg) {
+  return std::make_unique<Network>(cfg, make_routing(cfg),
+                                   make_selection(cfg.selection));
+}
+
+TEST(Injection, PaperCapacityNumbers) {
+  // Bidirectional 16-ary 2-cube: 1024 channels / (256 nodes x ~8 hops)
+  // ~= 0.5 flits/node/cycle; unidirectional: 512 / (256 x ~15) ~= 0.133.
+  SimConfig cfg;
+  cfg.routing = RoutingKind::DOR;
+  TrafficConfig traffic;
+  traffic.load = 1.0;
+
+  const auto bi = make_net(cfg);
+  const InjectionProcess bi_inj(*bi, traffic, 1);
+  EXPECT_NEAR(bi_inj.capacity_flits_per_node(), 0.5, 0.01);
+
+  cfg.topology.bidirectional = false;
+  const auto uni = make_net(cfg);
+  const InjectionProcess uni_inj(*uni, traffic, 1);
+  EXPECT_NEAR(uni_inj.capacity_flits_per_node(), 0.1333, 0.002);
+}
+
+TEST(Injection, OfferedRateScalesWithLoad) {
+  SimConfig cfg;
+  cfg.routing = RoutingKind::DOR;
+  const auto net = make_net(cfg);
+  TrafficConfig traffic;
+  traffic.load = 0.25;
+  const InjectionProcess inj(*net, traffic, 1);
+  EXPECT_NEAR(inj.offered_flit_rate(), 0.25 * inj.capacity_flits_per_node(),
+              1e-12);
+  EXPECT_NEAR(inj.message_probability(),
+              inj.offered_flit_rate() / cfg.message_length, 1e-12);
+}
+
+TEST(Injection, GenerationRateMatchesProbability) {
+  SimConfig cfg;
+  cfg.topology.k = 8;
+  cfg.routing = RoutingKind::DOR;
+  cfg.source_queue_limit = 0;  // unbounded: count raw generation
+  auto net = make_net(cfg);
+  TrafficConfig traffic;
+  traffic.load = 0.5;
+  InjectionProcess inj(*net, traffic, 7);
+  constexpr int kCycles = 2000;
+  for (int i = 0; i < kCycles; ++i) inj.tick(*net);
+  const double expected =
+      inj.message_probability() * net->topology().num_nodes() * kCycles;
+  EXPECT_NEAR(static_cast<double>(net->counters().generated), expected,
+              expected * 0.1);
+}
+
+TEST(Injection, HybridLengthsAverageCorrectly) {
+  SimConfig cfg;
+  cfg.topology.k = 4;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = 32;
+  cfg.short_message_length = 8;
+  cfg.short_message_fraction = 0.5;
+  const auto net = make_net(cfg);
+  TrafficConfig traffic;
+  traffic.load = 0.5;
+  const InjectionProcess inj(*net, traffic, 1);
+  // Mean length 20 -> message probability uses it.
+  EXPECT_NEAR(inj.message_probability(), inj.offered_flit_rate() / 20.0, 1e-12);
+}
+
+TEST(Injection, SourceQueueLimitStallsGeneration) {
+  SimConfig cfg;
+  cfg.topology.k = 4;
+  cfg.routing = RoutingKind::DOR;
+  cfg.source_queue_limit = 2;
+  auto net = make_net(cfg);
+  TrafficConfig traffic;
+  traffic.load = 1.0;  // heavy offered load
+  InjectionProcess inj(*net, traffic, 3);
+  // Tick without stepping the network: queues fill and then stall.
+  for (int i = 0; i < 5000; ++i) inj.tick(*net);
+  for (NodeId n = 0; n < net->topology().num_nodes(); ++n) {
+    EXPECT_LE(net->source_queue_length(n), 2u);
+  }
+  EXPECT_GT(inj.stalled_generations(), 0);
+}
+
+TEST(Injection, UnboundedQueueNeverStalls) {
+  SimConfig cfg;
+  cfg.topology.k = 4;
+  cfg.routing = RoutingKind::DOR;
+  cfg.source_queue_limit = 0;
+  auto net = make_net(cfg);
+  TrafficConfig traffic;
+  traffic.load = 1.0;
+  InjectionProcess inj(*net, traffic, 3);
+  for (int i = 0; i < 2000; ++i) inj.tick(*net);
+  EXPECT_EQ(inj.stalled_generations(), 0);
+  EXPECT_GT(net->queued_message_count(), 0);
+}
+
+TEST(Injection, RejectsImpossibleLoads) {
+  SimConfig cfg;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = 1;  // probability = offered rate
+  const auto net = make_net(cfg);
+  TrafficConfig traffic;
+  traffic.load = 5.0;  // > 1 message/node/cycle at length 1
+  EXPECT_THROW(InjectionProcess(*net, traffic, 1), std::invalid_argument);
+  traffic.load = -0.1;
+  EXPECT_THROW(InjectionProcess(*net, traffic, 1), std::invalid_argument);
+}
+
+TEST(Injection, DeterministicAcrossRuns) {
+  SimConfig cfg;
+  cfg.topology.k = 4;
+  cfg.routing = RoutingKind::DOR;
+  auto a = make_net(cfg);
+  auto b = make_net(cfg);
+  TrafficConfig traffic;
+  traffic.load = 0.4;
+  InjectionProcess inj_a(*a, traffic, 42);
+  InjectionProcess inj_b(*b, traffic, 42);
+  for (int i = 0; i < 500; ++i) {
+    inj_a.tick(*a);
+    inj_b.tick(*b);
+  }
+  ASSERT_EQ(a->num_messages(), b->num_messages());
+  for (std::size_t i = 0; i < a->num_messages(); ++i) {
+    EXPECT_EQ(a->message(static_cast<MessageId>(i)).src,
+              b->message(static_cast<MessageId>(i)).src);
+    EXPECT_EQ(a->message(static_cast<MessageId>(i)).dst,
+              b->message(static_cast<MessageId>(i)).dst);
+  }
+}
+
+}  // namespace
+}  // namespace flexnet

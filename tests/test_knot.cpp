@@ -1,0 +1,134 @@
+#include "core/knot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexnet {
+namespace {
+
+TEST(Knot, EmptyGraphHasNoDeadlock) {
+  const Cwg cwg(8, {});
+  EXPECT_TRUE(find_knots(cwg).empty());
+  EXPECT_FALSE(has_deadlock(cwg));
+}
+
+TEST(Knot, BlockedOnFreeChannelIsNoDeadlock) {
+  // A single blocked message requesting a free VC: the request arc leaves
+  // to a sink vertex, so no terminal SCC with an edge exists.
+  const Cwg cwg(4, {{.id = 1, .held = {0, 1}, .requests = {2}}});
+  EXPECT_FALSE(has_deadlock(cwg));
+}
+
+TEST(Knot, BlockedOnMovingMessageIsNoDeadlock) {
+  // m1 waits on a VC held by m2, but m2 is not blocked (its chain tip has no
+  // request arcs): m2 will drain and release.
+  const Cwg cwg(6, {{.id = 1, .held = {0, 1}, .requests = {2}},
+                    {.id = 2, .held = {2, 3}, .requests = {}}});
+  EXPECT_FALSE(has_deadlock(cwg));
+}
+
+TEST(Knot, TwoMessageMutualWaitIsDeadlock) {
+  // The minimal deadlock: m1 waits on m2's VC and vice versa.
+  const Cwg cwg(4, {{.id = 1, .held = {0}, .requests = {1}},
+                    {.id = 2, .held = {1}, .requests = {0}}});
+  const auto knots = find_knots(cwg);
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].knot_vcs, (std::vector<VcId>{0, 1}));
+  EXPECT_EQ(knots[0].deadlock_set, (std::vector<MessageId>{1, 2}));
+  EXPECT_EQ(knots[0].resource_set, (std::vector<VcId>{0, 1}));
+  EXPECT_TRUE(knots[0].dependent_messages.empty());
+}
+
+TEST(Knot, EscapeRouteBreaksTheKnot) {
+  // Same mutual wait, but m1 also requests a free VC 3: cycles remain yet no
+  // knot exists (Duato's escape-channel principle; paper Fig. 4 discussion).
+  const Cwg cwg(4, {{.id = 1, .held = {0}, .requests = {1, 3}},
+                    {.id = 2, .held = {1}, .requests = {0}}});
+  EXPECT_FALSE(has_deadlock(cwg));
+  // The cycle is still there:
+  const CycleEnumeration cycles = enumerate_simple_cycles(cwg.graph(), 100);
+  EXPECT_GE(cycles.count, 1);
+}
+
+TEST(Knot, EscapeToMovingMessageAlsoBreaksTheKnot) {
+  // The escape VC is owned but by a draining (non-blocked) message.
+  const Cwg cwg(6, {{.id = 1, .held = {0}, .requests = {1, 3}},
+                    {.id = 2, .held = {1}, .requests = {0}},
+                    {.id = 3, .held = {3, 4}, .requests = {}}});
+  EXPECT_FALSE(has_deadlock(cwg));
+}
+
+TEST(Knot, ResourceSetIsSupersetOfKnot) {
+  // Deadlock-set messages hold VCs outside the knot; the resource set must
+  // include them (paper Fig. 2: knot {1,3,5,7} but 8 occupied channels).
+  const Cwg cwg(8, {{.id = 1, .held = {0, 1}, .requests = {3}},
+                    {.id = 2, .held = {2, 3}, .requests = {5}},
+                    {.id = 3, .held = {4, 5}, .requests = {7}},
+                    {.id = 4, .held = {6, 7}, .requests = {1}}});
+  const auto knots = find_knots(cwg);
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].knot_vcs, (std::vector<VcId>{1, 3, 5, 7}));
+  EXPECT_EQ(knots[0].resource_set, (std::vector<VcId>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(knots[0].deadlock_set.size(), 4u);
+}
+
+TEST(Knot, DependentMessagesAreNotInTheDeadlockSet) {
+  // m5 waits on a deadlocked VC but owns nothing the knot needs: removing it
+  // would not resolve the deadlock (paper Section 2.2.1's m6).
+  const Cwg cwg(12, {{.id = 1, .held = {0, 1}, .requests = {3}},
+                     {.id = 2, .held = {2, 3}, .requests = {1}},
+                     {.id = 5, .held = {8, 9}, .requests = {1}}});
+  const auto knots = find_knots(cwg);
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].deadlock_set, (std::vector<MessageId>{1, 2}));
+  EXPECT_EQ(knots[0].dependent_messages, (std::vector<MessageId>{5}));
+}
+
+TEST(Knot, MultipleDisjointKnots) {
+  const Cwg cwg(8, {{.id = 1, .held = {0}, .requests = {1}},
+                    {.id = 2, .held = {1}, .requests = {0}},
+                    {.id = 3, .held = {4}, .requests = {5}},
+                    {.id = 4, .held = {5}, .requests = {4}}});
+  const auto knots = find_knots(cwg);
+  ASSERT_EQ(knots.size(), 2u);
+  EXPECT_NE(knots[0].knot_vcs, knots[1].knot_vcs);
+}
+
+TEST(Knot, SelfRequestFormsASelfLoopKnot) {
+  // Pathological (only reachable with misrouting): a message waiting on its
+  // own VC is deadlocked with itself.
+  const Cwg cwg(4, {{.id = 1, .held = {0}, .requests = {0}}});
+  const auto knots = find_knots(cwg);
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].knot_vcs, (std::vector<VcId>{0}));
+  EXPECT_EQ(knots[0].deadlock_set, (std::vector<MessageId>{1}));
+}
+
+TEST(Knot, CycleDensityCountsKnotSubgraphOnly) {
+  // Mutual wait with an extra cycle outside the knot-adjacent chains.
+  const Cwg cwg(8, {{.id = 1, .held = {0}, .requests = {1}},
+                    {.id = 2, .held = {1}, .requests = {0}}});
+  const auto knots = find_knots(cwg);
+  ASSERT_EQ(knots.size(), 1u);
+  const CycleEnumeration density = knot_cycle_density(cwg, knots[0], 100, 10);
+  EXPECT_EQ(density.count, 1);
+  ASSERT_EQ(density.cycles.size(), 1u);
+  // Stored cycles are mapped back to original VC ids.
+  std::vector<int> cycle = density.cycles[0];
+  std::sort(cycle.begin(), cycle.end());
+  EXPECT_EQ(cycle, (std::vector<int>{0, 1}));
+}
+
+TEST(Knot, ChainedWaitsIntoAKnotLeaveDependentsOut) {
+  // m3 -> m1/m2 knot through a chain of two dependent messages; only the
+  // direct waiter is classified dependent (documented direct definition).
+  const Cwg cwg(12, {{.id = 1, .held = {0}, .requests = {1}},
+                     {.id = 2, .held = {1}, .requests = {0}},
+                     {.id = 3, .held = {4}, .requests = {0}},
+                     {.id = 4, .held = {6}, .requests = {4}}});
+  const auto knots = find_knots(cwg);
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_EQ(knots[0].dependent_messages, (std::vector<MessageId>{3}));
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,153 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "traffic/injection.hpp"
+
+namespace flexnet {
+namespace {
+
+struct Rig {
+  explicit Rig(double load, RoutingKind routing = RoutingKind::DOR,
+               bool unidirectional = false) {
+    cfg.topology.k = 4;
+    cfg.topology.n = 2;
+    cfg.topology.bidirectional = !unidirectional;
+    cfg.routing = routing;
+    cfg.message_length = 8;
+    net = std::make_unique<Network>(cfg, make_routing(cfg),
+                                    make_selection(cfg.selection));
+    TrafficConfig traffic;
+    traffic.load = load;
+    injection = std::make_unique<InjectionProcess>(*net, traffic, 9);
+    DetectorConfig det;
+    det.interval = 25;
+    detector = std::make_unique<DeadlockDetector>(det, 9);
+  }
+
+  void run(int cycles, MetricsCollector* collector = nullptr) {
+    for (int i = 0; i < cycles; ++i) {
+      injection->tick(*net);
+      net->step();
+      detector->tick(*net);
+      if (collector) collector->sample(*net);
+    }
+  }
+
+  SimConfig cfg;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<InjectionProcess> injection;
+  std::unique_ptr<DeadlockDetector> detector;
+};
+
+TEST(Metrics, WindowCountsAreDeltasNotTotals) {
+  Rig rig(0.3);
+  rig.run(500);  // warmup outside the window
+  const std::int64_t before = rig.net->counters().delivered;
+  ASSERT_GT(before, 0);
+
+  MetricsCollector collector;
+  collector.begin_window(*rig.net);
+  rig.detector->reset_statistics();
+  rig.run(1000, &collector);
+  const WindowMetrics m = collector.finish(*rig.net, *rig.detector, true);
+
+  EXPECT_EQ(m.window_cycles, 1000);
+  EXPECT_EQ(m.delivered, rig.net->counters().delivered - before);
+  EXPECT_GT(m.delivered, 0);
+  EXPECT_GT(m.generated, 0);
+  // Windowed flit and message counts agree up to boundary straddlers:
+  // messages partially delivered before the window opened (their remaining
+  // flits land in-window) and messages still in flight when it closed.
+  const std::int64_t slack =
+      8 * static_cast<std::int64_t>(rig.net->active_messages().size() + 8);
+  EXPECT_GT(m.flits_delivered, m.delivered * 8 - slack);
+  EXPECT_LT(m.flits_delivered, m.delivered * 8 + slack);
+  EXPECT_GT(m.throughput_flits_per_node, 0.0);
+  EXPECT_GT(m.avg_latency, 8.0);  // at least the serialization latency
+  EXPECT_GT(m.avg_hops, 1.0);
+}
+
+TEST(Metrics, ThroughputMatchesOfferedBelowSaturation) {
+  Rig rig(0.25);
+  rig.run(500);
+  MetricsCollector collector;
+  collector.begin_window(*rig.net);
+  rig.detector->reset_statistics();
+  rig.run(2000, &collector);
+  const WindowMetrics m = collector.finish(*rig.net, *rig.detector, true);
+  EXPECT_NEAR(m.throughput_flits_per_node, rig.injection->offered_flit_rate(),
+              rig.injection->offered_flit_rate() * 0.15);
+}
+
+TEST(Metrics, CongestionSamplesAreBounded) {
+  Rig rig(0.8);
+  MetricsCollector collector;
+  collector.begin_window(*rig.net);
+  rig.run(800, &collector);
+  const WindowMetrics m = collector.finish(*rig.net, *rig.detector, true);
+  EXPECT_GT(m.in_network_messages.mean(), 0.0);
+  EXPECT_GE(m.blocked_fraction.min(), 0.0);
+  EXPECT_LE(m.blocked_fraction.max(), 1.0);
+  EXPECT_GE(m.blocked_messages.mean(), 0.0);
+}
+
+TEST(Metrics, DeadlockRecordsAggregatedIntoWindow) {
+  // Unidirectional 4x4 torus DOR at high load deadlocks reliably.
+  Rig rig(0.9, RoutingKind::DOR, /*unidirectional=*/true);
+  MetricsCollector collector;
+  collector.begin_window(*rig.net);
+  rig.detector->reset_statistics();
+  rig.run(4000, &collector);
+  const WindowMetrics m = collector.finish(*rig.net, *rig.detector, true);
+  ASSERT_GT(m.deadlocks, 0) << "expected deadlocks in a uni-torus at 0.9 load";
+  EXPECT_EQ(m.deadlocks, rig.detector->total_deadlocks());
+  EXPECT_GT(m.deadlock_set_size.mean(), 1.0);
+  EXPECT_GT(m.resource_set_size.mean(), m.deadlock_set_size.mean());
+  EXPECT_EQ(m.single_cycle_deadlocks + m.multi_cycle_deadlocks, m.deadlocks);
+  EXPECT_GT(m.recovered, 0);
+  // Normalized deadlocks uses completed messages as the denominator.
+  EXPECT_NEAR(m.normalized_deadlocks,
+              static_cast<double>(m.deadlocks) /
+                  static_cast<double>(m.delivered + m.recovered),
+              1e-12);
+}
+
+TEST(Metrics, RecoveredExcludedWhenConfigured) {
+  Rig rig(0.9, RoutingKind::DOR, true);
+  MetricsCollector collector;
+  collector.begin_window(*rig.net);
+  rig.detector->reset_statistics();
+  rig.run(4000, &collector);
+  const WindowMetrics with = collector.finish(*rig.net, *rig.detector, true);
+  const WindowMetrics without = collector.finish(*rig.net, *rig.detector, false);
+  ASSERT_GT(with.recovered, 0);
+  EXPECT_GT(without.normalized_deadlocks, with.normalized_deadlocks);
+  EXPECT_EQ(with.completed(true), with.delivered + with.recovered);
+  EXPECT_EQ(without.completed(false), without.delivered);
+}
+
+TEST(Metrics, SampleStrideSubsamples) {
+  Rig rig(0.3);
+  MetricsCollector every(1);
+  MetricsCollector sparse(10);
+  every.begin_window(*rig.net);
+  sparse.begin_window(*rig.net);
+  for (int i = 0; i < 100; ++i) {
+    rig.injection->tick(*rig.net);
+    rig.net->step();
+    every.sample(*rig.net);
+    sparse.sample(*rig.net);
+  }
+  const WindowMetrics dense = every.finish(*rig.net, *rig.detector, true);
+  const WindowMetrics thin = sparse.finish(*rig.net, *rig.detector, true);
+  EXPECT_EQ(dense.in_network_messages.count(), 100);
+  EXPECT_EQ(thin.in_network_messages.count(), 10);
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,87 @@
+#include "core/pwg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/knot.hpp"
+
+namespace flexnet {
+namespace {
+
+TEST(Pwg, EmptyForNoMessages) {
+  const Pwg pwg = Pwg::from_cwg(Cwg(4, {}));
+  EXPECT_EQ(pwg.graph.num_vertices(), 0);
+  EXPECT_FALSE(pwg.has_cycle());
+}
+
+TEST(Pwg, EdgeFromWaiterToOwner) {
+  const Cwg cwg(6, {{.id = 1, .held = {0}, .requests = {2}},
+                    {.id = 2, .held = {2, 3}, .requests = {}}});
+  const Pwg pwg = Pwg::from_cwg(cwg);
+  ASSERT_EQ(pwg.graph.num_vertices(), 2);
+  const int m1 = pwg.index_of(1);
+  const int m2 = pwg.index_of(2);
+  EXPECT_TRUE(pwg.graph.has_edge(m1, m2));
+  EXPECT_FALSE(pwg.graph.has_edge(m2, m1));
+  EXPECT_FALSE(pwg.has_cycle());
+  EXPECT_EQ(pwg.index_of(99), -1);
+}
+
+TEST(Pwg, RequestToFreeVcAddsNoEdge) {
+  const Cwg cwg(6, {{.id = 1, .held = {0}, .requests = {5}}});
+  const Pwg pwg = Pwg::from_cwg(cwg);
+  EXPECT_EQ(pwg.graph.num_edges(), 0);
+}
+
+TEST(Pwg, ParallelWaitsDeduplicated) {
+  // m1 waits on two VCs both owned by m2: one PWG edge.
+  const Cwg cwg(6, {{.id = 1, .held = {0}, .requests = {2, 3}},
+                    {.id = 2, .held = {2, 3}, .requests = {}}});
+  const Pwg pwg = Pwg::from_cwg(cwg);
+  EXPECT_EQ(pwg.graph.num_edges(), 1);
+}
+
+TEST(Pwg, MutualWaitIsACycle) {
+  const Cwg cwg(4, {{.id = 1, .held = {0}, .requests = {1}},
+                    {.id = 2, .held = {1}, .requests = {0}}});
+  const Pwg pwg = Pwg::from_cwg(cwg);
+  EXPECT_TRUE(pwg.has_cycle());
+  EXPECT_EQ(pwg.messages_on_cycles(), 2);
+}
+
+TEST(Pwg, CyclicNonDeadlockHasPwgCyclesButNoKnot) {
+  // The paper's Section 2.2.3 argument (and Fig. 4): m1/m2 wait on each
+  // other's channels, but m1 has an escape to a free VC. The PWG contains a
+  // cycle — Dally & Aoki's scheme would forbid this state — yet there is no
+  // deadlock, so that restriction sacrifices routing freedom needlessly.
+  const Cwg cwg(6, {{.id = 1, .held = {0}, .requests = {1, 5}},
+                    {.id = 2, .held = {1}, .requests = {0}}});
+  const Pwg pwg = Pwg::from_cwg(cwg);
+  EXPECT_TRUE(pwg.has_cycle());
+  EXPECT_FALSE(has_deadlock(cwg));
+}
+
+TEST(Pwg, SelfWaitsAreFiltered) {
+  // A message requesting its own VC (misrouting pathology) yields no PWG
+  // self-edge; the CWG-level knot still catches the self-deadlock.
+  const Cwg cwg(4, {{.id = 1, .held = {0}, .requests = {0}}});
+  const Pwg pwg = Pwg::from_cwg(cwg);
+  EXPECT_EQ(pwg.graph.num_edges(), 0);
+  EXPECT_FALSE(pwg.has_cycle());
+  EXPECT_TRUE(has_deadlock(cwg));
+}
+
+TEST(Pwg, DeadlockImpliesPwgCycle) {
+  // Knot => the deadlock-set messages wait on each other => PWG cycle
+  // (the converse is false, per the cyclic non-deadlock above).
+  const Cwg cwg(8, {{.id = 1, .held = {0, 1}, .requests = {3}},
+                    {.id = 2, .held = {2, 3}, .requests = {5}},
+                    {.id = 3, .held = {4, 5}, .requests = {7}},
+                    {.id = 4, .held = {6, 7}, .requests = {1}}});
+  ASSERT_TRUE(has_deadlock(cwg));
+  const Pwg pwg = Pwg::from_cwg(cwg);
+  EXPECT_TRUE(pwg.has_cycle());
+  EXPECT_EQ(pwg.messages_on_cycles(), 4);
+}
+
+}  // namespace
+}  // namespace flexnet

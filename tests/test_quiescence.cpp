@@ -1,0 +1,126 @@
+// Precise semantics of Network::message_immobile — the quiescence predicate
+// that turns an instantaneous knot into a *true* deadlock.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+namespace {
+
+std::unique_ptr<Network> uni_ring(int k, int length, int buffer) {
+  SimConfig cfg;
+  cfg.topology.k = k;
+  cfg.topology.n = 1;
+  cfg.topology.bidirectional = false;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = length;
+  cfg.buffer_depth = buffer;
+  return std::make_unique<Network>(cfg, make_routing(cfg),
+                                   make_selection(cfg.selection));
+}
+
+TEST(Quiescence, MovingMessagesAreNeverImmobile) {
+  auto net = uni_ring(4, 8, 2);
+  const MessageId id = net->enqueue_message(0, 2, 8);
+  for (int i = 0; i < 6; ++i) {
+    net->step();
+    if (net->message(id).status == MessageStatus::InFlight) {
+      EXPECT_FALSE(net->message_immobile(id));
+    }
+  }
+}
+
+TEST(Quiescence, QueuedAndFinishedMessagesAreNotImmobile) {
+  auto net = uni_ring(4, 8, 2);
+  const MessageId id = net->enqueue_message(0, 1, 8);
+  EXPECT_FALSE(net->message_immobile(id));  // still queued
+  while (net->message(id).status != MessageStatus::Delivered) {
+    net->step();
+    ASSERT_LT(net->now(), 100);
+  }
+  EXPECT_FALSE(net->message_immobile(id));  // delivered
+}
+
+TEST(Quiescence, BlockedMessageWithSlackIsMobileUntilCompacted) {
+  // A long blocker holds the channel the probe needs; the probe still has
+  // unsent flits and buffer slack, so immobility must lag blockedness.
+  auto net = uni_ring(8, 16, 2);
+  net->enqueue_message(1, 5, 16);            // blocker: holds 1->2.. first
+  const MessageId probe = net->enqueue_message(0, 2, 16);
+  bool seen_blocked_but_mobile = false;
+  for (int i = 0; i < 12; ++i) {
+    net->step();
+    const Message& m = net->message(probe);
+    if (m.status == MessageStatus::InFlight && m.blocked &&
+        !net->message_immobile(probe)) {
+      seen_blocked_but_mobile = true;
+    }
+  }
+  EXPECT_TRUE(seen_blocked_but_mobile)
+      << "a freshly blocked message still compacting must not be immobile";
+}
+
+TEST(Quiescence, FullyCompactedBlockedMessageIsImmobile) {
+  // Four messages close the 4-ring into a deadlock; after enough cycles all
+  // buffers are full and every one is immobile.
+  auto net = uni_ring(4, 8, 2);
+  for (NodeId n = 0; n < 4; ++n) net->enqueue_message(n, (n + 2) % 4, 8);
+  for (int i = 0; i < 120; ++i) net->step();
+  ASSERT_EQ(net->active_messages().size(), 4u);
+  for (const MessageId id : net->active_messages()) {
+    EXPECT_TRUE(net->message(id).blocked);
+    EXPECT_TRUE(net->message_immobile(id));
+  }
+}
+
+TEST(Quiescence, ImmobilityIsPermanentWithoutIntervention) {
+  auto net = uni_ring(4, 8, 2);
+  for (NodeId n = 0; n < 4; ++n) net->enqueue_message(n, (n + 2) % 4, 8);
+  for (int i = 0; i < 120; ++i) net->step();
+  std::vector<std::int32_t> sent_before;
+  for (const MessageId id : net->active_messages()) {
+    sent_before.push_back(net->message(id).flits_sent +
+                          net->message(id).flits_delivered);
+  }
+  for (int i = 0; i < 2000; ++i) net->step();
+  std::size_t at = 0;
+  for (const MessageId id : net->active_messages()) {
+    EXPECT_EQ(net->message(id).flits_sent + net->message(id).flits_delivered,
+              sent_before[at++]);
+    EXPECT_TRUE(net->message_immobile(id));
+  }
+}
+
+TEST(Quiescence, RecoveryRestoresMobility) {
+  auto net = uni_ring(4, 8, 2);
+  for (NodeId n = 0; n < 4; ++n) net->enqueue_message(n, (n + 2) % 4, 8);
+  for (int i = 0; i < 120; ++i) net->step();
+  const MessageId victim = net->active_messages().front();
+  net->remove_message(victim);
+  for (int i = 0; i < 500; ++i) net->step();
+  EXPECT_EQ(net->counters().delivered, 3);
+  EXPECT_TRUE(net->active_messages().empty());
+}
+
+TEST(Quiescence, VctDeadlockCompactsIntoSingleBuffers) {
+  // With buffers as deep as messages (virtual cut-through), the same ring
+  // deadlock quiesces with each message fully inside one buffer.
+  auto net = uni_ring(4, 8, 8);
+  for (NodeId n = 0; n < 4; ++n) net->enqueue_message(n, (n + 2) % 4, 8);
+  for (int i = 0; i < 200; ++i) net->step();
+  ASSERT_EQ(net->active_messages().size(), 4u);
+  for (const MessageId id : net->active_messages()) {
+    const Message& m = net->message(id);
+    EXPECT_TRUE(net->message_immobile(id));
+    // All 8 flits sit in the single network VC the message owns.
+    ASSERT_EQ(m.held.size(), 1u);
+    EXPECT_EQ(net->vc(m.held.front()).buffer.size(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,116 @@
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() {
+    cfg_.topology.k = 8;
+    cfg_.topology.n = 2;
+    cfg_.routing = RoutingKind::DOR;
+    cfg_.message_length = 16;
+    net_ = std::make_unique<Network>(cfg_, make_routing(cfg_),
+                                     make_selection(cfg_.selection));
+    // Three messages created at different cycles with different path
+    // lengths, so every victim policy has a distinct answer.
+    ids_.push_back(net_->enqueue_message(0, 7, 16));   // oldest, 7 hops
+    net_->step();
+    net_->step();
+    ids_.push_back(net_->enqueue_message(8, 10, 16));  // middle, 2 hops
+    net_->step();
+    net_->step();
+    ids_.push_back(net_->enqueue_message(16, 17, 16));  // newest, 1 hop
+    for (int i = 0; i < 6; ++i) net_->step();
+    for (const MessageId id : ids_) {
+      EXPECT_EQ(net_->message(id).status, MessageStatus::InFlight);
+    }
+  }
+
+  SimConfig cfg_;
+  std::unique_ptr<Network> net_;
+  std::vector<MessageId> ids_;
+  Pcg32 rng_{5};
+};
+
+TEST_F(RecoveryTest, RemoveOldestPicksEarliestCreation) {
+  EXPECT_EQ(choose_victim(*net_, ids_, RecoveryKind::RemoveOldest, rng_),
+            ids_[0]);
+}
+
+TEST_F(RecoveryTest, RemoveNewestPicksLatestCreation) {
+  EXPECT_EQ(choose_victim(*net_, ids_, RecoveryKind::RemoveNewest, rng_),
+            ids_[2]);
+}
+
+TEST_F(RecoveryTest, RemoveMostResourcesPicksLongestChain) {
+  // The 7-hop message has acquired the most VCs by now.
+  const MessageId victim =
+      choose_victim(*net_, ids_, RecoveryKind::RemoveMostResources, rng_);
+  for (const MessageId other : ids_) {
+    EXPECT_GE(net_->message(victim).held.size(),
+              net_->message(other).held.size());
+  }
+}
+
+TEST_F(RecoveryTest, RemoveRandomStaysInSetAndVaries) {
+  std::set<MessageId> picked;
+  for (int i = 0; i < 64; ++i) {
+    const MessageId v =
+        choose_victim(*net_, ids_, RecoveryKind::RemoveRandom, rng_);
+    EXPECT_TRUE(std::find(ids_.begin(), ids_.end(), v) != ids_.end());
+    picked.insert(v);
+  }
+  EXPECT_GT(picked.size(), 1u);
+}
+
+TEST_F(RecoveryTest, NoneThrows) {
+  EXPECT_THROW((void)choose_victim(*net_, ids_, RecoveryKind::None, rng_),
+               std::invalid_argument);
+}
+
+TEST_F(RecoveryTest, SingletonSetAlwaysPicksIt) {
+  const std::vector<MessageId> one{ids_[1]};
+  for (const RecoveryKind kind :
+       {RecoveryKind::RemoveOldest, RecoveryKind::RemoveNewest,
+        RecoveryKind::RemoveMostResources, RecoveryKind::RemoveRandom}) {
+    EXPECT_EQ(choose_victim(*net_, one, kind, rng_), ids_[1]);
+  }
+}
+
+TEST_F(RecoveryTest, RemovalUnblocksWaitingMessages) {
+  // Force two messages to contend for the same channel: remove the holder
+  // and the waiter proceeds.
+  SimConfig cfg;
+  cfg.topology.k = 4;
+  cfg.topology.n = 1;
+  cfg.topology.bidirectional = false;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = 32;  // long: holds its channels for a while
+  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  const MessageId holder = net.enqueue_message(1, 3, 32);
+  const MessageId waiter = net.enqueue_message(0, 2, 32);
+  for (int i = 0; i < 10; ++i) net.step();
+  // waiter's header should be blocked on channel 1->2 held by holder.
+  ASSERT_TRUE(net.message(waiter).blocked);
+  net.remove_message(holder);
+  for (int i = 0; i < 200 && net.message(waiter).status != MessageStatus::Delivered;
+       ++i) {
+    net.step();
+  }
+  EXPECT_EQ(net.message(waiter).status, MessageStatus::Delivered);
+  net.check_invariants();
+}
+
+}  // namespace
+}  // namespace flexnet

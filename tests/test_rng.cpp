@@ -1,0 +1,108 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace flexnet {
+namespace {
+
+TEST(SplitMix64, KnownValuesAreStable) {
+  // Fixed outputs guard against accidental algorithm changes that would
+  // silently alter every experiment's random stream.
+  EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(1), 0x910a2dec89025cc1ULL);
+  EXPECT_NE(splitmix64(2), splitmix64(3));
+}
+
+TEST(Pcg32, DeterministicForEqualSeeds) {
+  Pcg32 a(42, 7);
+  Pcg32 b(42, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDiverge) {
+  Pcg32 a(42, 0);
+  Pcg32 b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32, BoundedStaysInRangeAndCoversAllValues) {
+  Pcg32 rng(123);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t v = rng.bounded(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Pcg32, BoundedEdgeCases) {
+  Pcg32 rng(5);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Pcg32, UniformWithinUnitInterval) {
+  Pcg32 rng(9);
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Pcg32, ChanceMatchesProbability) {
+  Pcg32 rng(11);
+  int hits = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(Pcg32, ChanceExtremes) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Pcg32, BoundedIsUnbiasedAcrossBuckets) {
+  Pcg32 rng(17);
+  std::vector<int> counts(10, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.bounded(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kSamples, 0.1, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,177 @@
+// Deadlock-avoidance baselines: dateline DOR, Duato's protocol and the
+// negative-first turn model must NEVER form a knot, at any load, while
+// still delivering everything.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/detector.hpp"
+#include "routing/dateline.hpp"
+#include "routing/duato.hpp"
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/network.hpp"
+#include "traffic/injection.hpp"
+
+namespace flexnet {
+namespace {
+
+struct AvoidanceCase {
+  RoutingKind routing;
+  int vcs;
+  bool wrap;
+};
+
+class AvoidanceNeverDeadlocks
+    : public ::testing::TestWithParam<AvoidanceCase> {};
+
+TEST_P(AvoidanceNeverDeadlocks, NoKnotEverForms) {
+  const AvoidanceCase param = GetParam();
+  SimConfig cfg;
+  cfg.topology.k = 4;
+  cfg.topology.n = 2;
+  cfg.topology.wrap = param.wrap;
+  cfg.routing = param.routing;
+  cfg.vcs = param.vcs;
+  cfg.message_length = 8;
+  cfg.seed = 11;
+  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  EXPECT_TRUE(net.routing_algorithm().deadlock_free());
+
+  TrafficConfig traffic;
+  traffic.load = 1.2;  // deliberately past saturation
+  InjectionProcess injection(net, traffic, cfg.seed);
+
+  DetectorConfig det_cfg;
+  det_cfg.interval = 25;
+  det_cfg.recovery = RecoveryKind::None;  // detection only; nothing to break
+  det_cfg.require_quiescence = false;     // even transient knots must be absent
+  DeadlockDetector detector(det_cfg, cfg.seed);
+
+  for (int i = 0; i < 4000; ++i) {
+    injection.tick(net);
+    net.step();
+    detector.tick(net);
+  }
+  EXPECT_EQ(detector.total_deadlocks(), 0);
+  EXPECT_EQ(detector.transient_knots(), 0);
+  EXPECT_GT(net.counters().delivered, 100);
+
+  // Drain completely: guaranteed by deadlock freedom.
+  for (int i = 0; i < 30000 && !net.active_messages().empty(); ++i) {
+    net.step();
+  }
+  EXPECT_TRUE(net.active_messages().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Baselines, AvoidanceNeverDeadlocks,
+    ::testing::Values(AvoidanceCase{RoutingKind::DatelineDOR, 2, true},
+                      AvoidanceCase{RoutingKind::DatelineDOR, 4, true},
+                      AvoidanceCase{RoutingKind::DuatoTFAR, 3, true},
+                      AvoidanceCase{RoutingKind::DuatoTFAR, 4, true},
+                      AvoidanceCase{RoutingKind::NegativeFirst, 1, false},
+                      AvoidanceCase{RoutingKind::NegativeFirst, 2, false}));
+
+// --------------------------------------------------------- dateline classes
+
+class DatelineTest : public ::testing::Test {
+ protected:
+  DatelineTest() {
+    cfg_.topology.k = 8;
+    cfg_.topology.n = 1;
+    cfg_.routing = RoutingKind::DatelineDOR;
+    cfg_.vcs = 2;
+    net_ = std::make_unique<Network>(cfg_, make_routing(cfg_),
+                                     make_selection(cfg_.selection));
+  }
+
+  Message msg(NodeId src, NodeId dst) const {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    return m;
+  }
+
+  SimConfig cfg_;
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(DatelineTest, ClassZeroBeforeTheWrapLink) {
+  // 1 -> 4: travels +1 without wrapping; class 0 on every hop.
+  for (NodeId here = 1; here < 4; ++here) {
+    const ChannelId ch = net_->topology().out_channel(here, 0, +1);
+    EXPECT_EQ(DatelineDorRouting::dateline_class(*net_, msg(1, 4), ch), 0);
+  }
+}
+
+TEST_F(DatelineTest, ClassSwitchesAfterCrossingTheWrap) {
+  // 6 -> 2: hops 6,7,(wrap),0,1. The wrap hop and everything after use
+  // class 1; before it class 0.
+  const Message m = msg(6, 2);
+  EXPECT_EQ(DatelineDorRouting::dateline_class(
+                *net_, m, net_->topology().out_channel(6, 0, +1)),
+            0);
+  const ChannelId wrap = net_->topology().out_channel(7, 0, +1);
+  EXPECT_TRUE(net_->phys(wrap).is_wrap);
+  EXPECT_EQ(DatelineDorRouting::dateline_class(*net_, m, wrap), 1);
+  EXPECT_EQ(DatelineDorRouting::dateline_class(
+                *net_, m, net_->topology().out_channel(0, 0, +1)),
+            1);
+  EXPECT_EQ(DatelineDorRouting::dateline_class(
+                *net_, m, net_->topology().out_channel(1, 0, +1)),
+            1);
+}
+
+TEST_F(DatelineTest, NegativeDirectionSymmetric) {
+  // 1 -> 5 the short way is -1: hops 1,0,(wrap),7,6. Class 1 after the wrap.
+  const Message m = msg(1, 5);
+  EXPECT_EQ(DatelineDorRouting::dateline_class(
+                *net_, m, net_->topology().out_channel(1, 0, -1)),
+            0);
+  const ChannelId wrap = net_->topology().out_channel(0, 0, -1);
+  EXPECT_TRUE(net_->phys(wrap).is_wrap);
+  EXPECT_EQ(DatelineDorRouting::dateline_class(*net_, m, wrap), 1);
+  EXPECT_EQ(DatelineDorRouting::dateline_class(
+                *net_, m, net_->topology().out_channel(7, 0, -1)),
+            1);
+}
+
+TEST_F(DatelineTest, VcAllowedMatchesParity) {
+  const Message m = msg(1, 4);
+  const ChannelId ch = net_->topology().out_channel(1, 0, +1);
+  DatelineDorRouting dateline;
+  EXPECT_TRUE(dateline.vc_allowed(*net_, m, ch, 0, kInvalidVc));
+  EXPECT_FALSE(dateline.vc_allowed(*net_, m, ch, 1, kInvalidVc));
+}
+
+// ------------------------------------------------------------- Duato escape
+
+TEST(DuatoTest, AdaptiveVcsFreeEscapeVcsRestricted) {
+  SimConfig cfg;
+  cfg.topology.k = 8;
+  cfg.topology.n = 2;
+  cfg.routing = RoutingKind::DuatoTFAR;
+  cfg.vcs = 3;
+  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  DuatoTfarRouting duato;
+  EXPECT_TRUE(duato.prefer_high_vc_indices());
+
+  Message m;
+  m.src = net.topology().coordinates().pack({0, 0});
+  m.dst = net.topology().coordinates().pack({2, 2});
+
+  const ChannelId dim0 = net.topology().out_channel(m.src, 0, +1);
+  const ChannelId dim1 = net.topology().out_channel(m.src, 1, +1);
+  // Adaptive VC (index >= 2) allowed on any minimal channel.
+  EXPECT_TRUE(duato.vc_allowed(net, m, dim0, 2, kInvalidVc));
+  EXPECT_TRUE(duato.vc_allowed(net, m, dim1, 2, kInvalidVc));
+  // Escape VCs only along the DOR path (dimension 0 first).
+  EXPECT_TRUE(duato.vc_allowed(net, m, dim0, 0, kInvalidVc));
+  EXPECT_FALSE(duato.vc_allowed(net, m, dim1, 0, kInvalidVc));
+  // Escape class parity follows the dateline rule (no wrap here: class 0).
+  EXPECT_FALSE(duato.vc_allowed(net, m, dim0, 1, kInvalidVc));
+}
+
+}  // namespace
+}  // namespace flexnet

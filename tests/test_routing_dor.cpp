@@ -1,0 +1,133 @@
+#include "routing/dor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+namespace {
+
+class DorTest : public ::testing::Test {
+ protected:
+  DorTest() {
+    cfg_.topology.k = 8;
+    cfg_.topology.n = 2;
+    cfg_.routing = RoutingKind::DOR;
+    net_ = std::make_unique<Network>(cfg_, make_routing(cfg_),
+                                     make_selection(cfg_.selection));
+  }
+
+  Message msg_to(NodeId src, NodeId dst) const {
+    Message m;
+    m.id = 0;
+    m.src = src;
+    m.dst = dst;
+    m.length = 8;
+    return m;
+  }
+
+  VcId injection_vc(NodeId node) const {
+    return net_->phys(net_->injection_channel(node)).first_vc;
+  }
+
+  SimConfig cfg_;
+  std::unique_ptr<Network> net_;
+  DorRouting dor_;
+};
+
+TEST_F(DorTest, ResolvesLowestDimensionFirst) {
+  const NodeId src = net_->topology().coordinates().pack({0, 0});
+  const NodeId dst = net_->topology().coordinates().pack({2, 3});
+  std::vector<ChannelId> out;
+  dor_.candidate_channels(*net_, msg_to(src, dst), src, injection_vc(src), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(net_->phys(out[0]).dim, 0);
+  EXPECT_EQ(net_->phys(out[0]).dir, +1);
+}
+
+TEST_F(DorTest, SwitchesDimensionOnceAligned) {
+  const NodeId here = net_->topology().coordinates().pack({2, 0});
+  const NodeId dst = net_->topology().coordinates().pack({2, 3});
+  std::vector<ChannelId> out;
+  dor_.candidate_channels(*net_, msg_to(0, dst), here, injection_vc(here), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(net_->phys(out[0]).dim, 1);
+}
+
+TEST_F(DorTest, TakesShorterDirection) {
+  const NodeId src = net_->topology().coordinates().pack({0, 0});
+  const NodeId dst = net_->topology().coordinates().pack({6, 0});  // -2 shorter
+  std::vector<ChannelId> out;
+  dor_.candidate_channels(*net_, msg_to(src, dst), src, injection_vc(src), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(net_->phys(out[0]).dir, -1);
+}
+
+TEST_F(DorTest, TieBreaksPositive) {
+  const NodeId src = net_->topology().coordinates().pack({0, 0});
+  const NodeId dst = net_->topology().coordinates().pack({4, 0});  // exactly k/2
+  std::vector<ChannelId> out;
+  dor_.candidate_channels(*net_, msg_to(src, dst), src, injection_vc(src), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(net_->phys(out[0]).dir, +1);
+}
+
+TEST_F(DorTest, DorChannelReturnsInvalidAtDestination) {
+  EXPECT_EQ(DorRouting::dor_channel(*net_, 5, 5), kInvalidChannel);
+}
+
+TEST_F(DorTest, UnrestrictedVcUse) {
+  // The paper's DOR places no restriction on which VC may be used.
+  const Message m = msg_to(0, 5);
+  EXPECT_TRUE(dor_.vc_allowed(*net_, m, 0, 0, injection_vc(0)));
+  EXPECT_TRUE(dor_.vc_allowed(*net_, m, 0, 3, injection_vc(0)));
+  EXPECT_FALSE(dor_.deadlock_free());
+  EXPECT_FALSE(dor_.prefer_high_vc_indices());
+}
+
+TEST_F(DorTest, DeliveredPathsFollowDimensionOrder) {
+  // End-to-end: run messages and confirm each path's acquired network
+  // channels never go back to a lower dimension.
+  const NodeId dst = net_->topology().coordinates().pack({3, 5});
+  net_->enqueue_message(0, dst, 8);
+  const MessageId id = 0;
+  std::vector<int> dims;
+  VcId last_tip = kInvalidVc;
+  while (net_->message(id).status != MessageStatus::Delivered) {
+    ASSERT_LT(net_->now(), 300);
+    net_->step();
+    const Message& msg = net_->message(id);
+    if (msg.held.empty() || msg.held.back() == last_tip) continue;
+    last_tip = msg.held.back();  // newest acquisition this cycle
+    const PhysChannel& pc = net_->phys(net_->vc(last_tip).channel);
+    if (pc.kind == ChannelKind::Network) dims.push_back(pc.dim);
+  }
+  // The recorded dimension sequence must be non-decreasing.
+  for (std::size_t i = 1; i < dims.size(); ++i) {
+    EXPECT_LE(dims[i - 1], dims[i]);
+  }
+}
+
+TEST_F(DorTest, UnidirectionalTorusAlwaysRoutesPositive) {
+  SimConfig cfg = cfg_;
+  cfg.topology.bidirectional = false;
+  Network uni(cfg, make_routing(cfg), make_selection(cfg.selection));
+  const NodeId src = uni.topology().coordinates().pack({5, 0});
+  const NodeId dst = uni.topology().coordinates().pack({2, 0});
+  std::vector<ChannelId> out;
+  DorRouting dor;
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  dor.candidate_channels(uni, m, src,
+                         uni.phys(uni.injection_channel(src)).first_vc, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(uni.phys(out[0]).dir, +1);
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,151 @@
+#include "routing/tfar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+namespace {
+
+class TfarTest : public ::testing::Test {
+ protected:
+  TfarTest() {
+    cfg_.topology.k = 8;
+    cfg_.topology.n = 2;
+    cfg_.routing = RoutingKind::TFAR;
+    net_ = std::make_unique<Network>(cfg_, make_routing(cfg_),
+                                     make_selection(cfg_.selection));
+  }
+
+  Message msg_to(NodeId src, NodeId dst, int misroutes = 0) const {
+    Message m;
+    m.id = 0;
+    m.src = src;
+    m.dst = dst;
+    m.length = 8;
+    m.misroutes = misroutes;
+    return m;
+  }
+
+  VcId injection_vc(NodeId node) const {
+    return net_->phys(net_->injection_channel(node)).first_vc;
+  }
+
+  SimConfig cfg_;
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(TfarTest, OffersEveryMinimalDirection) {
+  TfarRouting tfar;
+  const NodeId src = net_->topology().coordinates().pack({0, 0});
+  const NodeId dst = net_->topology().coordinates().pack({2, 6});  // +2, -2
+  std::vector<ChannelId> out;
+  tfar.candidate_channels(*net_, msg_to(src, dst), src, injection_vc(src), out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(net_->phys(out[0]).dim, 0);
+  EXPECT_EQ(net_->phys(out[0]).dir, +1);
+  EXPECT_EQ(net_->phys(out[1]).dim, 1);
+  EXPECT_EQ(net_->phys(out[1]).dir, -1);
+}
+
+TEST_F(TfarTest, TieDistanceOffersBothDirections) {
+  TfarRouting tfar;
+  const NodeId src = net_->topology().coordinates().pack({0, 0});
+  const NodeId dst = net_->topology().coordinates().pack({4, 4});  // k/2 both
+  std::vector<ChannelId> out;
+  tfar.candidate_channels(*net_, msg_to(src, dst), src, injection_vc(src), out);
+  EXPECT_EQ(out.size(), 4u);  // both directions in both dimensions
+}
+
+TEST_F(TfarTest, SingleDimensionLeftMeansOneCandidate) {
+  TfarRouting tfar;
+  const NodeId here = net_->topology().coordinates().pack({2, 3});
+  const NodeId dst = net_->topology().coordinates().pack({2, 5});
+  std::vector<ChannelId> out;
+  tfar.candidate_channels(*net_, msg_to(0, dst), here, injection_vc(here), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(net_->phys(out[0]).dim, 1);
+  EXPECT_EQ(net_->phys(out[0]).dir, +1);
+}
+
+TEST_F(TfarTest, NoMisroutingByDefault) {
+  TfarRouting tfar(0);
+  const NodeId src = 0;
+  std::vector<ChannelId> out;
+  tfar.candidate_channels(*net_, msg_to(src, 1), src, injection_vc(src), out);
+  EXPECT_EQ(out.size(), 1u);  // only the single minimal channel
+}
+
+TEST_F(TfarTest, MisrouteBudgetAddsNonMinimalCandidates) {
+  TfarRouting tfar(2);
+  const NodeId src = 0;
+  std::vector<ChannelId> out;
+  tfar.candidate_channels(*net_, msg_to(src, 1, /*misroutes=*/0), src,
+                          injection_vc(src), out);
+  // 1 minimal + 3 non-minimal (4 outgoing channels, none excluded for a
+  // header still at its injection channel).
+  EXPECT_EQ(out.size(), 4u);
+  // Minimal candidate listed first.
+  EXPECT_EQ(net_->phys(out[0]).dim, 0);
+  EXPECT_EQ(net_->phys(out[0]).dir, +1);
+}
+
+TEST_F(TfarTest, MisrouteBudgetExhaustedFallsBackToMinimal) {
+  TfarRouting tfar(2);
+  const NodeId src = 0;
+  std::vector<ChannelId> out;
+  tfar.candidate_channels(*net_, msg_to(src, 1, /*misroutes=*/2), src,
+                          injection_vc(src), out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(TfarTest, MisrouteExcludesImmediateUturn) {
+  TfarRouting tfar(4);
+  // Header sits in the VC of the channel arriving at node 1 from node 0
+  // (dim 0, dir +1); the reverse channel (1 -> 0) must not be offered.
+  const ChannelId in_ch = net_->topology().out_channel(0, 0, +1);
+  const VcId in_vc = net_->phys(in_ch).first_vc;
+  const NodeId here = 1;
+  std::vector<ChannelId> out;
+  tfar.candidate_channels(*net_, msg_to(0, 2), here, in_vc, out);
+  const ChannelId reverse = net_->topology().out_channel(1, 0, -1);
+  EXPECT_TRUE(std::find(out.begin(), out.end(), reverse) == out.end());
+  EXPECT_EQ(out.size(), 3u);  // 4 outgoing - reverse (minimal one included)
+}
+
+TEST_F(TfarTest, MisroutedMessagesStillDeliver) {
+  SimConfig cfg = cfg_;
+  cfg.max_misroutes = 3;
+  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  for (NodeId n = 0; n < 16; ++n) {
+    net.enqueue_message(n, (n + 21) % 64, 8);
+  }
+  int steps = 0;
+  while (net.counters().delivered < 16) {
+    ASSERT_LT(++steps, 3000);
+    net.step();
+    if (steps % 50 == 0) net.check_invariants();
+  }
+  // Hops may exceed the minimal distance by at most 2x the misroute budget
+  // (each misroute adds one hop away plus one back).
+  for (std::size_t id = 0; id < net.num_messages(); ++id) {
+    const Message& msg = net.message(static_cast<MessageId>(id));
+    EXPECT_LE(msg.misroutes, 3);
+    EXPECT_GE(msg.hops, net.topology().min_distance(msg.src, msg.dst));
+    EXPECT_LE(msg.hops, net.topology().min_distance(msg.src, msg.dst) + 6);
+  }
+}
+
+TEST_F(TfarTest, UnrestrictedAndNotDeadlockFree) {
+  TfarRouting tfar;
+  EXPECT_FALSE(tfar.deadlock_free());
+  EXPECT_TRUE(tfar.vc_allowed(*net_, msg_to(0, 1), 0, 0, injection_vc(0)));
+}
+
+}  // namespace
+}  // namespace flexnet

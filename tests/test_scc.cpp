@@ -1,0 +1,110 @@
+#include "core/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace flexnet {
+namespace {
+
+TEST(Scc, ChainIsAllSingletons) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 4);
+  for (const int s : scc.size) EXPECT_EQ(s, 1);
+}
+
+TEST(Scc, CycleIsOneComponent) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_EQ(scc.size[0], 3);
+}
+
+TEST(Scc, TwoCyclesWithBridge) {
+  // 0<->1 -> 2<->3 : two components, edges respect reverse-topological ids.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 2);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+}
+
+TEST(Scc, ComponentsAreReverseTopological) {
+  // Tarjan emits components in reverse topological order: every cross edge
+  // goes from a higher component id to a lower one. The knot finder relies
+  // only on explicit out-edge checks, but this property documents the
+  // numbering and guards against regressions.
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);  // SCC A
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 3);  // SCC B
+  g.add_edge(4, 5);  // singleton C
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 3);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    for (const int w : g.out(v)) {
+      EXPECT_GE(scc.component[v], scc.component[w]);
+    }
+  }
+}
+
+TEST(Scc, SelfLoopIsItsOwnComponent) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 2);
+  EXPECT_EQ(scc.size[static_cast<std::size_t>(scc.component[0])], 1);
+}
+
+TEST(Scc, MembersListsComponentVertices) {
+  Digraph g(5);
+  g.add_edge(1, 3);
+  g.add_edge(3, 1);
+  const SccResult scc = strongly_connected_components(g);
+  const int comp = scc.component[1];
+  const std::vector<int> members = scc.members(comp);
+  EXPECT_EQ(members, (std::vector<int>{1, 3}));
+}
+
+TEST(Scc, DisconnectedGraphCoversAllVertices) {
+  Digraph g(100);
+  for (int i = 0; i + 1 < 100; i += 2) {
+    g.add_edge(i, i + 1);
+    g.add_edge(i + 1, i);
+  }
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 50);
+  std::set<int> assigned(scc.component.begin(), scc.component.end());
+  EXPECT_EQ(assigned.size(), 50u);
+}
+
+TEST(Scc, LargeCycleUsesNoRecursion) {
+  // 200k-vertex cycle: would overflow the stack with a recursive Tarjan.
+  constexpr int kN = 200000;
+  Digraph g(kN);
+  for (int i = 0; i < kN; ++i) g.add_edge(i, (i + 1) % kN);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_EQ(scc.size[0], kN);
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,123 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flexnet {
+namespace {
+
+TEST(RunningStat, EmptyIsZeroed) {
+  RunningStat s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat a;
+  RunningStat empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStat b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStat, ResetClearsState) {
+  RunningStat s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, CountsAndClampsOverflow) {
+  Histogram h(4);  // buckets 0..3
+  h.add(0);
+  h.add(2);
+  h.add(3);
+  h.add(99);  // clamps into bucket 3
+  h.add(-5);  // clamps into bucket 0
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(1), 0);
+  EXPECT_EQ(h.bucket(2), 1);
+  EXPECT_EQ(h.bucket(3), 2);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h(10);
+  for (int i = 0; i < 9; ++i) h.add(1);
+  h.add(8);
+  EXPECT_EQ(h.quantile(0.5), 1);
+  EXPECT_EQ(h.quantile(0.9), 1);
+  EXPECT_EQ(h.quantile(1.0), 8);
+}
+
+TEST(Histogram, QuantileOnEmptyIsZero) {
+  Histogram h(4);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(Histogram, MergeGrowsAndAccumulates) {
+  Histogram a(2);
+  Histogram b(6);
+  a.add(1);
+  b.add(5);
+  b.add(1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3);
+  EXPECT_EQ(a.size(), 6u);
+  EXPECT_EQ(a.bucket(1), 2);
+  EXPECT_EQ(a.bucket(5), 1);
+}
+
+}  // namespace
+}  // namespace flexnet

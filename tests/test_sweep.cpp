@@ -1,0 +1,158 @@
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "exp/report.hpp"
+
+namespace flexnet {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 4;
+  cfg.sim.topology.n = 2;
+  cfg.sim.routing = RoutingKind::TFAR;
+  cfg.sim.message_length = 8;
+  cfg.run.warmup = 300;
+  cfg.run.measure = 700;
+  return cfg;
+}
+
+TEST(Linspace, EvenSpacing) {
+  const std::vector<double> v = linspace(0.1, 0.5, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.1);
+  EXPECT_DOUBLE_EQ(v[2], 0.3);
+  EXPECT_DOUBLE_EQ(v[4], 0.5);
+}
+
+TEST(Linspace, SingleStepAndErrors) {
+  EXPECT_EQ(linspace(0.7, 1.0, 1), (std::vector<double>{0.7}));
+  EXPECT_THROW(linspace(0, 1, 0), std::invalid_argument);
+}
+
+TEST(Sweep, ResultsFollowLoadOrder) {
+  const std::vector<double> loads{0.2, 0.5, 1.3};
+  const auto results = sweep_loads(tiny_config(), loads, /*parallel=*/false);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].load, loads[i]);
+  }
+  // Throughput grows with offered load until saturation.
+  EXPECT_LT(results[0].window.throughput_flits_per_node,
+            results[1].window.throughput_flits_per_node);
+}
+
+TEST(Sweep, ParallelMatchesSerial) {
+  const std::vector<double> loads{0.2, 0.6};
+  const auto serial = sweep_loads(tiny_config(), loads, false);
+  const auto parallel = sweep_loads(tiny_config(), loads, true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].window.generated, parallel[i].window.generated);
+    EXPECT_EQ(serial[i].window.delivered, parallel[i].window.delivered);
+  }
+}
+
+TEST(Sweep, SaturationLoadFindsFirstSaturatedPoint) {
+  const std::vector<double> loads{0.2, 0.4, 1.3, 1.4};
+  const auto results = sweep_loads(tiny_config(), loads, false);
+  const double sat = saturation_load(results);
+  EXPECT_FALSE(std::isnan(sat));
+  EXPECT_GE(sat, 0.4);
+  EXPECT_LE(sat, 1.3);
+}
+
+TEST(Sweep, SaturationLoadNanWhenNonePresent) {
+  const std::vector<double> loads{0.1, 0.2};
+  const auto results = sweep_loads(tiny_config(), loads, false);
+  EXPECT_TRUE(std::isnan(saturation_load(results)));
+}
+
+TEST(Report, LoadSeriesPrintsEveryRowAndMarksSaturation) {
+  const std::vector<double> loads{0.2, 1.3, 1.4};
+  const auto results = sweep_loads(tiny_config(), loads, false);
+  std::ostringstream out;
+  const auto columns = deadlock_columns();
+  print_load_series(out, "demo", results, columns);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("norm_deadlocks"), std::string::npos);
+  EXPECT_NE(text.find("0.200"), std::string::npos);
+  EXPECT_NE(text.find("1.400"), std::string::npos);
+  EXPECT_NE(text.find("*"), std::string::npos);  // saturation marker
+}
+
+TEST(Report, CsvHasOneLinePerResultPlusHeader) {
+  const std::vector<double> loads{0.2, 0.5};
+  const auto results = sweep_loads(tiny_config(), loads, false);
+  std::ostringstream out;
+  write_results_csv(out, results, "demo");
+  int lines = 0;
+  for (const char c : out.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_NE(out.str().find("norm_deadlocks"), std::string::npos);
+  EXPECT_NE(out.str().find("demo"), std::string::npos);
+}
+
+TEST(Report, ColumnSetsEvaluate) {
+  const auto results = sweep_loads(tiny_config(), std::vector<double>{0.3}, false);
+  for (const auto& columns : {deadlock_columns(), set_size_columns(),
+                              cycle_columns(), throughput_columns()}) {
+    for (const SeriesColumn& col : columns) {
+      EXPECT_NO_THROW(col.value(results[0]));
+      EXPECT_FALSE(col.name.empty());
+    }
+  }
+}
+
+TEST(Report, DeadlockRecordsCsv) {
+  DeadlockRecord a;
+  a.detected_at = 150;
+  a.deadlock_set_size = 3;
+  a.resource_set_size = 8;
+  a.knot_size = 8;
+  a.dependent_count = 1;
+  a.knot_cycle_density = 1;
+  a.victim = 42;
+  std::ostringstream out;
+  write_deadlock_records_csv(out, std::vector<DeadlockRecord>{a}, "demo");
+  EXPECT_NE(out.str().find("demo,150,3,8,8,1,1,0,42"), std::string::npos);
+}
+
+TEST(Report, SetSizeHistogramRendersBars) {
+  Histogram h(16);
+  h.add(3);
+  h.add(3);
+  h.add(7);
+  std::ostringstream out;
+  print_set_size_histogram(out, "demo", h);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("####"), std::string::npos);
+}
+
+TEST(Report, SetSizeHistogramEmptyCase) {
+  std::ostringstream out;
+  print_set_size_histogram(out, "empty", Histogram(8));
+  EXPECT_NE(out.str().find("(no deadlocks)"), std::string::npos);
+}
+
+TEST(Report, WindowHistogramIsPopulated) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.sim.routing = RoutingKind::DOR;
+  cfg.sim.topology.bidirectional = false;  // deadlock-heavy
+  cfg.traffic.load = 0.9;
+  cfg.run.measure = 2000;
+  const ExperimentResult r = run_experiment(cfg);
+  ASSERT_GT(r.window.deadlocks, 0);
+  EXPECT_EQ(r.window.deadlock_set_histogram.total(), r.window.deadlocks);
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,116 @@
+// Timeout-based (presumed) deadlock detection vs the knot-based ground
+// truth: the timeout must flag true deadlocks eventually, and its
+// false-positive classification must separate congestion and dependent
+// messages from real deadlock-set members.
+#include "core/timeout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+namespace {
+
+std::unique_ptr<Network> deadlocked_ring() {
+  SimConfig cfg;
+  cfg.topology.k = 4;
+  cfg.topology.n = 1;
+  cfg.topology.bidirectional = false;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = 8;
+  auto net = std::make_unique<Network>(cfg, make_routing(cfg),
+                                       make_selection(cfg.selection));
+  for (NodeId n = 0; n < 4; ++n) net->enqueue_message(n, (n + 2) % 4, 8);
+  for (int i = 0; i < 300; ++i) net->step();
+  return net;
+}
+
+TEST(Timeout, FlagsNothingBeforeTheThreshold) {
+  const auto net = deadlocked_ring();
+  EXPECT_TRUE(presumed_deadlocked(*net, 100000).empty());
+}
+
+TEST(Timeout, EventuallyFlagsEveryDeadlockedMessage) {
+  const auto net = deadlocked_ring();
+  const auto presumed = presumed_deadlocked(*net, 100);
+  EXPECT_EQ(presumed.size(), 4u);
+}
+
+TEST(Timeout, ClassifiesRingDeadlockAsAllTruePositives) {
+  const auto net = deadlocked_ring();
+  const TimeoutAccuracy acc = classify_timeout_detection(*net, 100);
+  EXPECT_EQ(acc.presumed, 4);
+  EXPECT_EQ(acc.true_positive, 4);
+  EXPECT_EQ(acc.false_positive, 0);
+  EXPECT_EQ(acc.dependent, 0);
+  EXPECT_EQ(acc.actually_deadlocked, 4);
+  EXPECT_EQ(acc.missed(), 0);
+  EXPECT_DOUBLE_EQ(acc.false_positive_rate(), 0.0);
+}
+
+TEST(Timeout, HighThresholdMissesTheDeadlock) {
+  const auto net = deadlocked_ring();
+  const TimeoutAccuracy acc = classify_timeout_detection(*net, 100000);
+  EXPECT_EQ(acc.presumed, 0);
+  EXPECT_EQ(acc.actually_deadlocked, 4);
+  EXPECT_EQ(acc.missed(), 4);
+}
+
+TEST(Timeout, CongestionWithoutDeadlockIsAllFalsePositives) {
+  // A long blocker congests followers on a straight same-direction line
+  // (no wrap crossing, so no cycle is possible among these flows) — an
+  // aggressive timeout presumes deadlock where none can exist.
+  SimConfig cfg;
+  cfg.topology.k = 8;
+  cfg.topology.n = 1;
+  cfg.topology.wrap = true;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = 32;
+  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  net.enqueue_message(2, 3, 32);  // slow drain occupies 2->3
+  net.enqueue_message(1, 3, 32);  // blocked behind it
+  net.enqueue_message(0, 3, 32);  // blocked further back
+  for (int i = 0; i < 30; ++i) net.step();
+
+  const TimeoutAccuracy acc = classify_timeout_detection(net, 10);
+  EXPECT_GT(acc.presumed, 0);
+  EXPECT_EQ(acc.actually_deadlocked, 0);
+  EXPECT_EQ(acc.true_positive, 0);
+  EXPECT_EQ(acc.false_positive, acc.presumed);
+  EXPECT_DOUBLE_EQ(acc.false_positive_rate(), 1.0);
+}
+
+TEST(Timeout, DependentMessagesAreClassifiedSeparately) {
+  // Ring deadlock + one outside message blocked on a deadlocked channel:
+  // the timeout flags it too, but removing it would not resolve anything.
+  // Buffers hold a whole message here so the ring members release their
+  // injection VCs and the late message can enter the network.
+  SimConfig cfg;
+  cfg.topology.k = 4;
+  cfg.topology.n = 1;
+  cfg.topology.bidirectional = false;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = 4;
+  cfg.buffer_depth = 4;
+  auto net = std::make_unique<Network>(cfg, make_routing(cfg),
+                                       make_selection(cfg.selection));
+  for (NodeId n = 0; n < 4; ++n) net->enqueue_message(n, (n + 2) % 4, 4);
+  for (int i = 0; i < 300; ++i) net->step();
+  // A message from node 0 wanting node 1 needs channel 0->1, which a
+  // deadlock-set member owns.
+  const MessageId late = net->enqueue_message(0, 1, 4);
+  for (int i = 0; i < 300; ++i) net->step();
+  ASSERT_TRUE(net->message(late).blocked);
+
+  const TimeoutAccuracy acc = classify_timeout_detection(*net, 100);
+  EXPECT_EQ(acc.true_positive, 4);
+  EXPECT_EQ(acc.dependent, 1);
+  EXPECT_EQ(acc.false_positive, 0);
+}
+
+}  // namespace
+}  // namespace flexnet

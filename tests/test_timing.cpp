@@ -1,0 +1,147 @@
+// Timing, bandwidth and fairness properties of the flit pipeline: wormhole
+// latency composition, one-flit-per-channel-per-cycle bandwidth limits,
+// reception serialization, and round-robin fairness between competing flows.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+namespace {
+
+std::unique_ptr<Network> ring_net(int k, int length, int buffer = 4,
+                                  int vcs = 1) {
+  SimConfig cfg;
+  cfg.topology.k = k;
+  cfg.topology.n = 1;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = length;
+  cfg.buffer_depth = buffer;
+  cfg.vcs = vcs;
+  return std::make_unique<Network>(cfg, make_routing(cfg),
+                                   make_selection(cfg.selection));
+}
+
+TEST(Timing, WormholeLatencyScalesWithHopsPlusLength) {
+  // Uncontended wormhole latency ~= hops + length + pipeline constants; the
+  // distance contribution must be additive, not multiplicative.
+  Cycle latency_by_hops[4] = {0, 0, 0, 0};
+  for (int hops = 1; hops <= 3; ++hops) {
+    auto net = ring_net(8, 16);
+    const MessageId id = net->enqueue_message(0, hops, 16);
+    while (net->message(id).status != MessageStatus::Delivered) {
+      ASSERT_LT(net->now(), 200);
+      net->step();
+    }
+    latency_by_hops[hops] = net->message(id).latency();
+  }
+  // Each extra hop costs a small constant (header pipeline), not a full
+  // serialization of the message.
+  const Cycle per_hop_1 = latency_by_hops[2] - latency_by_hops[1];
+  const Cycle per_hop_2 = latency_by_hops[3] - latency_by_hops[2];
+  EXPECT_EQ(per_hop_1, per_hop_2);
+  EXPECT_GE(per_hop_1, 1);
+  EXPECT_LE(per_hop_1, 4);
+  EXPECT_GE(latency_by_hops[1], 16);  // serialization dominates
+}
+
+TEST(Timing, ChannelBandwidthIsOneFlitPerCycle) {
+  // A single long message crossing one hop: delivery takes ~length cycles
+  // after the head arrives — the channel can't move two flits per cycle.
+  auto net = ring_net(4, 32);
+  const MessageId id = net->enqueue_message(0, 1, 32);
+  while (net->message(id).status != MessageStatus::Delivered) {
+    ASSERT_LT(net->now(), 300);
+    net->step();
+  }
+  EXPECT_GE(net->message(id).latency(), 32);
+  EXPECT_LE(net->message(id).latency(), 32 + 12);
+}
+
+TEST(Timing, ReceptionSerializesConcurrentArrivals) {
+  // Two messages from different sources to the same destination: the single
+  // reception channel delivers 1 flit/cycle total, so the pair takes at
+  // least 2 x length cycles to fully deliver.
+  SimConfig cfg;
+  cfg.topology.k = 8;
+  cfg.topology.n = 1;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = 16;
+  cfg.buffer_depth = 4;
+  cfg.ejection_vcs = 2;  // both can own an ejection VC; bandwidth still 1/cycle
+  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  const Cycle start = net.now();
+  net.enqueue_message(3, 4, 16);  // arrives from the left
+  net.enqueue_message(5, 4, 16);  // arrives from the right
+  while (net.counters().delivered < 2) {
+    ASSERT_LT(net.now(), 300);
+    net.step();
+  }
+  EXPECT_GE(net.now() - start, 2 * 16);
+}
+
+TEST(Timing, RoundRobinSharesAChannelFairly) {
+  // Two infinite-ish flows (back-to-back messages) from nodes 0 and 1 both
+  // crossing channel 1->2 toward node 3: arbitration must not starve either.
+  SimConfig cfg;
+  cfg.topology.k = 8;
+  cfg.topology.n = 1;
+  cfg.topology.bidirectional = false;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = 4;
+  cfg.vcs = 2;  // flows can hold separate VCs on the shared link
+  cfg.source_queue_limit = 0;
+  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  for (int i = 0; i < 40; ++i) {
+    net.enqueue_message(0, 3, 4);
+    net.enqueue_message(1, 3, 4);
+  }
+  for (int i = 0; i < 1500 && net.counters().delivered < 60; ++i) net.step();
+  int from0 = 0;
+  int from1 = 0;
+  for (std::size_t id = 0; id < net.num_messages(); ++id) {
+    const Message& msg = net.message(static_cast<MessageId>(id));
+    if (msg.status != MessageStatus::Delivered) continue;
+    (msg.src == 0 ? from0 : from1) += 1;
+  }
+  ASSERT_GT(from0 + from1, 40);
+  // Exact 50/50 is not expected: flow 0 can stage a message in each of the
+  // two VCs of channel 0->1 while flow 1 holds only its injection VC, so
+  // flow 0 legitimately wins up to ~2/3 of the allocations on the shared
+  // link. Fairness here means neither flow is starved.
+  EXPECT_GT(from0 * 4, from0 + from1);
+  EXPECT_GT(from1 * 4, from0 + from1);
+}
+
+TEST(Timing, BackToBackMessagesPipelineThroughTheInjectionChannel) {
+  // The injection channel sends one flit per cycle; N short messages from
+  // one node need ~N x length cycles to even enter the network.
+  auto net = ring_net(4, 8);
+  for (int i = 0; i < 5; ++i) net->enqueue_message(0, 1, 8);
+  while (net->counters().delivered < 5) {
+    ASSERT_LT(net->now(), 400);
+    net->step();
+  }
+  EXPECT_GE(net->now(), 5 * 8);
+  EXPECT_LE(net->now(), 5 * 8 + 40);
+}
+
+TEST(Timing, CountersAreMonotonic) {
+  auto net = ring_net(8, 8);
+  for (int i = 0; i < 6; ++i) net->enqueue_message(i % 4, (i % 4) + 2, 8);
+  Network::Counters last = net->counters();
+  for (int i = 0; i < 200; ++i) {
+    net->step();
+    const Network::Counters& now = net->counters();
+    EXPECT_GE(now.delivered, last.delivered);
+    EXPECT_GE(now.flits_delivered, last.flits_delivered);
+    EXPECT_GE(now.injected, last.injected);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace flexnet

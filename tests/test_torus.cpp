@@ -1,0 +1,188 @@
+#include "topo/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+namespace flexnet {
+namespace {
+
+TopologyConfig make(int k, int n, bool bidir, bool wrap) {
+  TopologyConfig cfg;
+  cfg.k = k;
+  cfg.n = n;
+  cfg.bidirectional = bidir;
+  cfg.wrap = wrap;
+  return cfg;
+}
+
+TEST(Torus, ChannelCounts) {
+  const KAryNCube bi(make(16, 2, true, true));
+  EXPECT_EQ(bi.num_nodes(), 256);
+  EXPECT_EQ(bi.channels().size(), 256u * 2 * 2);  // 2 dims x 2 dirs
+
+  const KAryNCube uni(make(16, 2, false, true));
+  EXPECT_EQ(uni.channels().size(), 256u * 2);  // 2 dims x 1 dir
+
+  const KAryNCube mesh(make(4, 2, true, false));
+  // 2 dims x 2 dirs x 16 nodes minus the boundary links: per dim, each of
+  // the 4 rows loses 2 of its 8 directed links -> 24 per dim.
+  EXPECT_EQ(mesh.channels().size(), 48u);
+}
+
+TEST(Torus, ChannelEndpointsAreConsistent) {
+  const KAryNCube topo(make(8, 3, true, true));
+  for (const ChannelDesc& ch : topo.channels()) {
+    EXPECT_EQ(topo.coordinates().neighbor(ch.src, ch.dim, ch.dir), ch.dst);
+    EXPECT_EQ(topo.out_channel(ch.src, ch.dim, ch.dir), ch.id);
+  }
+}
+
+TEST(Torus, WrapLinksAreMarked) {
+  const KAryNCube topo(make(4, 1, true, true));
+  int wraps = 0;
+  for (const ChannelDesc& ch : topo.channels()) {
+    if (ch.is_wrap) ++wraps;
+  }
+  EXPECT_EQ(wraps, 2);  // 3->0 (+1) and 0->3 (-1)
+}
+
+TEST(Torus, MeshHasNoBoundaryChannels) {
+  const KAryNCube mesh(make(4, 2, true, false));
+  EXPECT_EQ(mesh.out_channel(3, 0, +1), kInvalidChannel);  // x = 3 edge
+  EXPECT_EQ(mesh.out_channel(0, 0, -1), kInvalidChannel);  // x = 0 edge
+  EXPECT_NE(mesh.out_channel(1, 0, +1), kInvalidChannel);
+  for (const ChannelDesc& ch : mesh.channels()) {
+    EXPECT_FALSE(ch.is_wrap);
+  }
+}
+
+TEST(Torus, UnidirectionalMeshRejected) {
+  EXPECT_THROW(KAryNCube(make(4, 2, false, false)), std::invalid_argument);
+}
+
+TEST(Torus, DimDistanceBidirectionalTakesShortWay) {
+  const KAryNCube topo(make(16, 2, true, true));
+  EXPECT_EQ(topo.dim_distance(0, 3, 0), 3);
+  EXPECT_EQ(topo.dim_distance(0, 13, 0), 3);  // wraps: 16 - 13
+  EXPECT_EQ(topo.dim_distance(0, 8, 0), 8);   // exactly half way
+}
+
+TEST(Torus, DimDistanceUnidirectionalAlwaysForward) {
+  const KAryNCube topo(make(16, 2, false, true));
+  EXPECT_EQ(topo.dim_distance(0, 3, 0), 3);
+  EXPECT_EQ(topo.dim_distance(0, 13, 0), 13);
+  EXPECT_EQ(topo.dim_distance(3, 0, 0), 13);
+}
+
+TEST(Torus, MinDistanceSumsDimensions) {
+  const KAryNCube topo(make(16, 2, true, true));
+  const NodeId a = topo.coordinates().pack({2, 3});
+  const NodeId b = topo.coordinates().pack({15, 10});
+  EXPECT_EQ(topo.min_distance(a, b), 3 + 7);
+}
+
+TEST(Torus, BidirectionalDistanceIsSymmetric) {
+  const KAryNCube topo(make(9, 2, true, true));
+  for (NodeId a = 0; a < topo.num_nodes(); a += 5) {
+    for (NodeId b = 0; b < topo.num_nodes(); b += 7) {
+      EXPECT_EQ(topo.min_distance(a, b), topo.min_distance(b, a));
+    }
+  }
+}
+
+TEST(Torus, MinimalDirsSingleWhenOneShortest) {
+  const KAryNCube topo(make(16, 1, true, true));
+  const DimRoute fwd = topo.minimal_dirs(0, 3, 0);
+  ASSERT_EQ(fwd.count, 1);
+  EXPECT_EQ(fwd.dirs[0], +1);
+  const DimRoute bwd = topo.minimal_dirs(0, 13, 0);
+  ASSERT_EQ(bwd.count, 1);
+  EXPECT_EQ(bwd.dirs[0], -1);
+}
+
+TEST(Torus, MinimalDirsTieOffersBothAndListsPositiveFirst) {
+  const KAryNCube topo(make(16, 1, true, true));
+  const DimRoute tie = topo.minimal_dirs(0, 8, 0);
+  ASSERT_EQ(tie.count, 2);
+  EXPECT_EQ(tie.dirs[0], +1);
+  EXPECT_EQ(tie.dirs[1], -1);
+}
+
+TEST(Torus, MinimalDirsAlignedIsEmpty) {
+  const KAryNCube topo(make(16, 2, true, true));
+  EXPECT_EQ(topo.minimal_dirs(5, 5, 0).count, 0);
+}
+
+TEST(Torus, MinimalDirsUnidirectionalAlwaysPositive) {
+  const KAryNCube topo(make(16, 1, false, true));
+  const DimRoute r = topo.minimal_dirs(5, 2, 0);
+  ASSERT_EQ(r.count, 1);
+  EXPECT_EQ(r.dirs[0], +1);
+}
+
+TEST(Torus, AverageDistanceMatchesClosedForms) {
+  // Bidirectional even-k torus: k/4 per dimension (before the src!=dst
+  // conditioning factor N/(N-1)).
+  const KAryNCube bi(make(16, 2, true, true));
+  EXPECT_NEAR(bi.average_distance(), 8.0 * 256.0 / 255.0, 1e-12);
+
+  // Unidirectional: (k-1)/2 per dimension.
+  const KAryNCube uni(make(16, 2, false, true));
+  EXPECT_NEAR(uni.average_distance(), 15.0 * 256.0 / 255.0, 1e-12);
+
+  // 4-ary 4-cube: k/4 = 1 per dimension, 4 dimensions.
+  const KAryNCube hyper(make(4, 4, true, true));
+  EXPECT_NEAR(hyper.average_distance(), 4.0 * 256.0 / 255.0, 1e-12);
+
+  // Mesh: (k^2 - 1) / (3k) per dimension.
+  const KAryNCube mesh(make(4, 2, true, false));
+  EXPECT_NEAR(mesh.average_distance(), 2.0 * (15.0 / 12.0) * 16.0 / 15.0, 1e-12);
+}
+
+TEST(Torus, AverageDistanceMatchesBruteForce) {
+  const KAryNCube topo(make(6, 2, true, true));
+  double total = 0.0;
+  std::int64_t pairs = 0;
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      if (a == b) continue;
+      total += topo.min_distance(a, b);
+      ++pairs;
+    }
+  }
+  EXPECT_NEAR(topo.average_distance(), total / static_cast<double>(pairs), 1e-9);
+}
+
+// Parameterized structural sweep: every (k, n, bidir) combination keeps the
+// basic channel-table invariants.
+class TorusSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(TorusSweep, ChannelTableIsConsistent) {
+  const auto [k, n, bidir] = GetParam();
+  const KAryNCube topo(make(k, n, bidir, true));
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const ChannelDesc& ch : topo.channels()) {
+    EXPECT_GE(ch.src, 0);
+    EXPECT_LT(ch.src, topo.num_nodes());
+    EXPECT_NE(ch.src, ch.dst);
+    EXPECT_EQ(topo.min_distance(ch.src, ch.dst), 1);
+    // No duplicate directed links between the same pair within a dimension.
+    EXPECT_TRUE(seen.insert({ch.src * 1000 + ch.dim, ch.dst}).second);
+  }
+  const std::size_t expected =
+      static_cast<std::size_t>(topo.num_nodes()) * n * (bidir ? 2 : 1);
+  EXPECT_EQ(topo.channels().size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TorusSweep,
+    ::testing::Combine(::testing::Values(3, 4, 8, 16),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(true, false)));
+
+}  // namespace
+}  // namespace flexnet

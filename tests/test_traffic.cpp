@@ -1,0 +1,221 @@
+#include "traffic/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+namespace flexnet {
+namespace {
+
+KAryNCube torus16x16() {
+  TopologyConfig cfg;
+  cfg.k = 16;
+  cfg.n = 2;
+  return KAryNCube(cfg);
+}
+
+TrafficConfig traffic_cfg(TrafficKind kind) {
+  TrafficConfig cfg;
+  cfg.pattern = kind;
+  return cfg;
+}
+
+TEST(Traffic, UniformNeverPicksTheSource) {
+  const KAryNCube topo = torus16x16();
+  const auto pattern =
+      make_traffic(TrafficKind::Uniform, topo, traffic_cfg(TrafficKind::Uniform));
+  Pcg32 rng(1);
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const NodeId dst = pattern->destination(77, rng);
+    ASSERT_NE(dst, 77);
+    ASSERT_GE(dst, 0);
+    ASSERT_LT(dst, topo.num_nodes());
+    ++counts[dst];
+  }
+  // All 255 other nodes hit.
+  EXPECT_EQ(counts.size(), 255u);
+  EXPECT_FALSE(pattern->deterministic());
+}
+
+TEST(Traffic, BitReversal) {
+  const KAryNCube topo = torus16x16();  // 256 nodes = 8 bits
+  const auto pattern = make_traffic(TrafficKind::BitReversal, topo,
+                                    traffic_cfg(TrafficKind::BitReversal));
+  Pcg32 rng(1);
+  // 0b00000001 -> 0b10000000
+  EXPECT_EQ(pattern->destination(1, rng), 128);
+  // 0b00010011 (19) -> 0b11001000 (200)
+  EXPECT_EQ(pattern->destination(19, rng), 200);
+  // Palindromic addresses map to themselves -> no traffic.
+  EXPECT_EQ(pattern->destination(0, rng), kInvalidNode);
+  EXPECT_EQ(pattern->destination(255, rng), kInvalidNode);
+  EXPECT_TRUE(pattern->deterministic());
+}
+
+TEST(Traffic, BitReversalIsAnInvolution) {
+  const KAryNCube topo = torus16x16();
+  const auto pattern = make_traffic(TrafficKind::BitReversal, topo,
+                                    traffic_cfg(TrafficKind::BitReversal));
+  Pcg32 rng(1);
+  for (NodeId src = 0; src < topo.num_nodes(); ++src) {
+    const NodeId dst = pattern->destination(src, rng);
+    if (dst == kInvalidNode) continue;
+    EXPECT_EQ(pattern->destination(dst, rng), src);
+  }
+}
+
+TEST(Traffic, MatrixTranspose) {
+  const KAryNCube topo = torus16x16();
+  const auto pattern = make_traffic(TrafficKind::Transpose, topo,
+                                    traffic_cfg(TrafficKind::Transpose));
+  Pcg32 rng(1);
+  // (x, y) -> (y, x): node 0x4A = (10, 4) -> 0xA4 = (4, 10).
+  EXPECT_EQ(pattern->destination(0x4A, rng), 0xA4);
+  // Diagonal maps to itself.
+  EXPECT_EQ(pattern->destination(0x55, rng), kInvalidNode);
+}
+
+TEST(Traffic, PerfectShuffleRotatesLeft) {
+  const KAryNCube topo = torus16x16();
+  const auto pattern = make_traffic(TrafficKind::PerfectShuffle, topo,
+                                    traffic_cfg(TrafficKind::PerfectShuffle));
+  Pcg32 rng(1);
+  // 0b01000001 (65) -> 0b10000010 (130)
+  EXPECT_EQ(pattern->destination(65, rng), 130);
+  // 0b10000000 (128) -> 0b00000001 (1)
+  EXPECT_EQ(pattern->destination(128, rng), 1);
+  EXPECT_EQ(pattern->destination(0, rng), kInvalidNode);    // fixed point
+  EXPECT_EQ(pattern->destination(255, rng), kInvalidNode);  // fixed point
+}
+
+TEST(Traffic, BitPermutationsRequirePowerOfTwo) {
+  TopologyConfig cfg;
+  cfg.k = 6;
+  cfg.n = 2;  // 36 nodes
+  const KAryNCube topo(cfg);
+  EXPECT_THROW(make_traffic(TrafficKind::BitReversal, topo,
+                            traffic_cfg(TrafficKind::BitReversal)),
+               std::invalid_argument);
+}
+
+TEST(Traffic, HotSpotConcentratesTraffic) {
+  const KAryNCube topo = torus16x16();
+  TrafficConfig cfg = traffic_cfg(TrafficKind::HotSpot);
+  cfg.hotspot_nodes = 4;
+  cfg.hotspot_fraction = 0.5;
+  const auto pattern = make_traffic(TrafficKind::HotSpot, topo, cfg);
+  Pcg32 rng(3);
+  std::map<NodeId, int> counts;
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[pattern->destination(17, rng)];
+  }
+  // The four hot nodes (0, 64, 128, 192) absorb ~50% plus background.
+  const double hot_share =
+      static_cast<double>(counts[0] + counts[64] + counts[128] + counts[192]) /
+      kSamples;
+  EXPECT_GT(hot_share, 0.45);
+  EXPECT_LT(hot_share, 0.60);
+}
+
+TEST(Traffic, HotSpotValidatesParameters) {
+  const KAryNCube topo = torus16x16();
+  TrafficConfig cfg = traffic_cfg(TrafficKind::HotSpot);
+  cfg.hotspot_nodes = 0;
+  EXPECT_THROW(make_traffic(TrafficKind::HotSpot, topo, cfg),
+               std::invalid_argument);
+}
+
+TEST(Traffic, TornadoGoesHalfwayInEveryDimension) {
+  const KAryNCube topo = torus16x16();
+  const auto pattern = make_traffic(TrafficKind::Tornado, topo,
+                                    traffic_cfg(TrafficKind::Tornado));
+  Pcg32 rng(1);
+  const NodeId src = topo.coordinates().pack({3, 5});
+  const NodeId dst = pattern->destination(src, rng);
+  EXPECT_EQ(topo.coordinates().coordinate(dst, 0), (3 + 7) % 16);
+  EXPECT_EQ(topo.coordinates().coordinate(dst, 1), (5 + 7) % 16);
+}
+
+TEST(Traffic, NearestNeighborStaysAdjacent) {
+  const KAryNCube topo = torus16x16();
+  const auto pattern = make_traffic(TrafficKind::NearestNeighbor, topo,
+                                    traffic_cfg(TrafficKind::NearestNeighbor));
+  Pcg32 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId dst = pattern->destination(100, rng);
+    ASSERT_NE(dst, kInvalidNode);
+    EXPECT_EQ(topo.min_distance(100, dst), 1);
+  }
+}
+
+TEST(Traffic, AveragePatternDistanceUniformMatchesTopology) {
+  const KAryNCube topo = torus16x16();
+  const auto pattern =
+      make_traffic(TrafficKind::Uniform, topo, traffic_cfg(TrafficKind::Uniform));
+  const double avg = average_pattern_distance(topo, *pattern, 1);
+  EXPECT_NEAR(avg, topo.average_distance(), 0.1);
+}
+
+TEST(Traffic, AveragePatternDistanceExactForPermutations) {
+  const KAryNCube topo = torus16x16();
+  const auto pattern = make_traffic(TrafficKind::Tornado, topo,
+                                    traffic_cfg(TrafficKind::Tornado));
+  // Tornado: 7 hops in each of 2 dimensions from every source.
+  EXPECT_DOUBLE_EQ(average_pattern_distance(topo, *pattern, 1), 14.0);
+}
+
+TEST(Traffic, HybridMixesTwoPatterns) {
+  const KAryNCube topo = torus16x16();
+  TrafficConfig cfg = traffic_cfg(TrafficKind::Tornado);
+  cfg.hybrid_fraction = 0.5;
+  cfg.hybrid_with = TrafficKind::Transpose;
+  const auto pattern = make_traffic(TrafficKind::Tornado, topo, cfg);
+  EXPECT_EQ(pattern->name(), "Hybrid");
+  EXPECT_FALSE(pattern->deterministic());
+  Pcg32 rng(8);
+  const NodeId src = topo.coordinates().pack({3, 5});
+  const NodeId tornado_dst = topo.coordinates().pack({10, 12});
+  const NodeId transpose_dst = topo.coordinates().pack({5, 3});
+  int tornado = 0;
+  int transpose = 0;
+  constexpr int kSamples = 4000;
+  for (int i = 0; i < kSamples; ++i) {
+    const NodeId dst = pattern->destination(src, rng);
+    if (dst == tornado_dst) ++tornado;
+    if (dst == transpose_dst) ++transpose;
+  }
+  EXPECT_EQ(tornado + transpose, kSamples);
+  EXPECT_NEAR(static_cast<double>(transpose) / kSamples, 0.5, 0.05);
+}
+
+TEST(Traffic, HybridZeroFractionIsPrimaryOnly) {
+  const KAryNCube topo = torus16x16();
+  TrafficConfig cfg = traffic_cfg(TrafficKind::Tornado);
+  cfg.hybrid_fraction = 0.0;
+  const auto pattern = make_traffic(TrafficKind::Tornado, topo, cfg);
+  EXPECT_EQ(pattern->name(), "Tornado");
+}
+
+TEST(Traffic, HybridRejectsBadFraction) {
+  const KAryNCube topo = torus16x16();
+  TrafficConfig cfg = traffic_cfg(TrafficKind::Uniform);
+  cfg.hybrid_fraction = 1.5;
+  EXPECT_THROW(make_traffic(TrafficKind::Uniform, topo, cfg),
+               std::invalid_argument);
+}
+
+TEST(Traffic, NamesAreStable) {
+  EXPECT_EQ(to_string(TrafficKind::Uniform), "Uniform");
+  EXPECT_EQ(to_string(TrafficKind::BitReversal), "BitReversal");
+  EXPECT_EQ(to_string(TrafficKind::Transpose), "Transpose");
+  EXPECT_EQ(to_string(TrafficKind::PerfectShuffle), "PerfectShuffle");
+  EXPECT_EQ(to_string(TrafficKind::HotSpot), "HotSpot");
+  EXPECT_EQ(to_string(TrafficKind::Tornado), "Tornado");
+  EXPECT_EQ(to_string(TrafficKind::NearestNeighbor), "NearestNeighbor");
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/options.hpp"
+#include "util/parallel.hpp"
+
+namespace flexnet {
+namespace {
+
+// ---------------------------------------------------------------- Options
+
+TEST(Options, ParsesAllForms) {
+  const char* argv[] = {"prog",     "--alpha", "1",         "--beta=two",
+                        "--flag",   "--gamma", "3.5",       "positional",
+                        "--truthy"};
+  const auto opts = Options::parse(9, argv);
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->get_int("alpha", 0), 1);
+  EXPECT_EQ(opts->get("beta"), "two");
+  EXPECT_TRUE(opts->get_bool("flag", false));
+  EXPECT_DOUBLE_EQ(opts->get_double("gamma", 0.0), 3.5);
+  EXPECT_TRUE(opts->get_bool("truthy", false));
+  ASSERT_EQ(opts->positional().size(), 1u);
+  EXPECT_EQ(opts->positional()[0], "positional");
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const auto opts = Options::parse(1, argv);
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_FALSE(opts->has("missing"));
+  EXPECT_EQ(opts->get("missing", "fallback"), "fallback");
+  EXPECT_EQ(opts->get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(opts->get_double("missing", 2.5), 2.5);
+  EXPECT_TRUE(opts->get_bool("missing", true));
+}
+
+TEST(Options, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=1", "--b=true", "--c=on", "--d=no"};
+  const auto opts = Options::parse(5, argv);
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_TRUE(opts->get_bool("a", false));
+  EXPECT_TRUE(opts->get_bool("b", false));
+  EXPECT_TRUE(opts->get_bool("c", false));
+  EXPECT_FALSE(opts->get_bool("d", true));
+}
+
+TEST(Options, RejectsBareDashes) {
+  const char* argv[] = {"prog", "--"};
+  std::string error;
+  EXPECT_FALSE(Options::parse(2, argv, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row({"1", "x,y"});
+  EXPECT_EQ(out.str(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(TableWriter, AlignsColumns) {
+  std::ostringstream out;
+  TableWriter table("demo");
+  table.header({"col", "value"});
+  table.row({"x", "1"});
+  table.row({"longer", "2"});
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableWriter, NumberFormatting) {
+  EXPECT_EQ(TableWriter::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TableWriter::num(std::nan(""), 2), "-");
+  EXPECT_EQ(TableWriter::integer(-42), "-42");
+}
+
+// -------------------------------------------------------------- parallel
+
+TEST(Parallel, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(8,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, WorkerCountIsPositive) {
+  EXPECT_GE(worker_thread_count(), 1u);
+}
+
+TEST(BenchScale, DefaultsToOne) {
+  // The test environment does not set FLEXNET_BENCH_SCALE.
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -1,0 +1,29 @@
+#include <cstdio>
+#include "flexnet.hpp"
+using namespace flexnet;
+int main(int argc, char** argv) {
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = argc>3?std::atoi(argv[3]):8;
+  cfg.sim.message_length = argc>4?std::atoi(argv[4]):16;
+  cfg.sim.routing = RoutingKind::TFAR; cfg.sim.vcs = argc>1?std::atoi(argv[1]):3;
+  cfg.traffic.load = argc>2?std::atof(argv[2]):0.8;
+  cfg.sim.source_queue_limit = argc>5?std::atoi(argv[5]):4;
+  Simulation sim(cfg);
+  Network& net = sim.network();
+  long long maxc=0, sum=0; int n=0, nonzero=0; int maxblk=0;
+  for (int i = 0; i < 6000; ++i) {
+    sim.injection().tick(net); net.step(); sim.detector().tick(net);
+    if (i % 10 == 0 && i > 1000) {
+      Cwg cwg = Cwg::from_network(net);
+      auto cyc = enumerate_simple_cycles(cwg.graph(), 200000);
+      if (cyc.count > maxc) maxc = cyc.count;
+      if (cyc.count > 0) nonzero++;
+      if (cwg.num_blocked_messages() > maxblk) maxblk = cwg.num_blocked_messages();
+      sum += cyc.count; n++;
+    }
+  }
+  std::printf("vcs=%s load=%s k=%d: samples=%d nonzero=%d max_cycles=%lld mean=%.1f max_blocked=%d deadlocks=%lld\n",
+    argv[1], argv[2], cfg.sim.topology.k, n, nonzero, maxc, (double)sum/n, maxblk,
+    (long long)sim.detector().total_deadlocks());
+  return 0;
+}

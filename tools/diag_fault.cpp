@@ -1,0 +1,38 @@
+#include <cstdio>
+#include "flexnet.hpp"
+using namespace flexnet;
+int main() {
+  SimConfig cfg; cfg.topology.k = 8; cfg.topology.n = 2;
+  cfg.routing = RoutingKind::TFAR; cfg.message_length = 8;
+  cfg.link_fault_fraction = 0.2; cfg.seed = 13;
+  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  for (NodeId src = 0; src < net.topology().num_nodes(); src += 7)
+    net.enqueue_message(src, (src + 31) % net.topology().num_nodes(), 8);
+  for (int i = 0; i < 20000; ++i) net.step();
+  std::printf("delivered %lld / %lld\n", (long long)net.counters().delivered, (long long)net.counters().generated);
+  for (MessageId id : net.active_messages()) {
+    const auto& m = net.message(id);
+    std::printf("stuck m%lld src %d dst %d hops %d misroutes %d blocked %d held %zu", (long long)id, m.src, m.dst, m.hops, m.misroutes, (int)m.blocked, m.held.size());
+    if (!m.held.empty()) {
+      const auto& tip = net.vc(m.held.back());
+      const auto& pc = net.phys(tip.channel);
+      std::printf(" at node %d (kind %d)", pc.dst, (int)pc.kind);
+    }
+    std::printf("\n");
+  }
+  Cwg cwg = Cwg::from_network(net);
+  auto knots = find_knots(cwg);
+  std::printf("knots: %zu\n", knots.size());
+  for (auto& k : knots) {
+    std::printf("  knot vcs %zu dset %zu:", k.knot_vcs.size(), k.deadlock_set.size());
+    for (auto id : k.deadlock_set) std::printf(" m%lld", (long long)id);
+    std::printf("\n");
+  }
+  for (MessageId id : net.active_messages()) {
+    const auto& m = net.message(id);
+    std::printf("m%lld requests:", (long long)id);
+    for (VcId v : m.request_set) std::printf(" vc%d(owner m%lld)", v, (long long)net.vc(v).owner);
+    std::printf("\n");
+  }
+  return 0;
+}
