@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_futurework.dir/bench_ext_futurework.cpp.o"
+  "CMakeFiles/bench_ext_futurework.dir/bench_ext_futurework.cpp.o.d"
+  "bench_ext_futurework"
+  "bench_ext_futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

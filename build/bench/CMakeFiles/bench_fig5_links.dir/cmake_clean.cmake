@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_links.dir/bench_fig5_links.cpp.o"
+  "CMakeFiles/bench_fig5_links.dir/bench_fig5_links.cpp.o.d"
+  "bench_fig5_links"
+  "bench_fig5_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

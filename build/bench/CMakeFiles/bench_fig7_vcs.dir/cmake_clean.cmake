@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_vcs.dir/bench_fig7_vcs.cpp.o"
+  "CMakeFiles/bench_fig7_vcs.dir/bench_fig7_vcs.cpp.o.d"
+  "bench_fig7_vcs"
+  "bench_fig7_vcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_vcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_buffers.dir/bench_fig8_buffers.cpp.o"
+  "CMakeFiles/bench_fig8_buffers.dir/bench_fig8_buffers.cpp.o.d"
+  "bench_fig8_buffers"
+  "bench_fig8_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

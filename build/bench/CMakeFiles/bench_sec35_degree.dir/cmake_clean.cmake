@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec35_degree.dir/bench_sec35_degree.cpp.o"
+  "CMakeFiles/bench_sec35_degree.dir/bench_sec35_degree.cpp.o.d"
+  "bench_sec35_degree"
+  "bench_sec35_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec35_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec36_traffic.dir/bench_sec36_traffic.cpp.o"
+  "CMakeFiles/bench_sec36_traffic.dir/bench_sec36_traffic.cpp.o.d"
+  "bench_sec36_traffic"
+  "bench_sec36_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec36_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/diag_cycles"
+  "../tools/diag_cycles.pdb"
+  "CMakeFiles/diag_cycles.dir/__/tools/diag_cycles.cpp.o"
+  "CMakeFiles/diag_cycles.dir/__/tools/diag_cycles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

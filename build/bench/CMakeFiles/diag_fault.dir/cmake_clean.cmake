@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/diag_fault"
+  "../tools/diag_fault.pdb"
+  "CMakeFiles/diag_fault.dir/__/tools/diag_fault.cpp.o"
+  "CMakeFiles/diag_fault.dir/__/tools/diag_fault.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

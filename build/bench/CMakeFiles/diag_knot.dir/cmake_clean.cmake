@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/diag_knot"
+  "../tools/diag_knot.pdb"
+  "CMakeFiles/diag_knot.dir/__/tools/diag_knot.cpp.o"
+  "CMakeFiles/diag_knot.dir/__/tools/diag_knot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_knot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoidance_vs_recovery.dir/avoidance_vs_recovery.cpp.o"
+  "CMakeFiles/avoidance_vs_recovery.dir/avoidance_vs_recovery.cpp.o.d"
+  "avoidance_vs_recovery"
+  "avoidance_vs_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoidance_vs_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_anatomy.dir/deadlock_anatomy.cpp.o"
+  "CMakeFiles/deadlock_anatomy.dir/deadlock_anatomy.cpp.o.d"
+  "deadlock_anatomy"
+  "deadlock_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

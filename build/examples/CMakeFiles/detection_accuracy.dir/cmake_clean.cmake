@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_accuracy.dir/detection_accuracy.cpp.o"
+  "CMakeFiles/detection_accuracy.dir/detection_accuracy.cpp.o.d"
+  "detection_accuracy"
+  "detection_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

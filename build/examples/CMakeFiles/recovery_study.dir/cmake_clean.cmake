@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_study.dir/recovery_study.cpp.o"
+  "CMakeFiles/recovery_study.dir/recovery_study.cpp.o.d"
+  "recovery_study"
+  "recovery_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cwg.cpp" "src/CMakeFiles/flexnet.dir/core/cwg.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/core/cwg.cpp.o.d"
+  "/root/repo/src/core/cycles.cpp" "src/CMakeFiles/flexnet.dir/core/cycles.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/core/cycles.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/CMakeFiles/flexnet.dir/core/detector.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/core/detector.cpp.o.d"
+  "/root/repo/src/core/dot.cpp" "src/CMakeFiles/flexnet.dir/core/dot.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/core/dot.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/CMakeFiles/flexnet.dir/core/graph.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/core/graph.cpp.o.d"
+  "/root/repo/src/core/knot.cpp" "src/CMakeFiles/flexnet.dir/core/knot.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/core/knot.cpp.o.d"
+  "/root/repo/src/core/pwg.cpp" "src/CMakeFiles/flexnet.dir/core/pwg.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/core/pwg.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/CMakeFiles/flexnet.dir/core/recovery.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/core/recovery.cpp.o.d"
+  "/root/repo/src/core/scc.cpp" "src/CMakeFiles/flexnet.dir/core/scc.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/core/scc.cpp.o.d"
+  "/root/repo/src/core/timeout.cpp" "src/CMakeFiles/flexnet.dir/core/timeout.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/core/timeout.cpp.o.d"
+  "/root/repo/src/exp/cli.cpp" "src/CMakeFiles/flexnet.dir/exp/cli.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/exp/cli.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "src/CMakeFiles/flexnet.dir/exp/experiment.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/exp/experiment.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/CMakeFiles/flexnet.dir/exp/report.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/exp/report.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "src/CMakeFiles/flexnet.dir/exp/sweep.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/exp/sweep.cpp.o.d"
+  "/root/repo/src/metrics/metrics.cpp" "src/CMakeFiles/flexnet.dir/metrics/metrics.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/metrics/metrics.cpp.o.d"
+  "/root/repo/src/routing/dateline.cpp" "src/CMakeFiles/flexnet.dir/routing/dateline.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/routing/dateline.cpp.o.d"
+  "/root/repo/src/routing/dor.cpp" "src/CMakeFiles/flexnet.dir/routing/dor.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/routing/dor.cpp.o.d"
+  "/root/repo/src/routing/duato.cpp" "src/CMakeFiles/flexnet.dir/routing/duato.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/routing/duato.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/CMakeFiles/flexnet.dir/routing/routing.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/routing/routing.cpp.o.d"
+  "/root/repo/src/routing/selection.cpp" "src/CMakeFiles/flexnet.dir/routing/selection.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/routing/selection.cpp.o.d"
+  "/root/repo/src/routing/tfar.cpp" "src/CMakeFiles/flexnet.dir/routing/tfar.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/routing/tfar.cpp.o.d"
+  "/root/repo/src/routing/turnmodel.cpp" "src/CMakeFiles/flexnet.dir/routing/turnmodel.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/routing/turnmodel.cpp.o.d"
+  "/root/repo/src/sim/buffer.cpp" "src/CMakeFiles/flexnet.dir/sim/buffer.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/sim/buffer.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/flexnet.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/flexnet.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/sim/network.cpp.o.d"
+  "/root/repo/src/topo/coordinates.cpp" "src/CMakeFiles/flexnet.dir/topo/coordinates.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/topo/coordinates.cpp.o.d"
+  "/root/repo/src/topo/torus.cpp" "src/CMakeFiles/flexnet.dir/topo/torus.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/topo/torus.cpp.o.d"
+  "/root/repo/src/traffic/injection.cpp" "src/CMakeFiles/flexnet.dir/traffic/injection.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/traffic/injection.cpp.o.d"
+  "/root/repo/src/traffic/traffic.cpp" "src/CMakeFiles/flexnet.dir/traffic/traffic.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/traffic/traffic.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/flexnet.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/flexnet.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/flexnet.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/CMakeFiles/flexnet.dir/util/parallel.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/util/parallel.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/flexnet.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/flexnet.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coordinates.dir/test_coordinates.cpp.o"
+  "CMakeFiles/test_coordinates.dir/test_coordinates.cpp.o.d"
+  "test_coordinates"
+  "test_coordinates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coordinates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

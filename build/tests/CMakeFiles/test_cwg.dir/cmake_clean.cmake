@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cwg.dir/test_cwg.cpp.o"
+  "CMakeFiles/test_cwg.dir/test_cwg.cpp.o.d"
+  "test_cwg"
+  "test_cwg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cwg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector_figures.dir/test_detector_figures.cpp.o"
+  "CMakeFiles/test_detector_figures.dir/test_detector_figures.cpp.o.d"
+  "test_detector_figures"
+  "test_detector_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector_live.dir/test_detector_live.cpp.o"
+  "CMakeFiles/test_detector_live.dir/test_detector_live.cpp.o.d"
+  "test_detector_live"
+  "test_detector_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knot.dir/test_knot.cpp.o"
+  "CMakeFiles/test_knot.dir/test_knot.cpp.o.d"
+  "test_knot"
+  "test_knot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lengths.dir/test_lengths.cpp.o"
+  "CMakeFiles/test_lengths.dir/test_lengths.cpp.o.d"
+  "test_lengths"
+  "test_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_basic.dir/test_network_basic.cpp.o"
+  "CMakeFiles/test_network_basic.dir/test_network_basic.cpp.o.d"
+  "test_network_basic"
+  "test_network_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_properties.dir/test_network_properties.cpp.o"
+  "CMakeFiles/test_network_properties.dir/test_network_properties.cpp.o.d"
+  "test_network_properties"
+  "test_network_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

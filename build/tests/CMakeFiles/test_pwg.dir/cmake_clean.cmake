@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pwg.dir/test_pwg.cpp.o"
+  "CMakeFiles/test_pwg.dir/test_pwg.cpp.o.d"
+  "test_pwg"
+  "test_pwg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pwg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

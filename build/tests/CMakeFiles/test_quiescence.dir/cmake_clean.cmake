@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quiescence.dir/test_quiescence.cpp.o"
+  "CMakeFiles/test_quiescence.dir/test_quiescence.cpp.o.d"
+  "test_quiescence"
+  "test_quiescence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quiescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

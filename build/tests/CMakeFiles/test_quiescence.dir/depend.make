@@ -1,0 +1,2 @@
+# Empty dependencies file for test_quiescence.
+# This may be replaced when dependencies are built.

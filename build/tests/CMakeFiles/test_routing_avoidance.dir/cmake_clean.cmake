@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_avoidance.dir/test_routing_avoidance.cpp.o"
+  "CMakeFiles/test_routing_avoidance.dir/test_routing_avoidance.cpp.o.d"
+  "test_routing_avoidance"
+  "test_routing_avoidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

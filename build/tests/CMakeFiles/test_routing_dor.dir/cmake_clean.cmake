@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_dor.dir/test_routing_dor.cpp.o"
+  "CMakeFiles/test_routing_dor.dir/test_routing_dor.cpp.o.d"
+  "test_routing_dor"
+  "test_routing_dor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_dor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

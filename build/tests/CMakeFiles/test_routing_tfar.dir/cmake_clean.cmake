@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_tfar.dir/test_routing_tfar.cpp.o"
+  "CMakeFiles/test_routing_tfar.dir/test_routing_tfar.cpp.o.d"
+  "test_routing_tfar"
+  "test_routing_tfar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_tfar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

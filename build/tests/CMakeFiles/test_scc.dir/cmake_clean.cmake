@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scc.dir/test_scc.cpp.o"
+  "CMakeFiles/test_scc.dir/test_scc.cpp.o.d"
+  "test_scc"
+  "test_scc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeout.dir/test_timeout.cpp.o"
+  "CMakeFiles/test_timeout.dir/test_timeout.cpp.o.d"
+  "test_timeout"
+  "test_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_torus.dir/test_torus.cpp.o"
+  "CMakeFiles/test_torus.dir/test_torus.cpp.o.d"
+  "test_torus"
+  "test_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
