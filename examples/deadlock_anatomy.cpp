@@ -4,11 +4,17 @@
 // deadlock set with each message's held chain and request set, the resource
 // set, dependent messages, and the knot cycle density with the actual cycles.
 //
+// The run is traced through an always-on ring buffer, so the dissection ends
+// with a *formation* forensics report: when each deadlocked message last made
+// progress and the order their blocked episodes closed the knot.
+//
 //   ./deadlock_anatomy [--routing DOR|TFAR] [--vcs N] [--load X] [--k N]
 //                      [--uni] [--seed S] [--max-cycles C] [--dot FILE]
+//                      [--trace-chrome FILE] [--ring N]
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "flexnet.hpp"
@@ -68,6 +74,22 @@ int main(int argc, char** argv) {
 
   Simulation sim(cfg);
   Network& net = sim.network();
+
+  // Always-on trace ring so the eventual deadlock comes with its formation
+  // history; optional Chrome trace for the whole hunt.
+  Tracer tracer;
+  RingBufferSink ring(
+      static_cast<std::size_t>(opts->get_int("ring", 1 << 16)));
+  tracer.add_sink(&ring);
+  std::ofstream chrome_file;
+  std::unique_ptr<ChromeTraceSink> chrome;
+  if (opts->has("trace-chrome")) {
+    chrome_file.open(opts->get("trace-chrome"), std::ios::binary);
+    chrome = std::make_unique<ChromeTraceSink>(chrome_file);
+    tracer.add_sink(chrome.get());
+  }
+  net.set_tracer(&tracer);
+  DeadlockForensics forensics(&ring);
 
   for (Cycle t = 0; t < 300000; ++t) {
     sim.injection().tick(net);
@@ -146,14 +168,24 @@ int main(int argc, char** argv) {
                     opts->get("dot").c_str(), opts->get("dot").c_str());
       }
 
-      std::printf("\nBreaking it Disha-style: removing the oldest deadlock-set"
-                  " message...\n");
       Pcg32 rng(cfg.sim.seed);
       const MessageId victim =
           choose_victim(net, knot.deadlock_set, RecoveryKind::RemoveOldest, rng);
+
+      const ForensicsReport& report =
+          forensics.on_deadlock(net, cwg, knot, victim, density.count);
+      std::printf("\n%s", format_forensics_report(report, &net).c_str());
+
+      std::printf("\nBreaking it Disha-style: removing the oldest deadlock-set"
+                  " message...\n");
       net.remove_message(victim);
       std::printf("removed m%lld; the survivors now drain.\n",
                   static_cast<long long>(victim));
+      if (chrome) {
+        tracer.flush();
+        std::printf("Chrome trace written to %s (load in chrome://tracing)\n",
+                    opts->get("trace-chrome").c_str());
+      }
       return 0;
     }
   }

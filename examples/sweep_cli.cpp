@@ -6,6 +6,8 @@
 //   ./sweep_cli --routing DOR --vcs 1 --uni --loads 0.1,0.2,0.4
 //   ./sweep_cli --routing TFAR --vcs 2 --traffic Transpose --load-steps 6
 //   ./sweep_cli --routing TFAR --faults 0.1 --count-cycles --csv out.csv
+//   ./sweep_cli --routing DOR --vcs 1 --uni --loads 0.6
+//       --trace-chrome trace.json --forensics     # chrome://tracing + forensics
 #include <fstream>
 #include <iostream>
 
@@ -49,6 +51,22 @@ int main(int argc, char** argv) {
       std::ofstream out(opts->get("csv"));
       write_results_csv(out, results, opts->get("label", "sweep"));
       std::cout << "\nCSV written to " << opts->get("csv") << '\n';
+    }
+
+    if (base.trace.forensics) {
+      for (const ExperimentResult& r : results) {
+        if (r.forensics.empty()) continue;
+        std::cout << "\n== forensics @ load " << r.load << " ("
+                  << r.forensics.size() << " deadlock(s) retained) ==\n";
+        for (const ForensicsReport& report : r.forensics) {
+          std::cout << '\n' << format_forensics_report(report);
+        }
+      }
+    }
+    if (!base.trace.chrome_path.empty()) {
+      std::cout << "\nChrome trace written to " << base.trace.chrome_path
+                << (loads.size() > 1 ? " (per-point .pN suffix)" : "")
+                << " — load it in chrome://tracing or ui.perfetto.dev\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

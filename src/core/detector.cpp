@@ -4,6 +4,7 @@
 
 #include "core/recovery.hpp"
 #include "sim/network.hpp"
+#include "trace/forensics.hpp"
 
 namespace flexnet {
 
@@ -77,8 +78,26 @@ int DeadlockDetector::run_detection(Network& net) {
     if (config_.recovery != RecoveryKind::None) {
       record.victim =
           choose_victim(net, knot.deadlock_set, config_.recovery, rng_);
-      net.remove_message(record.victim);
     }
+    if (Tracer* tracer = net.tracer()) {
+      TraceEvent event;
+      event.cycle = net.now();
+      event.kind = TraceEventKind::DeadlockDetected;
+      event.vc = knot.knot_vcs.front();
+      event.node = net.phys(net.vc(knot.knot_vcs.front()).channel).dst;
+      event.arg = record.deadlock_set_size;
+      tracer->emit(event);
+      if (record.victim != kInvalidMessage) {
+        event.kind = TraceEventKind::DeadlockRecovered;
+        event.message = record.victim;
+        tracer->emit(event);
+      }
+    }
+    if (forensics_ != nullptr) {
+      forensics_->on_deadlock(net, cwg, knot, record.victim,
+                              record.knot_cycle_density);
+    }
+    if (record.victim != kInvalidMessage) net.remove_message(record.victim);
     if (config_.keep_records) records_.push_back(record);
   }
   return confirmed;

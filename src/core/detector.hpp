@@ -18,6 +18,7 @@
 namespace flexnet {
 
 class Network;
+class DeadlockForensics;
 
 struct DetectorConfig {
   Cycle interval = 50;  ///< Cycles between detector invocations.
@@ -88,6 +89,16 @@ class DeadlockDetector {
   /// Forces one detection pass immediately (used by tests/examples).
   int run_detection(Network& net);
 
+  /// Attaches a forensics recorder (non-owning; nullptr detaches). Every
+  /// confirmed deadlock is recorded — with the pre-recovery CWG and the
+  /// chosen victim — before the victim is removed.
+  void set_forensics(DeadlockForensics* forensics) noexcept {
+    forensics_ = forensics;
+  }
+  [[nodiscard]] DeadlockForensics* forensics() const noexcept {
+    return forensics_;
+  }
+
   [[nodiscard]] const std::vector<DeadlockRecord>& records() const noexcept {
     return records_;
   }
@@ -112,6 +123,7 @@ class DeadlockDetector {
  private:
   DetectorConfig config_;
   Pcg32 rng_;
+  DeadlockForensics* forensics_ = nullptr;
   std::vector<DeadlockRecord> records_;
   std::vector<CycleSample> cycle_samples_;
   std::int64_t total_deadlocks_ = 0;

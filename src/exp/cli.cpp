@@ -108,6 +108,15 @@ ExperimentConfig experiment_from_options(const Options& opts) {
   cfg.run.measure = opts.get_int("measure", cfg.run.measure);
   cfg.run.check_invariants = opts.get_bool("check", false);
 
+  const long long ring = opts.get_int("trace-ring", 0);
+  if (ring < 0) throw std::invalid_argument("--trace-ring must be >= 0");
+  cfg.trace.ring_capacity = static_cast<std::size_t>(ring);
+  cfg.trace.chrome_path = opts.get("trace-chrome");
+  cfg.trace.binary_path = opts.get("trace-bin");
+  cfg.trace.forensics = opts.get_bool("forensics", false);
+  cfg.trace.forensics_dot_prefix = opts.get("forensics-dot");
+  if (!cfg.trace.forensics_dot_prefix.empty()) cfg.trace.forensics = true;
+
   cfg.sim.validate();
   return cfg;
 }

@@ -26,6 +26,8 @@ namespace flexnet {
 ///   --traffic --load --hotspots --hotspot-fraction --hybrid --hybrid-fraction
 ///   --interval --recovery --no-quiescence --count-cycles --cycle-cap
 ///   --warmup --measure --check
+///   --trace-ring N --trace-chrome FILE --trace-bin FILE --forensics
+///   --forensics-dot PREFIX
 /// Unspecified options keep the paper's defaults.
 [[nodiscard]] ExperimentConfig experiment_from_options(const Options& opts);
 

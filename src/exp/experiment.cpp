@@ -1,9 +1,30 @@
 #include "exp/experiment.hpp"
 
+#include <stdexcept>
+
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 
 namespace flexnet {
+
+TraceConfig TraceConfig::with_point_suffix(std::size_t point) const {
+  TraceConfig out = *this;
+  const std::string suffix = ".p" + std::to_string(point);
+  if (!out.chrome_path.empty()) out.chrome_path += suffix;
+  if (!out.binary_path.empty()) out.binary_path += suffix;
+  if (!out.forensics_dot_prefix.empty()) out.forensics_dot_prefix += suffix + ".";
+  return out;
+}
+
+namespace {
+std::ofstream open_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open trace output file: " + path);
+  }
+  return out;
+}
+}  // namespace
 
 Simulation::Simulation(const ExperimentConfig& config)
     : config_(config), metrics_(config.run.sample_every) {
@@ -14,6 +35,38 @@ Simulation::Simulation(const ExperimentConfig& config)
                                                   config_.sim.seed);
   detector_ =
       std::make_unique<DeadlockDetector>(config_.detector, config_.sim.seed);
+
+  const TraceConfig& trace = config_.trace;
+  if (trace.enabled()) {
+    tracer_ = std::make_unique<Tracer>();
+    std::size_t ring_capacity = trace.ring_capacity;
+    if (trace.forensics && ring_capacity == 0) {
+      ring_capacity = TraceConfig::kDefaultRingCapacity;
+    }
+    if (ring_capacity > 0) {
+      ring_ = std::make_unique<RingBufferSink>(ring_capacity);
+      tracer_->add_sink(ring_.get());
+    }
+    if (!trace.chrome_path.empty()) {
+      chrome_out_ = open_trace_file(trace.chrome_path);
+      chrome_sink_ = std::make_unique<ChromeTraceSink>(chrome_out_);
+      tracer_->add_sink(chrome_sink_.get());
+    }
+    if (!trace.binary_path.empty()) {
+      binary_out_ = open_trace_file(trace.binary_path);
+      binary_sink_ = std::make_unique<BinaryTraceSink>(binary_out_);
+      tracer_->add_sink(binary_sink_.get());
+    }
+    network_->set_tracer(tracer_.get());
+    if (trace.forensics) {
+      forensics_ = std::make_unique<DeadlockForensics>(ring_.get());
+      detector_->set_forensics(forensics_.get());
+    }
+  }
+}
+
+void Simulation::flush_trace() {
+  if (tracer_) tracer_->flush();
 }
 
 void Simulation::run_cycles(Cycle cycles) {
@@ -32,6 +85,7 @@ void Simulation::run_cycles(Cycle cycles) {
 ExperimentResult Simulation::run() {
   run_cycles(config_.run.warmup);
   detector_->reset_statistics();
+  if (forensics_) forensics_->clear();
   metrics_.begin_window(*network_);
   measuring_ = true;
   run_cycles(config_.run.measure);
@@ -53,6 +107,22 @@ ExperimentResult Simulation::run() {
         result.window.throughput_flits_per_node / result.offered_flit_rate;
   }
   result.saturated = result.accepted_ratio < 0.95;
+
+  flush_trace();
+  if (forensics_) {
+    result.forensics = forensics_->reports();
+    if (!config_.trace.forensics_dot_prefix.empty()) {
+      for (const ForensicsReport& report : result.forensics) {
+        const std::string path = config_.trace.forensics_dot_prefix +
+                                 std::to_string(report.sequence) + ".dot";
+        std::ofstream dot(path);
+        if (!dot) {
+          throw std::runtime_error("cannot open forensics DOT file: " + path);
+        }
+        dot << report.dot;
+      }
+    }
+  }
   return result;
 }
 

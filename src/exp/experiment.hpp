@@ -4,11 +4,15 @@
 // `detector.interval` cycles.
 #pragma once
 
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "core/detector.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/network.hpp"
+#include "trace/forensics.hpp"
+#include "trace/sinks.hpp"
 #include "traffic/injection.hpp"
 
 namespace flexnet {
@@ -21,11 +25,42 @@ struct RunConfig {
   Cycle check_every = 997;
 };
 
+/// Tracing/forensics attachment for a simulation. Everything is off by
+/// default; Simulation materializes the tracer, sinks and forensics recorder
+/// from this and owns them for the run.
+struct TraceConfig {
+  /// Ring sink capacity in events; 0 disables the ring (unless forensics
+  /// forces a default-sized one).
+  std::size_t ring_capacity = 0;
+  /// Write a Chrome trace-event JSON (chrome://tracing / Perfetto) here.
+  std::string chrome_path;
+  /// Write the deterministic binary encoding here.
+  std::string binary_path;
+  /// Record per-deadlock forensics (implies a ring sink; if ring_capacity is
+  /// 0, kDefaultRingCapacity is used).
+  bool forensics = false;
+  /// When set, each forensics report's CWG snapshot is written to
+  /// "<prefix><seq>.dot" at the end of the run.
+  std::string forensics_dot_prefix;
+
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return ring_capacity > 0 || !chrome_path.empty() || !binary_path.empty() ||
+           forensics;
+  }
+
+  /// Per-point file names for sweeps: "out.json" -> "out.json.p<i>" so
+  /// parallel points never clobber each other.
+  [[nodiscard]] TraceConfig with_point_suffix(std::size_t point) const;
+};
+
 struct ExperimentConfig {
   SimConfig sim;
   TrafficConfig traffic;
   DetectorConfig detector;
   RunConfig run;
+  TraceConfig trace;
   /// Count recovery-delivered messages in the normalized-deadlock
   /// denominator (Disha delivers its victims).
   bool count_recovered_as_delivered = true;
@@ -43,6 +78,10 @@ struct ExperimentResult {
   /// Accepted / offered; < ~0.95 marks saturation.
   double accepted_ratio = 0.0;
   bool saturated = false;
+
+  /// Forensics reports recorded during measurement (empty unless
+  /// TraceConfig::forensics was set).
+  std::vector<ForensicsReport> forensics;
 };
 
 /// A constructed, steppable simulation (examples drive this directly; the
@@ -60,6 +99,18 @@ class Simulation {
   [[nodiscard]] InjectionProcess& injection() noexcept { return *injection_; }
   [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
 
+  /// Non-null iff TraceConfig enabled the corresponding component.
+  [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] const RingBufferSink* trace_ring() const noexcept {
+    return ring_.get();
+  }
+  [[nodiscard]] DeadlockForensics* forensics() noexcept {
+    return forensics_.get();
+  }
+
+  /// Flushes every attached sink (also done by run() and the destructor).
+  void flush_trace();
+
   /// Runs warmup + measurement and returns the result.
   [[nodiscard]] ExperimentResult run();
 
@@ -70,6 +121,16 @@ class Simulation {
   std::unique_ptr<DeadlockDetector> detector_;
   MetricsCollector metrics_;
   bool measuring_ = false;
+
+  // Trace attachment, owned for the simulation's lifetime. Streams are
+  // declared before the sinks writing into them (destruction is reversed).
+  std::ofstream chrome_out_;
+  std::ofstream binary_out_;
+  std::unique_ptr<RingBufferSink> ring_;
+  std::unique_ptr<ChromeTraceSink> chrome_sink_;
+  std::unique_ptr<BinaryTraceSink> binary_sink_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<DeadlockForensics> forensics_;
 };
 
 /// One-shot: build, warm up, measure, summarize.

@@ -37,6 +37,9 @@
 #include "routing/turnmodel.hpp" // IWYU pragma: export
 #include "sim/network.hpp"       // IWYU pragma: export
 #include "topo/torus.hpp"        // IWYU pragma: export
+#include "trace/forensics.hpp"   // IWYU pragma: export
+#include "trace/sinks.hpp"       // IWYU pragma: export
+#include "trace/trace.hpp"       // IWYU pragma: export
 #include "traffic/injection.hpp" // IWYU pragma: export
 #include "traffic/traffic.hpp"   // IWYU pragma: export
 #include "util/csv.hpp"          // IWYU pragma: export

@@ -16,6 +16,39 @@ namespace {
 }
 }  // namespace
 
+void Network::trace(TraceEventKind kind, MessageId msg, VcId vc, VcId vc2,
+                    std::int32_t arg, NodeId node) {
+  TraceEvent event;
+  event.cycle = now_;
+  event.kind = kind;
+  event.message = msg;
+  event.vc = vc;
+  event.vc2 = vc2;
+  event.arg = arg;
+  event.node = (node != kInvalidNode || vc == kInvalidVc)
+                   ? node
+                   : phys(vcs_[static_cast<std::size_t>(vc)].channel).dst;
+  tracer_->emit(event);
+}
+
+// Diffs the previous request set (stashed in scratch_old_requests_) against
+// the new one and emits the CWG dashed-arc delta. Request sets are tiny (one
+// entry per candidate VC), so the quadratic scan is cheaper than sorting.
+void Network::trace_request_set_change(const Message& msg, VcId head_vc) {
+  for (const VcId want : msg.request_set) {
+    if (std::find(scratch_old_requests_.begin(), scratch_old_requests_.end(),
+                  want) == scratch_old_requests_.end()) {
+      trace(TraceEventKind::CwgArcAdded, msg.id, want, head_vc);
+    }
+  }
+  for (const VcId had : scratch_old_requests_) {
+    if (std::find(msg.request_set.begin(), msg.request_set.end(), had) ==
+        msg.request_set.end()) {
+      trace(TraceEventKind::CwgArcRemoved, msg.id, had, head_vc);
+    }
+  }
+}
+
 Network::Network(const SimConfig& config,
                  std::unique_ptr<RoutingAlgorithm> routing,
                  std::unique_ptr<SelectionPolicy> selection)
@@ -206,6 +239,9 @@ void Network::deliver_phase() {
       Message& msg = messages_[static_cast<std::size_t>(flit.message)];
       ++msg.flits_delivered;
       ++counters_.flits_delivered;
+      if (tracer_ != nullptr) {
+        trace(TraceEventKind::FlitDelivered, msg.id, w.id, kInvalidVc, flit.seq);
+      }
       if (flit.is_tail_of(msg.length)) complete_delivery(msg, w);
       pc.rr_cursor = (idx + 1) % pc.num_vcs;
       break;  // one flit per reception channel per cycle
@@ -222,6 +258,11 @@ void Network::complete_delivery(Message& msg, VcState& eject_vc) {
   ++counters_.delivered;
   counters_.delivered_latency_sum += msg.finished - msg.created;
   counters_.delivered_hops_sum += msg.hops;
+  if (tracer_ != nullptr) {
+    trace(TraceEventKind::VcFreed, msg.id, eject_vc.id);
+    trace(TraceEventKind::MessageDelivered, msg.id, eject_vc.id, kInvalidVc,
+          static_cast<std::int32_t>(msg.finished - msg.created));
+  }
   deactivate(msg);
 }
 
@@ -279,6 +320,10 @@ void Network::try_injection_grants(NodeId node) {
         static_cast<std::int32_t>(active_.size());
     active_.push_back(msg.id);
     ++counters_.injected;
+    if (tracer_ != nullptr) {
+      trace(TraceEventKind::VcAllocated, msg.id, vc.id);
+      trace(TraceEventKind::MessageInjected, msg.id, vc.id);
+    }
   }
 }
 
@@ -322,17 +367,38 @@ bool Network::try_route_header(VcId head_vc) {
     }
   }
 
-  if (!msg.blocked) {
+  const bool newly_blocked = !msg.blocked;
+  if (newly_blocked) {
     msg.blocked = true;
     msg.blocked_since = now_;
   }
-  msg.request_set.assign(scratch_vcs_.begin(), scratch_vcs_.end());
+  if (tracer_ != nullptr) {
+    scratch_old_requests_.assign(msg.request_set.begin(), msg.request_set.end());
+    msg.request_set.assign(scratch_vcs_.begin(), scratch_vcs_.end());
+    if (newly_blocked) {
+      trace(TraceEventKind::MessageBlocked, msg.id, head_vc, kInvalidVc,
+            static_cast<std::int32_t>(msg.request_set.size()));
+    }
+    trace_request_set_change(msg, head_vc);
+  } else {
+    msg.request_set.assign(scratch_vcs_.begin(), scratch_vcs_.end());
+  }
   return false;
 }
 
 void Network::acquire_vc(Message& msg, VcState& from, VcState& target) {
   assert(target.is_free() && target.buffer.empty());
   assert(!phys(target.channel).faulted);
+  if (tracer_ != nullptr) {
+    for (const VcId want : msg.request_set) {
+      trace(TraceEventKind::CwgArcRemoved, msg.id, want, from.id);
+    }
+    trace(TraceEventKind::VcAllocated, msg.id, target.id, from.id);
+    if (msg.blocked) {
+      trace(TraceEventKind::MessageUnblocked, msg.id, target.id, from.id,
+            static_cast<std::int32_t>(now_ - msg.blocked_since));
+    }
+  }
   target.owner = msg.id;
   target.route_in = from.id;
   from.route_out = target.id;
@@ -368,6 +434,10 @@ void Network::transmit_phase() {
         flit.arrived = now_;
         w.buffer.push(flit);
         if (flit.is_head()) pending_.push_back(w.id);
+        if (tracer_ != nullptr) {
+          trace(TraceEventKind::FlitInjected, msg.id, w.id, kInvalidVc,
+                flit.seq);
+        }
         pc.rr_cursor = (idx + 1) % pc.num_vcs;
         break;
       }
@@ -384,7 +454,8 @@ void Network::transmit_phase() {
       Flit flit = u.buffer.pop();
       assert(flit.message == w.owner);
       Message& msg = messages_[static_cast<std::size_t>(flit.message)];
-      if (flit.is_tail_of(msg.length)) {
+      const bool tail_left_upstream = flit.is_tail_of(msg.length);
+      if (tail_left_upstream) {
         assert(!msg.held.empty() && msg.held.front() == u.id);
         msg.held.erase(msg.held.begin());
         u.release();
@@ -392,6 +463,12 @@ void Network::transmit_phase() {
       }
       flit.arrived = now_;
       w.buffer.push(flit);
+      if (tracer_ != nullptr) {
+        trace(TraceEventKind::FlitHopped, msg.id, w.id, u.id, flit.seq);
+        if (tail_left_upstream) {
+          trace(TraceEventKind::VcFreed, msg.id, u.id);
+        }
+      }
       if (flit.is_head() && pc.kind != ChannelKind::Ejection) {
         pending_.push_back(w.id);
       }
@@ -405,6 +482,18 @@ void Network::remove_message(MessageId id) {
   Message& msg = messages_[static_cast<std::size_t>(id)];
   if (msg.status != MessageStatus::InFlight) {
     throw std::invalid_argument("remove_message: message is not in flight");
+  }
+  if (tracer_ != nullptr) {
+    for (const VcId want : msg.request_set) {
+      trace(TraceEventKind::CwgArcRemoved, msg.id, want,
+            msg.held.empty() ? kInvalidVc : msg.held.back());
+    }
+    for (const VcId held : msg.held) {
+      trace(TraceEventKind::VcFreed, msg.id, held);
+    }
+    trace(TraceEventKind::MessageRemoved, msg.id,
+          msg.held.empty() ? kInvalidVc : msg.held.back(), kInvalidVc,
+          static_cast<std::int32_t>(msg.hops));
   }
   for (const VcId held : msg.held) {
     VcState& vc = vcs_[static_cast<std::size_t>(held)];

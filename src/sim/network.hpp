@@ -27,6 +27,7 @@
 #include "sim/message.hpp"
 #include "sim/types.hpp"
 #include "topo/torus.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace flexnet {
@@ -111,6 +112,12 @@ class Network {
   /// Channels disabled by fault injection.
   [[nodiscard]] int faulted_channel_count() const noexcept { return faulted_; }
 
+  /// Attaches (or detaches, with nullptr) an event tracer. Non-owning; the
+  /// tracer must outlive its use. With no tracer the hot paths pay a single
+  /// predictable branch per instrumentation point.
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
+
   /// Peak normalized injection bandwidth: flits/node/cycle at which average
   /// network-channel utilization reaches 1 (paper Section 3 normalization).
   [[nodiscard]] double capacity_flits_per_node(double avg_distance) const noexcept;
@@ -134,6 +141,13 @@ class Network {
   void deliver_phase();
   void route_phase();
   void transmit_phase();
+
+  /// Emits a trace event when a tracer is attached. `vc`'s downstream router
+  /// is the event's location unless `node` overrides it.
+  void trace(TraceEventKind kind, MessageId msg, VcId vc,
+             VcId vc2 = kInvalidVc, std::int32_t arg = 0,
+             NodeId node = kInvalidNode);
+  void trace_request_set_change(const Message& msg, VcId head_vc);
 
   void try_injection_grants(NodeId node);
   /// Attempts allocation for the unrouted header in `head_vc`; returns true
@@ -164,11 +178,13 @@ class Network {
   int blocked_count_ = 0;
   int faulted_ = 0;
   Counters counters_;
+  Tracer* tracer_ = nullptr;
 
   // scratch buffers reused across cycles to avoid per-cycle allocation
   std::vector<ChannelId> scratch_channels_;
   std::vector<VcId> scratch_vcs_;
   std::vector<VcId> scratch_pending_;
+  std::vector<VcId> scratch_old_requests_;  // tracing only
 };
 
 }  // namespace flexnet

@@ -1,0 +1,29 @@
+#include "trace/trace.hpp"
+
+#include <array>
+
+namespace flexnet {
+
+namespace {
+constexpr std::array<std::string_view, kNumTraceEventKinds> kKindNames{
+    "FlitInjected",   "FlitHopped",       "FlitDelivered",
+    "MessageInjected", "MessageBlocked",  "MessageUnblocked",
+    "MessageDelivered", "MessageRemoved", "VcAllocated",
+    "VcFreed",        "CwgArcAdded",      "CwgArcRemoved",
+    "DeadlockDetected", "DeadlockRecovered",
+};
+}  // namespace
+
+std::string_view to_string(TraceEventKind kind) noexcept {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < kKindNames.size() ? kKindNames[index] : "Unknown";
+}
+
+TraceEventKind parse_trace_event_kind(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (kKindNames[i] == name) return static_cast<TraceEventKind>(i);
+  }
+  return TraceEventKind::kCount_;
+}
+
+}  // namespace flexnet

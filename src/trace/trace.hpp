@@ -1,0 +1,110 @@
+// Event tracing: a compact, deterministic record of everything the simulator
+// does — flit movement, VC allocation, blocking, CWG arc changes, deadlock
+// detection and recovery — emitted through a sink interface that costs one
+// predictable null-pointer check when tracing is disabled.
+//
+// Events are plain 40-byte PODs so the always-on ring buffer stays cheap and
+// the binary sink can serialize them byte-for-byte reproducibly. Everything
+// an event references (messages, VCs, cycles) is an id into the simulator's
+// dense state, never a pointer, so traces survive the run that produced them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace flexnet {
+
+enum class TraceEventKind : std::uint8_t {
+  FlitInjected,      ///< Flit entered the injection VC. vc=injection VC, arg=seq.
+  FlitHopped,        ///< Flit moved downstream. vc=destination VC, vc2=source VC, arg=seq.
+  FlitDelivered,     ///< Flit consumed at the reception interface. vc=ejection VC, arg=seq.
+  MessageInjected,   ///< Header granted the injection VC (message enters the network).
+  MessageBlocked,    ///< Header failed VC allocation (start of a blocked episode). arg=request count.
+  MessageUnblocked,  ///< Blocked header finally acquired a VC. arg=blocked cycles.
+  MessageDelivered,  ///< Tail consumed at the destination. arg=latency.
+  MessageRemoved,    ///< Removed by deadlock recovery / livelock guard.
+  VcAllocated,       ///< Message acquired a VC (CWG solid arc vc2 -> vc; vc2 = upstream VC).
+  VcFreed,           ///< Tail left the VC buffer; the VC is free again.
+  CwgArcAdded,       ///< Request (dashed) arc appeared: newest held VC (vc2) -> wanted VC (vc).
+  CwgArcRemoved,     ///< Request arc disappeared (granted, retargeted, or recovered).
+  DeadlockDetected,  ///< Detector confirmed a knot. arg=deadlock set size, vc=a knot VC.
+  DeadlockRecovered, ///< Detector removed a victim. message=victim, arg=deadlock set size.
+  kCount_,           ///< Sentinel; not a real event.
+};
+
+inline constexpr std::size_t kNumTraceEventKinds =
+    static_cast<std::size_t>(TraceEventKind::kCount_);
+
+[[nodiscard]] std::string_view to_string(TraceEventKind kind) noexcept;
+/// Inverse of to_string; returns kCount_ for unknown names.
+[[nodiscard]] TraceEventKind parse_trace_event_kind(std::string_view name) noexcept;
+
+/// One trace event. `node` is where it happened (the downstream router of the
+/// VC involved, or the endpoint for injection/ejection/message events); -1
+/// when no single location applies (detector-wide events use a knot VC's node).
+struct TraceEvent {
+  Cycle cycle = -1;
+  MessageId message = kInvalidMessage;
+  VcId vc = kInvalidVc;
+  VcId vc2 = kInvalidVc;
+  NodeId node = kInvalidNode;
+  std::int32_t arg = 0;
+  TraceEventKind kind = TraceEventKind::kCount_;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// True for events that represent forward progress of `message` (used by
+/// forensics to find each deadlocked message's last-progress cycle).
+[[nodiscard]] constexpr bool is_progress_event(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::FlitInjected:
+    case TraceEventKind::FlitHopped:
+    case TraceEventKind::FlitDelivered:
+    case TraceEventKind::MessageInjected:
+    case TraceEventKind::VcAllocated:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Receives every emitted event. Implementations must not mutate simulator
+/// state; they are called mid-phase on the hot path.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+  /// Called at end of run (and by Tracer::flush); sinks buffering output
+  /// finalize here. Default: no-op.
+  virtual void flush() {}
+};
+
+/// Fans events out to registered sinks. The simulator holds a `Tracer*` that
+/// is nullptr when tracing is off, so the disabled-path cost is a single
+/// branch; with a tracer attached but no sinks, emit() is a no-op loop.
+class Tracer {
+ public:
+  /// Registers a non-owning sink. Sinks must outlive the tracer's use.
+  void add_sink(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  [[nodiscard]] bool has_sinks() const noexcept { return !sinks_.empty(); }
+
+  void emit(const TraceEvent& event) {
+    for (TraceSink* sink : sinks_) sink->on_event(event);
+  }
+
+  void flush() {
+    for (TraceSink* sink : sinks_) sink->flush();
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace flexnet

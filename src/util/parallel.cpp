@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -11,12 +12,21 @@
 namespace flexnet {
 
 std::size_t worker_thread_count() noexcept {
-  if (const char* env = std::getenv("FLEXNET_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<std::size_t>(v);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  const auto fallback = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+  };
+  const char* env = std::getenv("FLEXNET_THREADS");
+  if (env == nullptr || *env == '\0') return fallback();
+  // Accept only a full, positive, in-range decimal integer; "0", negatives,
+  // "abc", "4x", " 2", and overflowing values all fall back silently.
+  // strtol would skip leading whitespace and signs, so require a digit first.
+  if (*env < '0' || *env > '9') return fallback();
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  if (errno != 0 || *end != '\0' || v < 1) return fallback();
+  return static_cast<std::size_t>(v);
 }
 
 void parallel_for(std::size_t count,

@@ -1,0 +1,74 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace flexnet {
+namespace {
+
+std::size_t fallback_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+class FlexnetThreadsEnv : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("FLEXNET_THREADS"); }
+
+  void set(const char* value) { setenv("FLEXNET_THREADS", value, 1); }
+};
+
+TEST_F(FlexnetThreadsEnv, UnsetFallsBackToHardwareConcurrency) {
+  unsetenv("FLEXNET_THREADS");
+  EXPECT_EQ(worker_thread_count(), fallback_count());
+}
+
+TEST_F(FlexnetThreadsEnv, ValidValueIsUsed) {
+  set("3");
+  EXPECT_EQ(worker_thread_count(), 3u);
+  set("1");
+  EXPECT_EQ(worker_thread_count(), 1u);
+}
+
+TEST_F(FlexnetThreadsEnv, ZeroFallsBack) {
+  set("0");
+  EXPECT_EQ(worker_thread_count(), fallback_count());
+}
+
+TEST_F(FlexnetThreadsEnv, NegativeFallsBack) {
+  set("-4");
+  EXPECT_EQ(worker_thread_count(), fallback_count());
+}
+
+TEST_F(FlexnetThreadsEnv, GarbageFallsBack) {
+  for (const char* bad : {"abc", "4x", "1.5", " 2", "2 ", "", "0x10",
+                          "99999999999999999999999999"}) {
+    set(bad);
+    EXPECT_EQ(worker_thread_count(), fallback_count()) << "input: " << bad;
+  }
+}
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  setenv("FLEXNET_THREADS", "4", 1);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  unsetenv("FLEXNET_THREADS");
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  setenv("FLEXNET_THREADS", "2", 1);
+  EXPECT_THROW(
+      parallel_for(8,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  unsetenv("FLEXNET_THREADS");
+}
+
+}  // namespace
+}  // namespace flexnet

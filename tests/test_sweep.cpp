@@ -32,6 +32,26 @@ TEST(Linspace, EvenSpacing) {
 TEST(Linspace, SingleStepAndErrors) {
   EXPECT_EQ(linspace(0.7, 1.0, 1), (std::vector<double>{0.7}));
   EXPECT_THROW(linspace(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(linspace(0, 1, -3), std::invalid_argument);
+}
+
+TEST(Linspace, DegenerateRangeRepeatsTheBound) {
+  const std::vector<double> v = linspace(0.4, 0.4, 4);
+  ASSERT_EQ(v.size(), 4u);
+  for (const double x : v) EXPECT_DOUBLE_EQ(x, 0.4);
+  // Endpoints are hit exactly even with a degenerate single-point range.
+  EXPECT_EQ(linspace(0.9, 0.9, 1), (std::vector<double>{0.9}));
+}
+
+TEST(Sweep, EmptyLoadListYieldsNoResults) {
+  const auto results =
+      sweep_loads(tiny_config(), std::vector<double>{}, /*parallel=*/false);
+  EXPECT_TRUE(results.empty());
+  const auto parallel_results =
+      sweep_loads(tiny_config(), std::vector<double>{}, /*parallel=*/true);
+  EXPECT_TRUE(parallel_results.empty());
+  // saturation_load on an empty sweep is NaN, matching "nothing saturated".
+  EXPECT_TRUE(std::isnan(saturation_load(results)));
 }
 
 TEST(Sweep, ResultsFollowLoadOrder) {
