@@ -12,7 +12,8 @@ namespace flexnet {
 namespace {
 
 /// A saturated 16-ary 2-cube TFAR1 network: the realistic worst-case CWG.
-std::unique_ptr<Simulation> saturated_sim(int k, double load) {
+std::unique_ptr<Simulation> saturated_sim(int k, double load,
+                                          bool telemetry = false) {
   ExperimentConfig cfg;
   cfg.sim.topology.k = k;
   cfg.sim.topology.n = 2;
@@ -20,6 +21,7 @@ std::unique_ptr<Simulation> saturated_sim(int k, double load) {
   cfg.sim.vcs = 1;
   cfg.traffic.load = load;
   cfg.detector.recovery = RecoveryKind::None;  // leave congestion in place
+  cfg.telemetry.collect = telemetry;
   auto sim = std::make_unique<Simulation>(cfg);
   sim->run_cycles(3000);
   return sim;
@@ -36,6 +38,21 @@ void BM_NetworkStep(benchmark::State& state) {
                           sim->network().topology().num_nodes());
 }
 BENCHMARK(BM_NetworkStep)->Arg(8)->Arg(16);
+
+/// Same cycle with full telemetry attached (interval series + heatmap +
+/// phase profiler, default 100-cycle cadence): budget <5% over BM_NetworkStep.
+void BM_NetworkStepTelemetry(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  auto sim = saturated_sim(k, 0.4, /*telemetry=*/true);
+  for (auto _ : state) {
+    sim->injection().tick(sim->network());
+    sim->network().step();
+    sim->telemetry()->tick(sim->network(), sim->detector());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sim->network().topology().num_nodes());
+}
+BENCHMARK(BM_NetworkStepTelemetry)->Arg(8)->Arg(16);
 
 void BM_CwgBuild(benchmark::State& state) {
   auto sim = saturated_sim(16, 0.5);

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs the micro-benchmark suite and writes BENCH_micro_core.json at the repo
+# root: a flat, fixed-schema summary (one record per benchmark) for tracking
+# performance across commits.
+#
+#   bench/run_bench.sh [BUILD_DIR]      # default build dir: ./build
+#
+# Schema: {"git_sha": ..., "benchmarks": [{"name", "cpu_time_ns",
+# "iterations"}, ...]}. Requires an already-built bench_micro_core.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+bench_bin="${build_dir}/bench/bench_micro_core"
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "error: ${bench_bin} not found; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target bench_micro_core" >&2
+  exit 1
+fi
+
+raw_json="$(mktemp)"
+trap 'rm -f "${raw_json}"' EXIT
+
+"${bench_bin}" --benchmark_format=json --benchmark_out="${raw_json}" \
+  --benchmark_out_format=json >&2
+
+git_sha="$(git -C "${repo_root}" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+
+python3 - "${raw_json}" "${git_sha}" > "${repo_root}/BENCH_micro_core.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    raw = json.load(f)
+
+records = []
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    # google-benchmark reports cpu_time in time_unit (ns by default).
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[b.get("time_unit", "ns")]
+    records.append({
+        "name": b["name"],
+        "cpu_time_ns": b["cpu_time"] * scale,
+        "iterations": b["iterations"],
+    })
+
+json.dump({"git_sha": sys.argv[2], "benchmarks": records}, sys.stdout, indent=2)
+sys.stdout.write("\n")
+PY
+
+echo "wrote ${repo_root}/BENCH_micro_core.json (${git_sha})" >&2

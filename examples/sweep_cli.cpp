@@ -8,6 +8,8 @@
 //   ./sweep_cli --routing TFAR --faults 0.1 --count-cycles --csv out.csv
 //   ./sweep_cli --routing DOR --vcs 1 --uni --loads 0.6
 //       --trace-chrome trace.json --forensics     # chrome://tracing + forensics
+//   ./sweep_cli --routing TFAR --loads 0.3,0.6 --telemetry-json run.json
+//       --heatmap heat.csv --heatmap-ascii --profile  # telemetry manifests
 #include <fstream>
 #include <iostream>
 
@@ -49,8 +51,35 @@ int main(int argc, char** argv) {
 
     if (opts->has("csv")) {
       std::ofstream out(opts->get("csv"));
+      if (!out) {
+        throw std::runtime_error("cannot open CSV output file: " +
+                                 opts->get("csv"));
+      }
       write_results_csv(out, results, opts->get("label", "sweep"));
       std::cout << "\nCSV written to " << opts->get("csv") << '\n';
+    }
+
+    if (opts->get_bool("heatmap-ascii", false)) {
+      for (const ExperimentResult& r : results) {
+        if (r.telemetry.heatmap_ascii.empty()) continue;
+        std::cout << "\n== traversal heatmap @ load " << r.load << " ==\n"
+                  << r.telemetry.heatmap_ascii;
+      }
+    }
+    if (opts->get_bool("profile", false)) {
+      for (const ExperimentResult& r : results) {
+        if (r.telemetry.profile_table.empty()) continue;
+        std::cout << "\n@ load " << r.load << '\n' << r.telemetry.profile_table;
+      }
+    }
+    if (!base.telemetry.manifest_path.empty()) {
+      std::cout << "\nTelemetry manifest(s) written to "
+                << base.telemetry.manifest_path
+                << (loads.size() > 1 ? " (per-point .pN suffix)" : "") << '\n';
+    }
+    if (!base.telemetry.heatmap_csv_path.empty()) {
+      std::cout << "Heatmap CSV written to " << base.telemetry.heatmap_csv_path
+                << (loads.size() > 1 ? " (per-point .pN suffix)" : "") << '\n';
     }
 
     if (base.trace.forensics) {

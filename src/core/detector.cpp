@@ -4,6 +4,7 @@
 
 #include "core/recovery.hpp"
 #include "sim/network.hpp"
+#include "telemetry/profiler.hpp"
 #include "trace/forensics.hpp"
 
 namespace flexnet {
@@ -18,6 +19,7 @@ int DeadlockDetector::tick(Network& net) {
 }
 
 int DeadlockDetector::run_detection(Network& net) {
+  ScopedPhase detector_timer(profiler_, SimPhase::Detector);
   ++invocations_;
 
   if (config_.livelock_hop_limit > 0) {
@@ -28,9 +30,12 @@ int DeadlockDetector::run_detection(Network& net) {
         livelocked.push_back(id);
       }
     }
-    for (const MessageId id : livelocked) {
-      net.remove_message(id);
-      ++livelocks_;
+    if (!livelocked.empty()) {
+      ScopedPhase recovery_timer(profiler_, SimPhase::Recovery);
+      for (const MessageId id : livelocked) {
+        net.remove_message(id);
+        ++livelocks_;
+      }
     }
   }
 
@@ -97,7 +102,10 @@ int DeadlockDetector::run_detection(Network& net) {
       forensics_->on_deadlock(net, cwg, knot, record.victim,
                               record.knot_cycle_density);
     }
-    if (record.victim != kInvalidMessage) net.remove_message(record.victim);
+    if (record.victim != kInvalidMessage) {
+      ScopedPhase recovery_timer(profiler_, SimPhase::Recovery);
+      net.remove_message(record.victim);
+    }
     if (config_.keep_records) records_.push_back(record);
   }
   return confirmed;

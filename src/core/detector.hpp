@@ -19,6 +19,7 @@ namespace flexnet {
 
 class Network;
 class DeadlockForensics;
+class PhaseProfiler;
 
 struct DetectorConfig {
   Cycle interval = 50;  ///< Cycles between detector invocations.
@@ -99,6 +100,14 @@ class DeadlockDetector {
     return forensics_;
   }
 
+  /// Attaches a phase profiler (non-owning; nullptr detaches). Detection
+  /// passes are recorded as SimPhase::Detector, victim/livelock removals as
+  /// the nested SimPhase::Recovery.
+  void set_profiler(PhaseProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+  [[nodiscard]] PhaseProfiler* profiler() const noexcept { return profiler_; }
+
   [[nodiscard]] const std::vector<DeadlockRecord>& records() const noexcept {
     return records_;
   }
@@ -124,6 +133,7 @@ class DeadlockDetector {
   DetectorConfig config_;
   Pcg32 rng_;
   DeadlockForensics* forensics_ = nullptr;
+  PhaseProfiler* profiler_ = nullptr;
   std::vector<DeadlockRecord> records_;
   std::vector<CycleSample> cycle_samples_;
   std::int64_t total_deadlocks_ = 0;

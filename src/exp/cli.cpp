@@ -117,6 +117,26 @@ ExperimentConfig experiment_from_options(const Options& opts) {
   cfg.trace.forensics_dot_prefix = opts.get("forensics-dot");
   if (!cfg.trace.forensics_dot_prefix.empty()) cfg.trace.forensics = true;
 
+  cfg.telemetry.collect = opts.get_bool("telemetry", false);
+  const long long telemetry_interval =
+      opts.get_int("telemetry-interval", cfg.telemetry.interval);
+  if (telemetry_interval < 1) {
+    throw std::invalid_argument("--telemetry-interval must be >= 1");
+  }
+  cfg.telemetry.interval = telemetry_interval;
+  const long long telemetry_ring = opts.get_int(
+      "telemetry-ring", static_cast<long long>(cfg.telemetry.ring_capacity));
+  if (telemetry_ring < 1) {
+    throw std::invalid_argument("--telemetry-ring must be >= 1");
+  }
+  cfg.telemetry.ring_capacity = static_cast<std::size_t>(telemetry_ring);
+  cfg.telemetry.manifest_path = opts.get("telemetry-json");
+  cfg.telemetry.heatmap_csv_path = opts.get("heatmap");
+  // Display-only flags still need the collectors running.
+  if (opts.get_bool("profile", false) || opts.get_bool("heatmap-ascii", false)) {
+    cfg.telemetry.collect = true;
+  }
+
   cfg.sim.validate();
   return cfg;
 }

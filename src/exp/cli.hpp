@@ -28,6 +28,8 @@ namespace flexnet {
 ///   --warmup --measure --check
 ///   --trace-ring N --trace-chrome FILE --trace-bin FILE --forensics
 ///   --forensics-dot PREFIX
+///   --telemetry --telemetry-interval N --telemetry-ring N
+///   --telemetry-json FILE --heatmap FILE --profile --heatmap-ascii
 /// Unspecified options keep the paper's defaults.
 [[nodiscard]] ExperimentConfig experiment_from_options(const Options& opts);
 

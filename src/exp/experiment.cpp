@@ -4,6 +4,7 @@
 
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
+#include "telemetry/manifest.hpp"
 
 namespace flexnet {
 
@@ -63,6 +64,11 @@ Simulation::Simulation(const ExperimentConfig& config)
       detector_->set_forensics(forensics_.get());
     }
   }
+
+  if (config_.telemetry.enabled()) {
+    telemetry_ = std::make_unique<Telemetry>(config_.telemetry, *network_);
+    telemetry_->attach(*network_, *detector_);
+  }
 }
 
 void Simulation::flush_trace() {
@@ -74,6 +80,7 @@ void Simulation::run_cycles(Cycle cycles) {
     injection_->tick(*network_);
     network_->step();
     detector_->tick(*network_);
+    if (telemetry_) telemetry_->tick(*network_, *detector_);
     if (measuring_) metrics_.sample(*network_);
     if (config_.run.check_invariants &&
         network_->now() % config_.run.check_every == 0) {
@@ -109,6 +116,38 @@ ExperimentResult Simulation::run() {
   result.saturated = result.accepted_ratio < 0.95;
 
   flush_trace();
+  if (telemetry_) {
+    telemetry_->finalize(*network_, *detector_);
+    TelemetryArtifacts& artifacts = result.telemetry;
+    artifacts.enabled = true;
+    const IntervalRecorder& series = telemetry_->interval_series();
+    artifacts.interval_samples = series.size();
+    artifacts.samples_dropped = series.dropped();
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      artifacts.deadlocks_in_series += series.at(i).deadlocks;
+    }
+    artifacts.heatmap_ascii = telemetry_->heatmap().ascii_grid(
+        *network_, SpatialHeatmap::Field::Traversals);
+    artifacts.profile_table = telemetry_->profiler().table();
+    if (!config_.telemetry.heatmap_csv_path.empty()) {
+      std::ofstream csv(config_.telemetry.heatmap_csv_path, std::ios::trunc);
+      if (!csv) {
+        throw std::runtime_error("cannot open heatmap CSV file: " +
+                                 config_.telemetry.heatmap_csv_path);
+      }
+      telemetry_->heatmap().write_csv(csv, *network_);
+      artifacts.heatmap_csv_path = config_.telemetry.heatmap_csv_path;
+    }
+    if (!config_.telemetry.manifest_path.empty()) {
+      std::ofstream manifest(config_.telemetry.manifest_path, std::ios::trunc);
+      if (!manifest) {
+        throw std::runtime_error("cannot open telemetry manifest file: " +
+                                 config_.telemetry.manifest_path);
+      }
+      write_manifest_json(manifest, config_, result, *telemetry_, *network_);
+      artifacts.manifest_path = config_.telemetry.manifest_path;
+    }
+  }
   if (forensics_) {
     result.forensics = forensics_->reports();
     if (!config_.trace.forensics_dot_prefix.empty()) {

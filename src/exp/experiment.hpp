@@ -11,6 +11,7 @@
 #include "core/detector.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/network.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/forensics.hpp"
 #include "trace/sinks.hpp"
 #include "traffic/injection.hpp"
@@ -61,6 +62,7 @@ struct ExperimentConfig {
   DetectorConfig detector;
   RunConfig run;
   TraceConfig trace;
+  TelemetryConfig telemetry;
   /// Count recovery-delivered messages in the normalized-deadlock
   /// denominator (Disha delivers its victims).
   bool count_recovered_as_delivered = true;
@@ -82,6 +84,10 @@ struct ExperimentResult {
   /// Forensics reports recorded during measurement (empty unless
   /// TraceConfig::forensics was set).
   std::vector<ForensicsReport> forensics;
+
+  /// Telemetry summaries and output paths (all-default unless
+  /// TelemetryConfig::enabled() was set).
+  TelemetryArtifacts telemetry;
 };
 
 /// A constructed, steppable simulation (examples drive this directly; the
@@ -107,6 +113,8 @@ class Simulation {
   [[nodiscard]] DeadlockForensics* forensics() noexcept {
     return forensics_.get();
   }
+  /// Non-null iff TelemetryConfig::enabled().
+  [[nodiscard]] Telemetry* telemetry() noexcept { return telemetry_.get(); }
 
   /// Flushes every attached sink (also done by run() and the destructor).
   void flush_trace();
@@ -131,6 +139,7 @@ class Simulation {
   std::unique_ptr<BinaryTraceSink> binary_sink_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<DeadlockForensics> forensics_;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 /// One-shot: build, warm up, measure, summarize.

@@ -32,9 +32,12 @@ std::vector<ExperimentResult> sweep_loads(const ExperimentConfig& base,
     config.traffic.load = loads[i];
     // Decorrelate per-point random streams while keeping determinism.
     config.sim.seed = splitmix64(base.sim.seed + i + 1);
-    // Trace files get a per-point suffix so concurrent points never share
-    // an output stream.
-    if (loads.size() > 1) config.trace = base.trace.with_point_suffix(i);
+    // Trace and telemetry files get a per-point suffix so concurrent points
+    // never share an output stream.
+    if (loads.size() > 1) {
+      config.trace = base.trace.with_point_suffix(i);
+      config.telemetry = base.telemetry.with_point_suffix(i);
+    }
     results[i] = run_experiment(config);
   };
   if (parallel) {

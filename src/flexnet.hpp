@@ -36,6 +36,11 @@
 #include "routing/tfar.hpp"      // IWYU pragma: export
 #include "routing/turnmodel.hpp" // IWYU pragma: export
 #include "sim/network.hpp"       // IWYU pragma: export
+#include "telemetry/heatmap.hpp"   // IWYU pragma: export
+#include "telemetry/interval.hpp"  // IWYU pragma: export
+#include "telemetry/manifest.hpp"  // IWYU pragma: export
+#include "telemetry/profiler.hpp"  // IWYU pragma: export
+#include "telemetry/telemetry.hpp" // IWYU pragma: export
 #include "topo/torus.hpp"        // IWYU pragma: export
 #include "trace/forensics.hpp"   // IWYU pragma: export
 #include "trace/sinks.hpp"       // IWYU pragma: export
@@ -43,6 +48,7 @@
 #include "traffic/injection.hpp" // IWYU pragma: export
 #include "traffic/traffic.hpp"   // IWYU pragma: export
 #include "util/csv.hpp"          // IWYU pragma: export
+#include "util/json.hpp"         // IWYU pragma: export
 #include "util/options.hpp"      // IWYU pragma: export
 #include "util/parallel.hpp"     // IWYU pragma: export
 #include "util/rng.hpp"          // IWYU pragma: export

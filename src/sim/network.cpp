@@ -7,6 +7,8 @@
 
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace flexnet {
 
@@ -221,9 +223,24 @@ double Network::capacity_flits_per_node(double avg_distance) const noexcept {
 }
 
 void Network::step() {
-  deliver_phase();
-  route_phase();
-  transmit_phase();
+  if (profiler_ == nullptr) {
+    deliver_phase();
+    route_phase();
+    transmit_phase();
+  } else {
+    {
+      ScopedPhase timer(profiler_, SimPhase::Deliver);
+      deliver_phase();
+    }
+    {
+      ScopedPhase timer(profiler_, SimPhase::Route);
+      route_phase();
+    }
+    {
+      ScopedPhase timer(profiler_, SimPhase::Transmit);
+      transmit_phase();
+    }
+  }
   ++now_;
 }
 
@@ -284,6 +301,11 @@ void Network::route_phase() {
   for (NodeId node = 0; node < nodes; ++node) {
     if (!source_queues_[static_cast<std::size_t>(node)].empty()) {
       try_injection_grants(node);
+      // A still-waiting head after the grant pass is an injection stall.
+      if (heatmap_ != nullptr &&
+          !source_queues_[static_cast<std::size_t>(node)].empty()) {
+        heatmap_->on_injection_stall(node);
+      }
     }
   }
 
@@ -434,6 +456,7 @@ void Network::transmit_phase() {
         flit.arrived = now_;
         w.buffer.push(flit);
         if (flit.is_head()) pending_.push_back(w.id);
+        if (heatmap_ != nullptr) heatmap_->on_traversal(pc.id, w.id);
         if (tracer_ != nullptr) {
           trace(TraceEventKind::FlitInjected, msg.id, w.id, kInvalidVc,
                 flit.seq);
@@ -463,6 +486,7 @@ void Network::transmit_phase() {
       }
       flit.arrived = now_;
       w.buffer.push(flit);
+      if (heatmap_ != nullptr) heatmap_->on_traversal(pc.id, w.id);
       if (tracer_ != nullptr) {
         trace(TraceEventKind::FlitHopped, msg.id, w.id, u.id, flit.seq);
         if (tail_left_upstream) {

@@ -34,6 +34,8 @@ namespace flexnet {
 
 class RoutingAlgorithm;
 class SelectionPolicy;
+class SpatialHeatmap;
+class PhaseProfiler;
 
 class Network {
  public:
@@ -118,6 +120,17 @@ class Network {
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Attaches (or detaches, with nullptr) the telemetry heatmap probe.
+  /// Non-owning, same null-guard discipline as the tracer: traversal and
+  /// injection-stall counters are bumped inline on the hot path.
+  void set_heatmap(SpatialHeatmap* heatmap) noexcept { heatmap_ = heatmap; }
+  [[nodiscard]] SpatialHeatmap* heatmap() const noexcept { return heatmap_; }
+
+  /// Attaches (or detaches, with nullptr) the phase profiler; when attached,
+  /// step() wall-clocks each of its three phases.
+  void set_profiler(PhaseProfiler* profiler) noexcept { profiler_ = profiler; }
+  [[nodiscard]] PhaseProfiler* profiler() const noexcept { return profiler_; }
+
   /// Peak normalized injection bandwidth: flits/node/cycle at which average
   /// network-channel utilization reaches 1 (paper Section 3 normalization).
   [[nodiscard]] double capacity_flits_per_node(double avg_distance) const noexcept;
@@ -179,6 +192,8 @@ class Network {
   int faulted_ = 0;
   Counters counters_;
   Tracer* tracer_ = nullptr;
+  SpatialHeatmap* heatmap_ = nullptr;
+  PhaseProfiler* profiler_ = nullptr;
 
   // scratch buffers reused across cycles to avoid per-cycle allocation
   std::vector<ChannelId> scratch_channels_;

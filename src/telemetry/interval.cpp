@@ -1,0 +1,100 @@
+#include "telemetry/interval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/detector.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+IntervalRecorder::IntervalRecorder(Cycle interval, std::size_t capacity)
+    : interval_(interval), ring_(capacity == 0 ? 1 : capacity) {
+  if (interval < 1) {
+    throw std::invalid_argument("IntervalRecorder interval must be >= 1");
+  }
+}
+
+void IntervalRecorder::sample(const Network& net,
+                              const DeadlockDetector& detector) {
+  const Network::Counters& c = net.counters();
+  IntervalSample s;
+  s.cycle = net.now();
+
+  s.generated = c.generated - prev_.generated;
+  s.injected = c.injected - prev_.injected;
+  s.delivered = c.delivered - prev_.delivered;
+  s.recovered = c.recovered - prev_.recovered;
+  s.flits_delivered = c.flits_delivered - prev_.flits_delivered;
+
+  const Cycle span = std::max<Cycle>(net.now() - prev_cycle_, 1);
+  s.throughput_flits_per_node =
+      static_cast<double>(s.flits_delivered) /
+      (static_cast<double>(net.topology().num_nodes()) *
+       static_cast<double>(span));
+  if (s.delivered > 0) {
+    s.avg_latency =
+        static_cast<double>(c.delivered_latency_sum -
+                            prev_.delivered_latency_sum) /
+        static_cast<double>(s.delivered);
+  }
+
+  s.blocked = net.blocked_message_count();
+  s.in_network = static_cast<std::int64_t>(net.active_messages().size());
+  if (s.in_network > 0) {
+    s.blocked_fraction =
+        static_cast<double>(s.blocked) / static_cast<double>(s.in_network);
+  }
+  s.queued = net.queued_message_count();
+
+  // Cheap CWG arc census straight off the message state — the held chain of
+  // every active message contributes held-1 solid arcs, and each blocked
+  // message one dashed arc per requested VC (matching Cwg::from_network
+  // without building the graph).
+  for (const MessageId id : net.active_messages()) {
+    const Message& msg = net.message(id);
+    if (!msg.held.empty()) {
+      s.cwg_ownership_arcs += static_cast<std::int64_t>(msg.held.size()) - 1;
+    }
+    if (msg.blocked) {
+      s.cwg_request_arcs += static_cast<std::int64_t>(msg.request_set.size());
+    }
+  }
+
+  // Clamp: DeadlockDetector::reset_statistics() (end of warmup) zeroes these
+  // counters mid-run, which would otherwise yield one negative interval.
+  s.detector_invocations =
+      std::max<std::int64_t>(detector.invocations() - prev_.invocations, 0);
+  s.deadlocks =
+      std::max<std::int64_t>(detector.total_deadlocks() - prev_.deadlocks, 0);
+  s.transient_knots = std::max<std::int64_t>(
+      detector.transient_knots() - prev_.transient_knots, 0);
+  s.livelocks =
+      std::max<std::int64_t>(detector.livelocks() - prev_.livelocks, 0);
+
+  prev_cycle_ = net.now();
+  prev_.generated = c.generated;
+  prev_.injected = c.injected;
+  prev_.delivered = c.delivered;
+  prev_.recovered = c.recovered;
+  prev_.flits_delivered = c.flits_delivered;
+  prev_.delivered_latency_sum = c.delivered_latency_sum;
+  prev_.invocations = detector.invocations();
+  prev_.deadlocks = detector.total_deadlocks();
+  prev_.transient_knots = detector.transient_knots();
+  prev_.livelocks = detector.livelocks();
+
+  ring_[head_] = s;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++seen_;
+}
+
+const IntervalSample& IntervalRecorder::at(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("IntervalRecorder sample index");
+  // head_ points one past the newest; the oldest sits at head_ when full.
+  const std::size_t oldest = (head_ + ring_.size() - size_) % ring_.size();
+  return ring_[(oldest + i) % ring_.size()];
+}
+
+}  // namespace flexnet

@@ -1,0 +1,99 @@
+// Interval time series: every N cycles the recorder snapshots the network
+// into one fixed-schema sample — flow over the interval (deliveries,
+// throughput, latency of the interval's deliveries), instantaneous congestion
+// (blocked/in-network/queued messages, CWG solid and dashed arc counts), and
+// detector activity (invocations, confirmed deadlocks, transient knots,
+// livelock removals). This is the temporal ramp the paper's deadlock story
+// needs: knots close only after sustained congestion builds, and the series
+// makes that build-up visible.
+//
+// The store is ring-bounded: at most `capacity` samples are retained and long
+// runs overwrite the oldest, so memory stays O(capacity) regardless of run
+// length. `total_samples()` still counts everything ever recorded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace flexnet {
+
+class Network;
+class DeadlockDetector;
+
+struct IntervalSample {
+  Cycle cycle = -1;  ///< Sample instant (end of the covered interval).
+
+  // Flow over the interval (diffs of the network's monotonic counters).
+  std::int64_t generated = 0;
+  std::int64_t injected = 0;
+  std::int64_t delivered = 0;
+  std::int64_t recovered = 0;
+  std::int64_t flits_delivered = 0;
+  double throughput_flits_per_node = 0.0;
+  /// Mean latency of messages delivered during this interval; 0 when none.
+  double avg_latency = 0.0;
+
+  // Instantaneous state at the sample cycle.
+  std::int32_t blocked = 0;
+  double blocked_fraction = 0.0;  ///< blocked / in-network; 0 when empty.
+  std::int64_t in_network = 0;
+  std::int64_t queued = 0;
+  std::int64_t cwg_ownership_arcs = 0;  ///< Solid arcs (held-chain links).
+  std::int64_t cwg_request_arcs = 0;    ///< Dashed arcs (blocked requests).
+
+  // Detector activity over the interval.
+  std::int64_t detector_invocations = 0;
+  std::int64_t deadlocks = 0;
+  std::int64_t transient_knots = 0;
+  std::int64_t livelocks = 0;
+};
+
+class IntervalRecorder {
+ public:
+  /// Samples cover `interval` cycles each; the ring retains `capacity`.
+  IntervalRecorder(Cycle interval, std::size_t capacity);
+
+  /// Records one sample at net.now(), covering the cycles since the previous
+  /// call. The caller (Telemetry) controls the cadence. Detector statistics
+  /// diffs are clamped at zero so a mid-run reset_statistics() (end of
+  /// warmup) yields an empty interval rather than a negative one.
+  void sample(const Network& net, const DeadlockDetector& detector);
+
+  [[nodiscard]] Cycle interval() const noexcept { return interval_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Samples currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Samples ever recorded (size() + overwritten).
+  [[nodiscard]] std::uint64_t total_samples() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return seen_ - size_;
+  }
+
+  /// i-th retained sample, oldest first (i < size()).
+  [[nodiscard]] const IntervalSample& at(std::size_t i) const;
+
+ private:
+  Cycle interval_;
+  std::vector<IntervalSample> ring_;
+  std::size_t head_ = 0;  ///< Next write position.
+  std::size_t size_ = 0;
+  std::uint64_t seen_ = 0;
+
+  Cycle prev_cycle_ = 0;
+  struct Snapshot {
+    std::int64_t generated = 0;
+    std::int64_t injected = 0;
+    std::int64_t delivered = 0;
+    std::int64_t recovered = 0;
+    std::int64_t flits_delivered = 0;
+    std::int64_t delivered_latency_sum = 0;
+    std::int64_t invocations = 0;
+    std::int64_t deadlocks = 0;
+    std::int64_t transient_knots = 0;
+    std::int64_t livelocks = 0;
+  } prev_{};
+};
+
+}  // namespace flexnet

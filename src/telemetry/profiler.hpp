@@ -1,0 +1,98 @@
+// Per-phase wall-clock self-profiling. A PhaseProfiler accumulates call
+// counts and total/max nanoseconds for each of the simulator's per-cycle
+// phases; ScopedPhase is the RAII timer placed at the hot-path hook points.
+// Both follow the tracer's null-guard discipline: a null profiler pointer
+// makes every hook a single predictable branch, and a ScopedPhase built from
+// nullptr never touches the clock.
+//
+// Nesting: deadlock recovery runs *inside* a detector invocation, so the
+// Detector phase's total includes the Recovery phase's total. total_ns()
+// therefore sums all phases except Recovery.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace flexnet {
+
+/// The simulator's per-cycle phases, in execution order.
+enum class SimPhase : std::uint8_t {
+  Deliver,   ///< Reception interfaces drain ejection VCs.
+  Route,     ///< Injection grants + header VC allocation.
+  Transmit,  ///< Link transmission (one flit per physical channel).
+  Detector,  ///< Deadlock detection pass (includes Recovery).
+  Recovery,  ///< Victim removal inside a detection pass.
+  kCount_,   ///< Sentinel; not a real phase.
+};
+
+inline constexpr std::size_t kNumSimPhases =
+    static_cast<std::size_t>(SimPhase::kCount_);
+
+[[nodiscard]] std::string_view to_string(SimPhase phase) noexcept;
+
+class PhaseProfiler {
+ public:
+  struct PhaseStats {
+    std::int64_t calls = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t max_ns = 0;
+
+    [[nodiscard]] double mean_ns() const noexcept {
+      return calls > 0 ? static_cast<double>(total_ns) /
+                             static_cast<double>(calls)
+                       : 0.0;
+    }
+  };
+
+  void record(SimPhase phase, std::int64_t ns) noexcept {
+    PhaseStats& s = phases_[static_cast<std::size_t>(phase)];
+    ++s.calls;
+    s.total_ns += ns;
+    if (ns > s.max_ns) s.max_ns = ns;
+  }
+
+  [[nodiscard]] const PhaseStats& stats(SimPhase phase) const noexcept {
+    return phases_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Total profiled time; excludes Recovery (already inside Detector).
+  [[nodiscard]] std::int64_t total_ns() const noexcept;
+
+  void reset() noexcept { phases_.fill(PhaseStats{}); }
+
+  /// Aligned text table (phase, calls, total ms, mean us, max us, share).
+  [[nodiscard]] std::string table() const;
+
+ private:
+  std::array<PhaseStats, kNumSimPhases> phases_{};
+};
+
+/// RAII phase timer; no-op when constructed with a null profiler.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler* profiler, SimPhase phase) noexcept
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  ~ScopedPhase() {
+    if (profiler_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    profiler_->record(
+        phase_,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+
+ private:
+  PhaseProfiler* profiler_;
+  SimPhase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace flexnet

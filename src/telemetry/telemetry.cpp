@@ -1,0 +1,38 @@
+#include "telemetry/telemetry.hpp"
+
+#include "core/detector.hpp"
+#include "sim/network.hpp"
+
+namespace flexnet {
+
+TelemetryConfig TelemetryConfig::with_point_suffix(std::size_t point) const {
+  TelemetryConfig out = *this;
+  const std::string suffix = ".p" + std::to_string(point);
+  if (!out.manifest_path.empty()) out.manifest_path += suffix;
+  if (!out.heatmap_csv_path.empty()) out.heatmap_csv_path += suffix;
+  return out;
+}
+
+Telemetry::Telemetry(const TelemetryConfig& config, const Network& net)
+    : config_(config),
+      interval_(config.interval, config.ring_capacity),
+      heatmap_(net),
+      next_sample_(net.now() + config.interval) {
+  last_sample_ = net.now();
+}
+
+void Telemetry::attach(Network& net, DeadlockDetector& detector) {
+  net.set_heatmap(&heatmap_);
+  net.set_profiler(&profiler_);
+  detector.set_profiler(&profiler_);
+}
+
+void Telemetry::sample_now(const Network& net,
+                           const DeadlockDetector& detector) {
+  interval_.sample(net, detector);
+  heatmap_.sample_occupancy(net, net.now() - last_sample_);
+  last_sample_ = net.now();
+  next_sample_ = net.now() + config_.interval;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,106 @@
+// Run-scoped telemetry: one object bundling the three collectors —
+// IntervalRecorder (time series), SpatialHeatmap (where congestion sits),
+// PhaseProfiler (where wall-clock time goes) — plus the configuration that
+// turns them on. Simulation owns a Telemetry when TelemetryConfig::enabled()
+// and wires its probes into the network and detector; with telemetry off the
+// simulator pays exactly the tracer's price: one null-pointer branch per
+// instrumentation point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/network.hpp"
+#include "sim/types.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/interval.hpp"
+#include "telemetry/profiler.hpp"
+
+namespace flexnet {
+
+class DeadlockDetector;
+
+struct TelemetryConfig {
+  /// Master switch; any output path below also enables collection.
+  bool collect = false;
+  /// Sampling stride in cycles (interval series + heatmap occupancy).
+  Cycle interval = 100;
+  /// Interval samples retained (ring-bounded; older samples are dropped).
+  std::size_t ring_capacity = 4096;
+  /// Write the JSON run manifest here (--telemetry-json).
+  std::string manifest_path;
+  /// Write the heatmap counter CSV here (--heatmap).
+  std::string heatmap_csv_path;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return collect || !manifest_path.empty() || !heatmap_csv_path.empty();
+  }
+
+  /// Per-point file names for sweeps: "out.json" -> "out.json.p<i>", same
+  /// convention as TraceConfig so parallel points never share a stream.
+  [[nodiscard]] TelemetryConfig with_point_suffix(std::size_t point) const;
+};
+
+/// What a telemetry-enabled run leaves behind in its ExperimentResult:
+/// cheap, preformatted summaries plus the paths of any files written.
+struct TelemetryArtifacts {
+  bool enabled = false;
+  std::size_t interval_samples = 0;   ///< Retained in the ring.
+  std::uint64_t samples_dropped = 0;  ///< Overwritten by ring bounding.
+  std::int64_t deadlocks_in_series = 0;
+  std::string manifest_path;     ///< Empty when no manifest was written.
+  std::string heatmap_csv_path;  ///< Empty when no CSV was written.
+  std::string heatmap_ascii;     ///< Traversal grid; empty unless 2D.
+  std::string profile_table;     ///< PhaseProfiler::table().
+};
+
+class Telemetry {
+ public:
+  /// `config.interval` < 1 throws; the network fixes the counter shapes.
+  Telemetry(const TelemetryConfig& config, const Network& net);
+
+  /// Wires the hot-path probes: heatmap + profiler into the network, the
+  /// profiler into the detector. Pointers are non-owning; this Telemetry
+  /// must outlive both (Simulation guarantees it).
+  void attach(Network& net, DeadlockDetector& detector);
+
+  /// Per-cycle driver hook (call after Network::step() + detector tick);
+  /// samples the collectors whenever the configured interval elapses.
+  void tick(const Network& net, const DeadlockDetector& detector) {
+    if (net.now() < next_sample_) return;
+    sample_now(net, detector);
+  }
+
+  /// Forces a final sample covering any residual partial interval, so the
+  /// series and heatmap occupancy account for every cycle of the run.
+  void finalize(const Network& net, const DeadlockDetector& detector) {
+    if (net.now() > last_sample_) sample_now(net, detector);
+  }
+
+  [[nodiscard]] const TelemetryConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const IntervalRecorder& interval_series() const noexcept {
+    return interval_;
+  }
+  [[nodiscard]] const SpatialHeatmap& heatmap() const noexcept {
+    return heatmap_;
+  }
+  [[nodiscard]] SpatialHeatmap& heatmap() noexcept { return heatmap_; }
+  [[nodiscard]] const PhaseProfiler& profiler() const noexcept {
+    return profiler_;
+  }
+  [[nodiscard]] PhaseProfiler& profiler() noexcept { return profiler_; }
+
+ private:
+  void sample_now(const Network& net, const DeadlockDetector& detector);
+
+  TelemetryConfig config_;
+  IntervalRecorder interval_;
+  SpatialHeatmap heatmap_;
+  PhaseProfiler profiler_;
+  Cycle next_sample_;
+  Cycle last_sample_ = 0;
+};
+
+}  // namespace flexnet

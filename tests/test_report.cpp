@@ -1,0 +1,121 @@
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace flexnet {
+namespace {
+
+ExperimentResult result_with(double load, double accepted, bool saturated) {
+  ExperimentResult r;
+  r.load = load;
+  r.accepted_ratio = accepted;
+  r.saturated = saturated;
+  return r;
+}
+
+std::vector<SeriesColumn> ratio_column() {
+  return {{"ratio",
+           [](const ExperimentResult& r) { return r.accepted_ratio; }, 2}};
+}
+
+TEST(PrintLoadSeries, MarksFirstSaturatedRowOnly) {
+  const std::vector<ExperimentResult> results{
+      result_with(0.1, 1.0, false),
+      result_with(0.2, 0.5, true),
+      result_with(0.3, 0.25, true),
+  };
+  std::ostringstream out;
+  print_load_series(out, "ratio", results, ratio_column());
+  EXPECT_EQ(out.str(),
+            "== ratio ==\n"
+            "load   ratio  sat\n"
+            "-----------------\n"
+            "0.100  1.00   \n"
+            "0.200  0.50   *\n"
+            "0.300  0.25   +\n");
+}
+
+TEST(PrintLoadSeries, NoSaturationAndNanValues) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<ExperimentResult> results{
+      result_with(0.1, nan, false),
+      result_with(0.2, nan, false),
+  };
+  std::ostringstream out;
+  print_load_series(out, "ratio", results, ratio_column());
+  const std::string text = out.str();
+  // NaN cells print as '-' and no row earns the saturation marker.
+  EXPECT_EQ(text,
+            "== ratio ==\n"
+            "load   ratio  sat\n"
+            "-----------------\n"
+            "0.100  -      \n"
+            "0.200  -      \n");
+  EXPECT_EQ(text.find('*'), std::string::npos);
+}
+
+TEST(WriteResultsCsv, FixedColumnSchema) {
+  std::ostringstream out;
+  write_results_csv(out, std::vector<ExperimentResult>{}, "empty");
+  EXPECT_EQ(out.str(),
+            "label,load,capacity,offered,avg_distance,throughput,"
+            "norm_throughput,accepted_ratio,saturated,generated,delivered,"
+            "recovered,latency,hops,blocked_mean,blocked_frac_mean,"
+            "in_network_mean,queued_mean,deadlocks,norm_deadlocks,"
+            "deadlock_set_mean,deadlock_set_max,resource_set_mean,"
+            "resource_set_max,knot_density_mean,knot_density_max,"
+            "dependent_mean,single_cycle,multi_cycle,cycles_mean,cycles_max,"
+            "cycles_capped\n");
+}
+
+TEST(WriteResultsCsv, GoldenRowForKnownResult) {
+  ExperimentResult r;
+  r.load = 0.25;
+  r.capacity_flits_per_node = 0.5;
+  r.offered_flit_rate = 0.125;
+  r.avg_distance = 2.0;
+  r.normalized_throughput = 0.2;
+  r.accepted_ratio = 0.8;
+  r.saturated = true;
+  r.window.generated = 100;
+  r.window.delivered = 80;
+  r.window.recovered = 2;
+  r.window.throughput_flits_per_node = 0.1;
+  r.window.avg_latency = 55.5;
+  r.window.avg_hops = 2.25;
+  r.window.deadlocks = 3;
+  r.window.normalized_deadlocks = 3.0 / 82.0;
+  r.window.deadlock_set_size.add(4.0);
+  r.window.deadlock_set_size.add(6.0);
+
+  std::ostringstream out;
+  write_results_csv(out, std::vector<ExperimentResult>{r}, "golden");
+  std::istringstream in(out.str());
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_EQ(row,
+            "golden,0.2500,0.500000,0.125000,2.0000,0.100000,0.2000,0.8000,1,"
+            "100,80,2,55.50,2.25,0.00,0.0000,0.00,0.00,3,0.036585,"
+            "5.00,6,0.00,0,0.00,0,0.00,0,0,0.0,0,0");
+}
+
+TEST(WriteResultsCsv, RowCountMatchesResults) {
+  const std::vector<ExperimentResult> results{
+      result_with(0.1, 1.0, false), result_with(0.2, 0.9, false)};
+  std::ostringstream out;
+  write_results_csv(out, results, "two");
+  std::istringstream in(out.str());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, 3u);  // header + one row per result
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -103,7 +103,19 @@ TEST(Histogram, Quantiles) {
 
 TEST(Histogram, QuantileOnEmptyIsZero) {
   Histogram h(4);
+  EXPECT_EQ(h.quantile(0.0), 0);
   EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.quantile(1.0), 0);
+}
+
+TEST(Histogram, QuantileAtBounds) {
+  Histogram h(10);
+  h.add(2);
+  h.add(5);
+  h.add(7);
+  // q = 0 is trivially satisfied by value 0; q = 1 is the largest sample.
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(1.0), 7);
 }
 
 TEST(Histogram, MergeGrowsAndAccumulates) {
@@ -117,6 +129,33 @@ TEST(Histogram, MergeGrowsAndAccumulates) {
   EXPECT_EQ(a.size(), 6u);
   EXPECT_EQ(a.bucket(1), 2);
   EXPECT_EQ(a.bucket(5), 1);
+}
+
+TEST(Histogram, MergeSmallerIntoLargerKeepsShape) {
+  Histogram a(6);
+  Histogram b(2);
+  a.add(5);
+  b.add(1);
+  b.add(1);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 6u);
+  EXPECT_EQ(a.total(), 3);
+  EXPECT_EQ(a.bucket(1), 2);
+  EXPECT_EQ(a.bucket(5), 1);
+}
+
+TEST(Histogram, MergeWithEmptyEitherSide) {
+  Histogram a(4);
+  Histogram empty(4);
+  a.add(2);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 1);
+  EXPECT_EQ(a.bucket(2), 1);
+
+  Histogram b(4);
+  b.merge(a);
+  EXPECT_EQ(b.total(), 1);
+  EXPECT_EQ(b.bucket(2), 1);
 }
 
 }  // namespace
