@@ -10,6 +10,11 @@
 //       --trace-chrome trace.json --forensics     # chrome://tracing + forensics
 //   ./sweep_cli --routing TFAR --loads 0.3,0.6 --telemetry-json run.json
 //       --heatmap heat.csv --heatmap-ascii --profile  # telemetry manifests
+//   ./sweep_cli --routing DOR --uni --loads 0.8 --checkpoint-every 5000
+//       --checkpoint-dir ckpt                # periodic resumable checkpoints
+//   ./sweep_cli --resume ckpt.p0/ckpt-15000.snap   # continue that run
+//   ./sweep_cli --routing DOR --uni --loads 0.8 --capture-deadlocks corpus
+//       --capture-limit 8                    # dump deduped knot snapshots
 #include <fstream>
 #include <iostream>
 
@@ -27,6 +32,31 @@ int main(int argc, char** argv) {
 
   try {
     const ExperimentConfig base = experiment_from_options(*opts);
+
+    // Resuming is a single-run operation: the snapshot fixes the load and
+    // every sim parameter, so the sweep collapses to one point.
+    if (!base.snapshot.resume_path.empty()) {
+      Simulation sim(base);
+      std::cout << "flexnet resume: " << base.snapshot.resume_path
+                << " @ cycle " << sim.network().now() << " of "
+                << (sim.config().run.warmup + sim.config().run.measure)
+                << '\n';
+      const ExperimentResult result = sim.run();
+      const std::vector<ExperimentResult> results{result};
+      print_load_series(std::cout, "deadlocks", results, deadlock_columns());
+      std::cout << '\n';
+      print_load_series(std::cout, "throughput", results, throughput_columns());
+      if (!base.telemetry.manifest_path.empty()) {
+        std::cout << "\nTelemetry manifest written to "
+                  << base.telemetry.manifest_path << '\n';
+      }
+      if (result.deadlocks_captured > 0) {
+        std::cout << result.deadlocks_captured << " deadlock snapshot(s) in "
+                  << base.snapshot.capture_dir << '\n';
+      }
+      return 0;
+    }
+
     const std::vector<double> loads = loads_from_options(*opts);
 
     std::cout << "flexnet sweep: " << to_string(base.sim.routing) << ", "
@@ -79,6 +109,14 @@ int main(int argc, char** argv) {
     }
     if (!base.telemetry.heatmap_csv_path.empty()) {
       std::cout << "Heatmap CSV written to " << base.telemetry.heatmap_csv_path
+                << (loads.size() > 1 ? " (per-point .pN suffix)" : "") << '\n';
+    }
+
+    if (!base.snapshot.capture_dir.empty()) {
+      int total = 0;
+      for (const ExperimentResult& r : results) total += r.deadlocks_captured;
+      std::cout << '\n' << total << " deadlock snapshot(s) captured under "
+                << base.snapshot.capture_dir
                 << (loads.size() > 1 ? " (per-point .pN suffix)" : "") << '\n';
     }
 

@@ -6,6 +6,7 @@
 #include "sim/network.hpp"
 #include "telemetry/profiler.hpp"
 #include "trace/forensics.hpp"
+#include "util/binio.hpp"
 
 namespace flexnet {
 
@@ -102,6 +103,9 @@ int DeadlockDetector::run_detection(Network& net) {
       forensics_->on_deadlock(net, cwg, knot, record.victim,
                               record.knot_cycle_density);
     }
+    if (capture_ != nullptr) {
+      capture_->on_knot(net, cwg, knot, record);
+    }
     if (record.victim != kInvalidMessage) {
       ScopedPhase recovery_timer(profiler_, SimPhase::Recovery);
       net.remove_message(record.victim);
@@ -109,6 +113,75 @@ int DeadlockDetector::run_detection(Network& net) {
     if (config_.keep_records) records_.push_back(record);
   }
   return confirmed;
+}
+
+void DeadlockDetector::save_state(BinWriter& out) const {
+  const Pcg32::State s = rng_.save();
+  out.u64(s.state);
+  out.u64(s.inc);
+  out.u64(s.draws);
+  out.i64(total_deadlocks_);
+  out.i64(transient_knots_);
+  out.i64(livelocks_);
+  out.i64(invocations_);
+  out.u64(records_.size());
+  for (const DeadlockRecord& r : records_) {
+    out.i64(r.detected_at);
+    out.i32(r.deadlock_set_size);
+    out.i32(r.resource_set_size);
+    out.i32(r.knot_size);
+    out.i32(r.dependent_count);
+    out.i64(r.knot_cycle_density);
+    out.u8(r.density_capped ? 1 : 0);
+    out.i64(r.victim);
+  }
+  out.u64(cycle_samples_.size());
+  for (const CycleSample& s2 : cycle_samples_) {
+    out.i64(s2.at);
+    out.i64(s2.cycles);
+    out.u8(s2.capped ? 1 : 0);
+    out.i32(s2.blocked_messages);
+    out.i32(s2.in_network_messages);
+  }
+}
+
+void DeadlockDetector::restore_state(BinReader& in) {
+  Pcg32::State s;
+  s.state = in.u64();
+  s.inc = in.u64();
+  s.draws = in.u64();
+  rng_.restore(s);
+  total_deadlocks_ = in.i64();
+  transient_knots_ = in.i64();
+  livelocks_ = in.i64();
+  invocations_ = in.i64();
+  records_.clear();
+  const std::uint64_t nrecords = in.u64();
+  records_.reserve(nrecords);
+  for (std::uint64_t i = 0; i < nrecords; ++i) {
+    DeadlockRecord r;
+    r.detected_at = in.i64();
+    r.deadlock_set_size = in.i32();
+    r.resource_set_size = in.i32();
+    r.knot_size = in.i32();
+    r.dependent_count = in.i32();
+    r.knot_cycle_density = in.i64();
+    r.density_capped = in.u8() != 0;
+    r.victim = static_cast<MessageId>(in.i64());
+    records_.push_back(r);
+  }
+  cycle_samples_.clear();
+  const std::uint64_t nsamples = in.u64();
+  cycle_samples_.reserve(nsamples);
+  for (std::uint64_t i = 0; i < nsamples; ++i) {
+    CycleSample s2;
+    s2.at = in.i64();
+    s2.cycles = in.i64();
+    s2.capped = in.u8() != 0;
+    s2.blocked_messages = in.i32();
+    s2.in_network_messages = in.i32();
+    cycle_samples_.push_back(s2);
+  }
 }
 
 void DeadlockDetector::reset_statistics() {

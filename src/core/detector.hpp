@@ -17,9 +17,23 @@
 
 namespace flexnet {
 
+class BinReader;
+class BinWriter;
 class Network;
 class DeadlockForensics;
 class PhaseProfiler;
+struct DeadlockRecord;
+
+/// Observer invoked once per confirmed deadlock, after the record (including
+/// the chosen victim) is filled but *before* the victim is removed — so the
+/// knot is still intact in the network state. The snapshot corpus capture
+/// implements this to dump a replayable image of the deadlocked network.
+class KnotCaptureHook {
+ public:
+  virtual ~KnotCaptureHook() = default;
+  virtual void on_knot(const Network& net, const Cwg& cwg, const Knot& knot,
+                       const DeadlockRecord& record) = 0;
+};
 
 struct DetectorConfig {
   Cycle interval = 50;  ///< Cycles between detector invocations.
@@ -100,6 +114,11 @@ class DeadlockDetector {
     return forensics_;
   }
 
+  /// Attaches a knot-capture hook (non-owning; nullptr detaches). Called for
+  /// every confirmed deadlock before recovery removes the victim.
+  void set_capture(KnotCaptureHook* capture) noexcept { capture_ = capture; }
+  [[nodiscard]] KnotCaptureHook* capture() const noexcept { return capture_; }
+
   /// Attaches a phase profiler (non-owning; nullptr detaches). Detection
   /// passes are recorded as SimPhase::Detector, victim/livelock removals as
   /// the nested SimPhase::Recovery.
@@ -129,11 +148,17 @@ class DeadlockDetector {
   /// keeping detector state.
   void reset_statistics();
 
+  /// Snapshot hooks: RNG position, tallies, and the retained record/sample
+  /// vectors (so a resumed run reports identical detector statistics).
+  void save_state(BinWriter& out) const;
+  void restore_state(BinReader& in);
+
  private:
   DetectorConfig config_;
   Pcg32 rng_;
   DeadlockForensics* forensics_ = nullptr;
   PhaseProfiler* profiler_ = nullptr;
+  KnotCaptureHook* capture_ = nullptr;
   std::vector<DeadlockRecord> records_;
   std::vector<CycleSample> cycle_samples_;
   std::int64_t total_deadlocks_ = 0;

@@ -97,4 +97,82 @@ CycleEnumeration knot_cycle_density(const Cwg& cwg, const Knot& knot,
 
 bool has_deadlock(const Cwg& cwg) { return !find_knots(cwg).empty(); }
 
+namespace {
+
+// SplitMix64 finalizer: the standard 64-bit avalanche mix.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+}  // namespace
+
+std::uint64_t canonical_knot_hash(const Cwg& cwg, const Knot& knot) {
+  const Digraph sub = cwg.graph().induced(knot.knot_vcs);
+  const int n = sub.num_vertices();
+  if (n == 0) return mix64(0);
+
+  // Reverse adjacency so refinement sees both edge directions.
+  std::vector<std::vector<int>> in_adj(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    for (const int w : sub.out(v)) in_adj[static_cast<std::size_t>(w)].push_back(v);
+  }
+
+  // Initial color: local structure only (degrees + the owning message's held
+  // and request counts) — nothing position-dependent.
+  std::vector<std::uint64_t> color(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> next(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const MessageId owner =
+        cwg.owner_of(knot.knot_vcs[static_cast<std::size_t>(v)]);
+    std::uint64_t held = 0;
+    std::uint64_t requests = 0;
+    if (owner != kInvalidMessage) {
+      if (const CwgMessage* msg = cwg.find_message(owner)) {
+        held = msg->held.size();
+        requests = msg->requests.size();
+      }
+    }
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(sub.out(v).size()));
+    h = hash_combine(h, in_adj[static_cast<std::size_t>(v)].size());
+    h = hash_combine(h, held);
+    h = hash_combine(h, requests);
+    color[static_cast<std::size_t>(v)] = h;
+  }
+
+  // Three rounds of refinement: new color = f(old color, sorted out-neighbor
+  // colors, sorted in-neighbor colors). Sorting makes each step independent
+  // of vertex numbering.
+  std::vector<std::uint64_t> bucket;
+  for (int round = 0; round < 3; ++round) {
+    for (int v = 0; v < n; ++v) {
+      std::uint64_t h = mix64(color[static_cast<std::size_t>(v)]);
+      bucket.clear();
+      for (const int w : sub.out(v)) bucket.push_back(color[static_cast<std::size_t>(w)]);
+      std::sort(bucket.begin(), bucket.end());
+      for (const std::uint64_t c : bucket) h = hash_combine(h, c);
+      h = hash_combine(h, 0x6f75742f696eULL);  // separate out- from in-fold
+      bucket.clear();
+      for (const int w : in_adj[static_cast<std::size_t>(v)]) {
+        bucket.push_back(color[static_cast<std::size_t>(w)]);
+      }
+      std::sort(bucket.begin(), bucket.end());
+      for (const std::uint64_t c : bucket) h = hash_combine(h, c);
+      next[static_cast<std::size_t>(v)] = h;
+    }
+    color.swap(next);
+  }
+
+  std::sort(color.begin(), color.end());
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(n));
+  for (const std::uint64_t c : color) h = hash_combine(h, c);
+  return h;
+}
+
 }  // namespace flexnet

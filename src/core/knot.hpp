@@ -46,4 +46,13 @@ struct Knot {
 /// Convenience: true iff the CWG contains at least one knot.
 [[nodiscard]] bool has_deadlock(const Cwg& cwg);
 
+/// Position-independent structural hash of a knot: Weisfeiler–Leman color
+/// refinement over the knot-induced subgraph, seeded with per-vertex local
+/// structure (in/out degree plus the owning message's held/request counts).
+/// Two deadlocks that are the same wait-for pattern translated across the
+/// torus hash equal; structurally different knots collide only by accident.
+/// Used to dedupe the captured deadlock corpus.
+[[nodiscard]] std::uint64_t canonical_knot_hash(const Cwg& cwg,
+                                                const Knot& knot);
+
 }  // namespace flexnet

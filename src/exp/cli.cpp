@@ -132,6 +132,18 @@ ExperimentConfig experiment_from_options(const Options& opts) {
   cfg.telemetry.ring_capacity = static_cast<std::size_t>(telemetry_ring);
   cfg.telemetry.manifest_path = opts.get("telemetry-json");
   cfg.telemetry.heatmap_csv_path = opts.get("heatmap");
+
+  const long long checkpoint_every = opts.get_int("checkpoint-every", 0);
+  if (checkpoint_every < 0) {
+    throw std::invalid_argument("--checkpoint-every must be >= 0");
+  }
+  cfg.snapshot.checkpoint_every = checkpoint_every;
+  cfg.snapshot.checkpoint_dir =
+      opts.get("checkpoint-dir", cfg.snapshot.checkpoint_dir);
+  cfg.snapshot.resume_path = opts.get("resume");
+  cfg.snapshot.capture_dir = opts.get("capture-deadlocks");
+  cfg.snapshot.capture_limit = static_cast<int>(
+      opts.get_int("capture-limit", cfg.snapshot.capture_limit));
   // Display-only flags still need the collectors running.
   if (opts.get_bool("profile", false) || opts.get_bool("heatmap-ascii", false)) {
     cfg.telemetry.collect = true;

@@ -1,5 +1,6 @@
 #include "exp/experiment.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "routing/routing.hpp"
@@ -17,6 +18,14 @@ TraceConfig TraceConfig::with_point_suffix(std::size_t point) const {
   return out;
 }
 
+SnapshotConfig SnapshotConfig::with_point_suffix(std::size_t point) const {
+  SnapshotConfig out = *this;
+  const std::string suffix = ".p" + std::to_string(point);
+  if (out.checkpoint_every > 0) out.checkpoint_dir += suffix;
+  if (!out.capture_dir.empty()) out.capture_dir += suffix;
+  return out;
+}
+
 namespace {
 std::ofstream open_trace_file(const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -29,13 +38,42 @@ std::ofstream open_trace_file(const std::string& path) {
 
 Simulation::Simulation(const ExperimentConfig& config)
     : config_(config), metrics_(config.run.sample_every) {
-  config_.sim.validate();
-  network_ = std::make_unique<Network>(config_.sim, make_routing(config_.sim),
-                                       make_selection(config_.sim.selection));
-  injection_ = std::make_unique<InjectionProcess>(*network_, config_.traffic,
-                                                  config_.sim.seed);
-  detector_ =
-      std::make_unique<DeadlockDetector>(config_.detector, config_.sim.seed);
+  if (!config_.snapshot.resume_path.empty()) {
+    // Resume: the snapshot's configs and run schedule are authoritative (the
+    // command line only contributes trace/telemetry/snapshot attachments).
+    const Snapshot snap = read_snapshot_file(config_.snapshot.resume_path);
+    RestoredSim restored = restore_snapshot(snap);
+    config_.sim = restored.sim;
+    config_.traffic = restored.traffic;
+    config_.detector = restored.detector_config;
+    config_.run.warmup = snap.meta.warmup;
+    config_.run.measure = snap.meta.measure;
+    config_.run.sample_every = snap.meta.sample_every;
+    network_ = std::move(restored.net);
+    injection_ = std::move(restored.injection);
+    detector_ = std::move(restored.detector);
+    metrics_ = restored.metrics;
+    resumed_ = true;
+    resumed_measuring_ = snap.meta.measuring;
+    resumed_at_cycle_ = snap.meta.cycle;
+  } else {
+    config_.sim.validate();
+    network_ = std::make_unique<Network>(config_.sim, make_routing(config_.sim),
+                                         make_selection(config_.sim.selection));
+    injection_ = std::make_unique<InjectionProcess>(*network_, config_.traffic,
+                                                    config_.sim.seed);
+    detector_ =
+        std::make_unique<DeadlockDetector>(config_.detector, config_.sim.seed);
+  }
+
+  if (!config_.snapshot.capture_dir.empty()) {
+    corpus_ = std::make_unique<DeadlockCorpus>(
+        config_.snapshot.capture_dir, config_.snapshot.capture_limit,
+        config_.sim, config_.traffic, config_.detector, injection_.get(),
+        detector_.get(), &metrics_);
+    sync_corpus_run_state();
+    detector_->set_capture(corpus_.get());
+  }
 
   const TraceConfig& trace = config_.trace;
   if (trace.enabled()) {
@@ -75,6 +113,33 @@ void Simulation::flush_trace() {
   if (tracer_) tracer_->flush();
 }
 
+void Simulation::sync_corpus_run_state() noexcept {
+  if (corpus_) {
+    corpus_->set_run_state(config_.run.warmup, config_.run.measure,
+                           config_.run.sample_every, measuring_);
+  }
+}
+
+Snapshot Simulation::make_checkpoint() const {
+  SnapshotMeta meta;
+  meta.kind = SnapshotKind::Checkpoint;
+  meta.measuring = measuring_;
+  meta.warmup = config_.run.warmup;
+  meta.measure = config_.run.measure;
+  meta.sample_every = config_.run.sample_every;
+  return capture_snapshot(meta, config_.sim, config_.traffic, config_.detector,
+                          *network_, *injection_, *detector_, metrics_);
+}
+
+void Simulation::save_snapshot(const std::string& path) const {
+  write_snapshot_file(path, make_checkpoint());
+}
+
+void Simulation::write_checkpoint() {
+  save_snapshot(config_.snapshot.checkpoint_dir + "/ckpt-" +
+                std::to_string(network_->now()) + ".snap");
+}
+
 void Simulation::run_cycles(Cycle cycles) {
   for (Cycle i = 0; i < cycles; ++i) {
     injection_->tick(*network_);
@@ -86,17 +151,33 @@ void Simulation::run_cycles(Cycle cycles) {
         network_->now() % config_.run.check_every == 0) {
       network_->check_invariants();
     }
+    if (config_.snapshot.checkpoint_every > 0 &&
+        network_->now() % config_.snapshot.checkpoint_every == 0) {
+      write_checkpoint();
+    }
   }
 }
 
 ExperimentResult Simulation::run() {
-  run_cycles(config_.run.warmup);
-  detector_->reset_statistics();
-  if (forensics_) forensics_->clear();
-  metrics_.begin_window(*network_);
-  measuring_ = true;
-  run_cycles(config_.run.measure);
+  if (resumed_ && resumed_measuring_) {
+    // Mid-measurement resume: detector statistics and the metrics window
+    // came back with the snapshot, so just finish the measured cycles.
+    measuring_ = true;
+    sync_corpus_run_state();
+    run_cycles(std::max<Cycle>(
+        config_.run.warmup + config_.run.measure - network_->now(), 0));
+  } else {
+    // Fresh run, or a resume that landed inside warmup.
+    run_cycles(std::max<Cycle>(config_.run.warmup - network_->now(), 0));
+    detector_->reset_statistics();
+    if (forensics_) forensics_->clear();
+    metrics_.begin_window(*network_);
+    measuring_ = true;
+    sync_corpus_run_state();
+    run_cycles(config_.run.measure);
+  }
   measuring_ = false;
+  sync_corpus_run_state();
 
   ExperimentResult result;
   result.load = config_.traffic.load;
@@ -114,6 +195,15 @@ ExperimentResult Simulation::run() {
         result.window.throughput_flits_per_node / result.offered_flit_rate;
   }
   result.saturated = result.accepted_ratio < 0.95;
+  if (resumed_) {
+    result.resumed_from = config_.snapshot.resume_path;
+    result.resumed_at_cycle = resumed_at_cycle_;
+  }
+  if (corpus_) {
+    result.deadlocks_captured = corpus_->captured();
+    result.capture_duplicates = corpus_->duplicates();
+    result.capture_dropped = corpus_->dropped();
+  }
 
   flush_trace();
   if (telemetry_) {

@@ -11,6 +11,8 @@
 #include "core/detector.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/network.hpp"
+#include "snapshot/corpus.hpp"
+#include "snapshot/snapshot.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/forensics.hpp"
 #include "trace/sinks.hpp"
@@ -56,6 +58,33 @@ struct TraceConfig {
   [[nodiscard]] TraceConfig with_point_suffix(std::size_t point) const;
 };
 
+/// Checkpoint / resume / deadlock-capture attachment. Everything off by
+/// default; Simulation materializes the corpus hook and checkpoint writer.
+struct SnapshotConfig {
+  /// Write a checkpoint every C cycles (0 disables).
+  Cycle checkpoint_every = 0;
+  /// Directory for periodic checkpoints (created on demand).
+  std::string checkpoint_dir = "checkpoints";
+  /// Resume from this snapshot file. The snapshot's sim/traffic/detector
+  /// configs and run schedule override the corresponding fields here.
+  std::string resume_path;
+  /// Capture a snapshot at each knot confirmation into this directory
+  /// (empty disables), deduplicated by canonical knot hash.
+  std::string capture_dir;
+  /// Max captures per run (<= 0 = unlimited).
+  int capture_limit = 16;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return checkpoint_every > 0 || !resume_path.empty() ||
+           !capture_dir.empty();
+  }
+
+  /// Per-point directories for sweeps: "corpus" -> "corpus.p<i>" so parallel
+  /// points never clobber each other's files. resume_path is left alone
+  /// (resuming is a single-run operation).
+  [[nodiscard]] SnapshotConfig with_point_suffix(std::size_t point) const;
+};
+
 struct ExperimentConfig {
   SimConfig sim;
   TrafficConfig traffic;
@@ -63,6 +92,7 @@ struct ExperimentConfig {
   RunConfig run;
   TraceConfig trace;
   TelemetryConfig telemetry;
+  SnapshotConfig snapshot;
   /// Count recovery-delivered messages in the normalized-deadlock
   /// denominator (Disha delivers its victims).
   bool count_recovered_as_delivered = true;
@@ -88,6 +118,16 @@ struct ExperimentResult {
   /// Telemetry summaries and output paths (all-default unless
   /// TelemetryConfig::enabled() was set).
   TelemetryArtifacts telemetry;
+
+  /// Resume lineage (recorded in the telemetry manifest): the snapshot file
+  /// this run was resumed from and its cycle, or empty/-1 for fresh runs.
+  std::string resumed_from;
+  Cycle resumed_at_cycle = -1;
+
+  /// Deadlock-corpus capture summary (zeros unless capture_dir was set).
+  int deadlocks_captured = 0;
+  int capture_duplicates = 0;
+  int capture_dropped = 0;
 };
 
 /// A constructed, steppable simulation (examples drive this directly; the
@@ -119,16 +159,38 @@ class Simulation {
   /// Flushes every attached sink (also done by run() and the destructor).
   void flush_trace();
 
-  /// Runs warmup + measurement and returns the result.
+  /// Captures the live state as a Checkpoint snapshot.
+  [[nodiscard]] Snapshot make_checkpoint() const;
+  /// Captures and writes a checkpoint to `path` (parents created on demand).
+  void save_snapshot(const std::string& path) const;
+
+  /// True when this simulation was restored from SnapshotConfig::resume_path.
+  [[nodiscard]] bool resumed() const noexcept { return resumed_; }
+  /// Non-null iff SnapshotConfig::capture_dir was set.
+  [[nodiscard]] const DeadlockCorpus* corpus() const noexcept {
+    return corpus_.get();
+  }
+
+  /// Runs warmup + measurement and returns the result. On a resumed
+  /// simulation this completes the original schedule: it picks up at the
+  /// checkpoint cycle — mid-warmup or mid-measurement — and produces the
+  /// same window metrics the uninterrupted run would have.
   [[nodiscard]] ExperimentResult run();
 
  private:
+  void write_checkpoint();
+  void sync_corpus_run_state() noexcept;
+
   ExperimentConfig config_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<InjectionProcess> injection_;
   std::unique_ptr<DeadlockDetector> detector_;
   MetricsCollector metrics_;
   bool measuring_ = false;
+  bool resumed_ = false;
+  bool resumed_measuring_ = false;
+  Cycle resumed_at_cycle_ = -1;
+  std::unique_ptr<DeadlockCorpus> corpus_;
 
   // Trace attachment, owned for the simulation's lifetime. Streams are
   // declared before the sinks writing into them (destruction is reversed).

@@ -36,6 +36,8 @@
 #include "routing/tfar.hpp"      // IWYU pragma: export
 #include "routing/turnmodel.hpp" // IWYU pragma: export
 #include "sim/network.hpp"       // IWYU pragma: export
+#include "snapshot/corpus.hpp"   // IWYU pragma: export
+#include "snapshot/snapshot.hpp" // IWYU pragma: export
 #include "telemetry/heatmap.hpp"   // IWYU pragma: export
 #include "telemetry/interval.hpp"  // IWYU pragma: export
 #include "telemetry/manifest.hpp"  // IWYU pragma: export
@@ -47,6 +49,7 @@
 #include "trace/trace.hpp"       // IWYU pragma: export
 #include "traffic/injection.hpp" // IWYU pragma: export
 #include "traffic/traffic.hpp"   // IWYU pragma: export
+#include "util/binio.hpp"        // IWYU pragma: export
 #include "util/csv.hpp"          // IWYU pragma: export
 #include "util/json.hpp"         // IWYU pragma: export
 #include "util/options.hpp"      // IWYU pragma: export

@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "util/binio.hpp"
+
 namespace flexnet {
+
+void MetricsCollector::save_state(BinWriter& out) const {
+  out.i64(start_cycle_);
+  Network::save_counters(out, start_);
+  blocked_.save_state(out);
+  blocked_fraction_.save_state(out);
+  in_network_.save_state(out);
+  queued_.save_state(out);
+}
+
+void MetricsCollector::restore_state(BinReader& in) {
+  start_cycle_ = in.i64();
+  Network::restore_counters(in, start_);
+  blocked_.restore_state(in);
+  blocked_fraction_.restore_state(in);
+  in_network_.restore_state(in);
+  queued_.restore_state(in);
+}
 
 void MetricsCollector::begin_window(const Network& net) {
   start_cycle_ = net.now();

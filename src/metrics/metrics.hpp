@@ -12,6 +12,9 @@
 
 namespace flexnet {
 
+class BinReader;
+class BinWriter;
+
 struct WindowMetrics {
   Cycle window_cycles = 0;
 
@@ -70,6 +73,12 @@ class MetricsCollector {
   [[nodiscard]] WindowMetrics finish(const Network& net,
                                      const DeadlockDetector& detector,
                                      bool count_recovered_as_delivered) const;
+
+  /// Snapshot hooks: window start marker plus the four congestion
+  /// accumulators, so a resumed run finishes the window with the exact
+  /// RunningStat state (bit-identical WindowMetrics).
+  void save_state(BinWriter& out) const;
+  void restore_state(BinReader& in);
 
  private:
   int sample_every_;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/binio.hpp"
+
 namespace flexnet {
 
 FlitFifo::FlitFifo(int capacity) {
@@ -33,6 +35,33 @@ const Flit& FlitFifo::front() const {
 const Flit& FlitFifo::at(int i) const {
   assert(i >= 0 && i < count_);
   return slots_[static_cast<std::size_t>((head_ + i) % capacity())];
+}
+
+void FlitFifo::save_state(BinWriter& out) const {
+  out.i32(count_);
+  for (int i = 0; i < count_; ++i) {
+    const Flit& f = at(i);
+    out.i64(f.message);
+    out.i32(f.seq);
+    out.i64(f.arrived);
+  }
+}
+
+void FlitFifo::restore_state(BinReader& in) {
+  clear();
+  const std::int32_t count = in.i32();
+  if (count < 0 || count > capacity()) {
+    throw std::runtime_error("snapshot: FlitFifo count " +
+                             std::to_string(count) + " exceeds capacity " +
+                             std::to_string(capacity()));
+  }
+  for (std::int32_t i = 0; i < count; ++i) {
+    Flit f;
+    f.message = in.i64();
+    f.seq = in.i32();
+    f.arrived = in.i64();
+    push(f);
+  }
 }
 
 }  // namespace flexnet

@@ -7,6 +7,9 @@
 
 namespace flexnet {
 
+class BinReader;
+class BinWriter;
+
 class FlitFifo {
  public:
   explicit FlitFifo(int capacity);
@@ -26,6 +29,12 @@ class FlitFifo {
   [[nodiscard]] const Flit& at(int i) const;
 
   void clear() noexcept { head_ = count_ = 0; }
+
+  /// Snapshot hooks: the logical front-to-back flit sequence (head position
+  /// is an internal detail, so a round trip is canonicalizing). restore()
+  /// throws std::runtime_error when the stored count exceeds capacity.
+  void save_state(BinWriter& out) const;
+  void restore_state(BinReader& in);
 
  private:
   std::vector<Flit> slots_;

@@ -9,12 +9,46 @@
 #include "routing/selection.hpp"
 #include "telemetry/heatmap.hpp"
 #include "telemetry/profiler.hpp"
+#include "util/binio.hpp"
 
 namespace flexnet {
 
 namespace {
 [[noreturn]] void invariant_failure(const std::string& what) {
   throw std::logic_error("Network invariant violated: " + what);
+}
+
+[[noreturn]] void snapshot_mismatch(const std::string& what) {
+  throw std::runtime_error("snapshot does not match this network: " + what);
+}
+
+void save_rng(BinWriter& out, const Pcg32& rng) {
+  const Pcg32::State s = rng.save();
+  out.u64(s.state);
+  out.u64(s.inc);
+  out.u64(s.draws);
+}
+
+void restore_rng(BinReader& in, Pcg32& rng) {
+  Pcg32::State s;
+  s.state = in.u64();
+  s.inc = in.u64();
+  s.draws = in.u64();
+  rng.restore(s);
+}
+
+void save_id_vector(BinWriter& out, const std::vector<VcId>& ids) {
+  out.u64(ids.size());
+  for (const VcId id : ids) out.i32(id);
+}
+
+void restore_id_vector(BinReader& in, std::vector<VcId>& ids,
+                       std::size_t limit) {
+  const std::uint64_t count = in.u64();
+  if (count > limit) snapshot_mismatch("VC id list longer than the VC table");
+  ids.clear();
+  ids.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) ids.push_back(in.i32());
 }
 }  // namespace
 
@@ -615,6 +649,151 @@ void Network::check_invariants() const {
       invariant_failure("pending VC front is not a header flit");
     }
   }
+}
+
+void Network::save_counters(BinWriter& out, const Counters& c) {
+  out.i64(c.generated);
+  out.i64(c.injected);
+  out.i64(c.delivered);
+  out.i64(c.recovered);
+  out.i64(c.flits_delivered);
+  out.i64(c.delivered_latency_sum);
+  out.i64(c.delivered_hops_sum);
+}
+
+void Network::restore_counters(BinReader& in, Counters& c) {
+  c.generated = in.i64();
+  c.injected = in.i64();
+  c.delivered = in.i64();
+  c.recovered = in.i64();
+  c.flits_delivered = in.i64();
+  c.delivered_latency_sum = in.i64();
+  c.delivered_hops_sum = in.i64();
+}
+
+void Network::save_state(BinWriter& out) const {
+  out.i64(now_);
+  out.i32(blocked_count_);
+  out.i32(faulted_);
+  save_counters(out, counters_);
+  save_rng(out, rng_);
+
+  out.u64(phys_.size());
+  for (const PhysChannel& pc : phys_) {
+    out.i32(pc.rr_cursor);
+    out.u8(pc.faulted ? 1 : 0);
+  }
+
+  out.u64(vcs_.size());
+  for (const VcState& vc : vcs_) {
+    out.i64(vc.owner);
+    out.i32(vc.route_out);
+    out.i32(vc.route_in);
+    vc.buffer.save_state(out);
+  }
+
+  out.u64(messages_.size());
+  for (const Message& msg : messages_) {
+    out.i32(msg.src);
+    out.i32(msg.dst);
+    out.i32(msg.length);
+    out.i64(msg.created);
+    out.i64(msg.injected);
+    out.i64(msg.finished);
+    out.u8(static_cast<std::uint8_t>(msg.status));
+    out.i32(msg.flits_sent);
+    out.i32(msg.flits_delivered);
+    out.i32(msg.hops);
+    out.i32(msg.misroutes);
+    out.u8(msg.blocked ? 1 : 0);
+    out.i64(msg.blocked_since);
+    save_id_vector(out, msg.held);
+    save_id_vector(out, msg.request_set);
+  }
+
+  out.u64(source_queues_.size());
+  for (const auto& queue : source_queues_) {
+    out.u64(queue.size());
+    for (const MessageId id : queue) out.i64(id);
+  }
+
+  out.u64(active_.size());
+  for (const MessageId id : active_) out.i64(id);
+
+  out.u64(pending_.size());
+  for (const VcId id : pending_) out.i32(id);
+}
+
+void Network::restore_state(BinReader& in) {
+  now_ = in.i64();
+  blocked_count_ = in.i32();
+  faulted_ = in.i32();
+  restore_counters(in, counters_);
+  restore_rng(in, rng_);
+
+  if (in.u64() != phys_.size()) snapshot_mismatch("physical channel count");
+  for (PhysChannel& pc : phys_) {
+    pc.rr_cursor = in.i32();
+    pc.faulted = in.u8() != 0;
+  }
+
+  if (in.u64() != vcs_.size()) snapshot_mismatch("virtual channel count");
+  for (VcState& vc : vcs_) {
+    vc.owner = in.i64();
+    vc.route_out = in.i32();
+    vc.route_in = in.i32();
+    vc.buffer.restore_state(in);
+  }
+
+  const std::uint64_t num_messages = in.u64();
+  messages_.clear();
+  messages_.reserve(static_cast<std::size_t>(num_messages));
+  for (std::uint64_t i = 0; i < num_messages; ++i) {
+    Message msg;
+    msg.id = static_cast<MessageId>(i);
+    msg.src = in.i32();
+    msg.dst = in.i32();
+    msg.length = in.i32();
+    msg.created = in.i64();
+    msg.injected = in.i64();
+    msg.finished = in.i64();
+    msg.status = static_cast<MessageStatus>(in.u8());
+    msg.flits_sent = in.i32();
+    msg.flits_delivered = in.i32();
+    msg.hops = in.i32();
+    msg.misroutes = in.i32();
+    msg.blocked = in.u8() != 0;
+    msg.blocked_since = in.i64();
+    restore_id_vector(in, msg.held, vcs_.size());
+    restore_id_vector(in, msg.request_set, vcs_.size());
+    messages_.push_back(std::move(msg));
+  }
+
+  if (in.u64() != source_queues_.size()) snapshot_mismatch("node count");
+  for (auto& queue : source_queues_) {
+    const std::uint64_t len = in.u64();
+    if (len > num_messages) snapshot_mismatch("source queue length");
+    queue.clear();
+    for (std::uint64_t i = 0; i < len; ++i) queue.push_back(in.i64());
+  }
+
+  const std::uint64_t num_active = in.u64();
+  if (num_active > num_messages) snapshot_mismatch("active message count");
+  active_.clear();
+  active_.reserve(static_cast<std::size_t>(num_active));
+  active_pos_.assign(static_cast<std::size_t>(num_messages), -1);
+  for (std::uint64_t i = 0; i < num_active; ++i) {
+    const MessageId id = in.i64();
+    if (id < 0 || static_cast<std::uint64_t>(id) >= num_messages) {
+      snapshot_mismatch("active message id out of range");
+    }
+    active_pos_[static_cast<std::size_t>(id)] = static_cast<std::int32_t>(i);
+    active_.push_back(id);
+  }
+
+  restore_id_vector(in, pending_, vcs_.size());
+
+  check_invariants();
 }
 
 }  // namespace flexnet

@@ -32,6 +32,8 @@
 
 namespace flexnet {
 
+class BinReader;
+class BinWriter;
 class RoutingAlgorithm;
 class SelectionPolicy;
 class SpatialHeatmap;
@@ -147,6 +149,23 @@ class Network {
   /// flit conservation). Throws std::logic_error on violation. O(state size);
   /// intended for tests.
   void check_invariants() const;
+
+  // --- snapshot hooks ------------------------------------------------------
+  /// Serializes every bit of dynamic state that influences future evolution:
+  /// cycle counter, RNG position, counters, per-channel arbitration cursors
+  /// and fault flags, every VC (ownership, routing linkage, buffered flits),
+  /// the full message table, source queues, active list and the pending-header
+  /// rotation order. save_state → restore_state on a Network built from the
+  /// same SimConfig is byte-exact: stepping both produces identical flits.
+  void save_state(BinWriter& out) const;
+  /// Restores state saved by save_state. The network must have been
+  /// constructed from the same SimConfig (same topology/VC shape); throws
+  /// std::runtime_error on any structural mismatch or corrupt encoding.
+  void restore_state(BinReader& in);
+
+  /// Counters codec, shared with MetricsCollector's window snapshot.
+  static void save_counters(BinWriter& out, const Counters& c);
+  static void restore_counters(BinReader& in, Counters& c);
 
  private:
   void inject_link_faults();

@@ -1,0 +1,128 @@
+#include "snapshot/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cwg.hpp"
+#include "core/knot.hpp"
+#include "sim/network.hpp"
+#include "traffic/injection.hpp"
+
+namespace flexnet {
+
+DeadlockCorpus::DeadlockCorpus(std::string dir, int limit, const SimConfig& sim,
+                               const TrafficConfig& traffic,
+                               const DetectorConfig& detector,
+                               const InjectionProcess* injection,
+                               const DeadlockDetector* det,
+                               const MetricsCollector* metrics)
+    : dir_(std::move(dir)),
+      limit_(limit),
+      sim_(sim),
+      traffic_(traffic),
+      detector_config_(detector),
+      injection_(injection),
+      detector_(det),
+      metrics_(metrics) {}
+
+void DeadlockCorpus::on_knot(const Network& net, const Cwg& cwg,
+                             const Knot& knot, const DeadlockRecord& record) {
+  const std::uint64_t hash = canonical_knot_hash(cwg, knot);
+  if (!seen_.insert(hash).second) {
+    ++duplicates_;
+    return;
+  }
+  if (limit_ > 0 && captured_ >= limit_) {
+    ++dropped_;
+    return;
+  }
+
+  SnapshotMeta meta;
+  meta.kind = SnapshotKind::DeadlockCapture;
+  meta.cycle = net.now();
+  meta.measuring = measuring_;
+  meta.warmup = warmup_;
+  meta.measure = measure_;
+  meta.sample_every = sample_every_;
+  meta.deadlock_set_size = record.deadlock_set_size;
+  meta.resource_set_size = record.resource_set_size;
+  meta.knot_size = record.knot_size;
+  meta.knot_cycle_density = record.knot_cycle_density;
+  meta.cwg_hash = hash;
+
+  const Snapshot snap =
+      capture_snapshot(meta, sim_, traffic_, detector_config_, net,
+                       *injection_, *detector_, *metrics_);
+
+  char name[64];
+  std::snprintf(name, sizeof(name), "knot-%lld-%016llx.snap",
+                static_cast<long long>(net.now()),
+                static_cast<unsigned long long>(hash));
+  write_snapshot_file(dir_ + "/" + name, snap);
+  ++captured_;
+}
+
+ReplayResult replay_capture(const Snapshot& snap) {
+  if (snap.meta.kind != SnapshotKind::DeadlockCapture) {
+    throw std::runtime_error("replay_capture: snapshot is not a deadlock capture");
+  }
+  RestoredSim sim = restore_snapshot(snap);
+
+  ReplayResult result;
+  const Cwg cwg = Cwg::from_network(*sim.net);
+  const std::vector<Knot> knots = find_knots(cwg);
+  result.knot_found = !knots.empty();
+  if (knots.empty()) {
+    result.detail = "no knot found in restored network";
+    return result;
+  }
+
+  // The capture happened mid-detector-pass: earlier knots in the same pass
+  // had their victims removed before this one was dumped, so the restored
+  // CWG can contain several knots. Match by canonical hash first, then by
+  // recorded sizes.
+  const Knot* best = nullptr;
+  std::uint64_t best_hash = 0;
+  for (const Knot& knot : knots) {
+    const std::uint64_t h = canonical_knot_hash(cwg, knot);
+    if (h == snap.meta.cwg_hash) {
+      best = &knot;
+      best_hash = h;
+      break;
+    }
+    if (best == nullptr) {
+      best = &knot;
+      best_hash = h;
+    }
+  }
+
+  result.deadlock_set_size = static_cast<int>(best->deadlock_set.size());
+  result.resource_set_size = static_cast<int>(best->resource_set.size());
+  result.knot_size = static_cast<int>(best->knot_vcs.size());
+  result.cwg_hash = best_hash;
+
+  const bool sizes_match =
+      result.deadlock_set_size == snap.meta.deadlock_set_size &&
+      result.resource_set_size == snap.meta.resource_set_size &&
+      result.knot_size == snap.meta.knot_size;
+  const bool hash_match = best_hash == snap.meta.cwg_hash;
+  result.matches = sizes_match && hash_match;
+  if (!result.matches) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "recorded set/resource/knot=%d/%d/%d hash=%016llx, "
+                  "replayed %d/%d/%d hash=%016llx",
+                  snap.meta.deadlock_set_size, snap.meta.resource_set_size,
+                  snap.meta.knot_size,
+                  static_cast<unsigned long long>(snap.meta.cwg_hash),
+                  result.deadlock_set_size, result.resource_set_size,
+                  result.knot_size,
+                  static_cast<unsigned long long>(best_hash));
+    result.detail = buf;
+  }
+  return result;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,92 @@
+// Deadlock corpus: capture every confirmed knot as a replayable snapshot.
+//
+// DeadlockCorpus hooks DeadlockDetector (KnotCaptureHook): at the moment a
+// knot is confirmed — record filled, victim chosen, nothing removed yet — it
+// dumps a full flexnet-snap-v1 image of the simulation with the knot's
+// characterization (set sizes, cycle density, canonical hash) in the meta
+// section. Captures are deduplicated by canonical_knot_hash, so a saturated
+// run that forms the same translated wait-for pattern hundreds of times
+// contributes one corpus entry, and capped to bound disk use.
+//
+// replay_capture() is the other half: restore the image, rebuild the CWG,
+// re-run knot detection, and check the fresh verdict against the recorded
+// metadata. A corpus therefore doubles as a regression suite for the
+// detector: any change that alters knot finding, quiescence filtering or
+// characterization trips a replay mismatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "core/detector.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace flexnet {
+
+class DeadlockCorpus final : public KnotCaptureHook {
+ public:
+  /// Snapshots are written to `dir` (created on first capture) as
+  /// `knot-<cycle>-<hash>.snap`. At most `limit` files are written (<=0
+  /// disables the cap). The component pointers are non-owning and must stay
+  /// valid while the corpus is attached.
+  DeadlockCorpus(std::string dir, int limit, const SimConfig& sim,
+                 const TrafficConfig& traffic, const DetectorConfig& detector,
+                 const InjectionProcess* injection,
+                 const DeadlockDetector* det, const MetricsCollector* metrics);
+
+  void on_knot(const Network& net, const Cwg& cwg, const Knot& knot,
+               const DeadlockRecord& record) override;
+
+  /// Lets the owner keep meta.measuring / the run schedule current.
+  void set_run_state(Cycle warmup, Cycle measure, std::int32_t sample_every,
+                     bool measuring) noexcept {
+    warmup_ = warmup;
+    measure_ = measure;
+    sample_every_ = sample_every;
+    measuring_ = measuring;
+  }
+
+  [[nodiscard]] int captured() const noexcept { return captured_; }
+  /// Knots skipped because their canonical hash was already captured.
+  [[nodiscard]] int duplicates() const noexcept { return duplicates_; }
+  /// Knots skipped because the capture cap was reached.
+  [[nodiscard]] int dropped() const noexcept { return dropped_; }
+
+ private:
+  std::string dir_;
+  int limit_;
+  SimConfig sim_;
+  TrafficConfig traffic_;
+  DetectorConfig detector_config_;
+  const InjectionProcess* injection_;
+  const DeadlockDetector* detector_;
+  const MetricsCollector* metrics_;
+  Cycle warmup_ = 0;
+  Cycle measure_ = 0;
+  std::int32_t sample_every_ = 1;
+  bool measuring_ = false;
+  std::unordered_set<std::uint64_t> seen_;
+  int captured_ = 0;
+  int duplicates_ = 0;
+  int dropped_ = 0;
+};
+
+/// Outcome of replaying one captured deadlock.
+struct ReplayResult {
+  bool knot_found = false;  ///< Detection found at least one knot.
+  bool matches = false;     ///< Some knot reproduces the recorded verdict.
+  // The best-matching knot's fresh characterization (valid when knot_found).
+  int deadlock_set_size = 0;
+  int resource_set_size = 0;
+  int knot_size = 0;
+  std::uint64_t cwg_hash = 0;
+  std::string detail;  ///< Human-readable mismatch description (empty on match).
+};
+
+/// Restores a DeadlockCapture snapshot and re-runs knot detection on the
+/// restored network, comparing against the snapshot's recorded verdict.
+/// Throws std::runtime_error if the snapshot is not a DeadlockCapture.
+[[nodiscard]] ReplayResult replay_capture(const Snapshot& snap);
+
+}  // namespace flexnet

@@ -1,0 +1,133 @@
+// Deterministic full-state snapshots: the flexnet-snap-v1 container.
+//
+// A snapshot file is
+//
+//   magic "flexnet-snap" (12 bytes) | u32 version (=1) | sections...
+//
+// where each section is framed as `u32 id | u64 length | payload`, so readers
+// can skip sections they do not understand and inspectors can decode the meta
+// and config sections without reconstructing a network. Sections:
+//
+//   1 meta       — SnapshotMeta (kind, cycle, run schedule, knot metadata)
+//   2 sim        — SimConfig codec
+//   3 traffic    — TrafficConfig codec
+//   4 detector   — DetectorConfig codec
+//   5 network    — Network::save_state payload
+//   6 injection  — InjectionProcess::save_state payload
+//   7 det-state  — DeadlockDetector::save_state payload
+//   8 metrics    — MetricsCollector::save_state payload
+//
+// The round-trip guarantee: restore_snapshot() on a capture of a live
+// simulation produces components whose subsequent evolution is flit-for-flit
+// identical to the original — every RNG position, buffer occupancy,
+// arbitration cursor and accumulated statistic is part of the image.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/config.hpp"
+#include "traffic/traffic.hpp"
+
+namespace flexnet {
+
+class InjectionProcess;
+class Network;
+
+inline constexpr char kSnapshotMagic[] = "flexnet-snap";  // 12 chars + NUL
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+enum class SnapshotKind : std::uint8_t {
+  Checkpoint = 1,       ///< Periodic mid-run checkpoint (resumable).
+  DeadlockCapture = 2,  ///< Dumped at knot confirmation, pre-recovery.
+};
+
+/// Self-describing header record stored in every snapshot.
+struct SnapshotMeta {
+  SnapshotKind kind = SnapshotKind::Checkpoint;
+  Cycle cycle = 0;       ///< Network::now() at capture.
+  bool measuring = false;  ///< Inside the measurement window?
+  // Run schedule (mirrors exp::RunConfig) so a resume completes the original
+  // warmup/measure plan without re-specifying it on the command line.
+  Cycle warmup = 0;
+  Cycle measure = 0;
+  std::int32_t sample_every = 1;
+  // Deadlock-capture metadata (meaningful when kind == DeadlockCapture):
+  // the recorded verdict a corpus replay must reproduce.
+  std::int32_t deadlock_set_size = 0;
+  std::int32_t resource_set_size = 0;
+  std::int32_t knot_size = 0;
+  std::int64_t knot_cycle_density = -1;
+  std::uint64_t cwg_hash = 0;  ///< canonical_knot_hash of the captured knot.
+};
+
+/// A decoded snapshot: meta + configs, plus the opaque component-state
+/// sections kept as raw bytes until restore_snapshot() replays them.
+struct Snapshot {
+  SnapshotMeta meta;
+  SimConfig sim;
+  TrafficConfig traffic;
+  DetectorConfig detector;
+  std::vector<std::uint8_t> network_state;
+  std::vector<std::uint8_t> injection_state;
+  std::vector<std::uint8_t> detector_state;
+  std::vector<std::uint8_t> metrics_state;
+};
+
+/// Live components rebuilt from a snapshot, ready to keep stepping.
+struct RestoredSim {
+  SnapshotMeta meta;
+  SimConfig sim;
+  TrafficConfig traffic;
+  DetectorConfig detector_config;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<InjectionProcess> injection;
+  std::unique_ptr<DeadlockDetector> detector;
+  MetricsCollector metrics;
+};
+
+/// Captures the full dynamic state of a live simulation.
+[[nodiscard]] Snapshot capture_snapshot(const SnapshotMeta& meta,
+                                        const SimConfig& sim,
+                                        const TrafficConfig& traffic,
+                                        const DetectorConfig& detector,
+                                        const Network& net,
+                                        const InjectionProcess& injection,
+                                        const DeadlockDetector& det,
+                                        const MetricsCollector& metrics);
+
+/// Serializes to the flexnet-snap-v1 byte layout.
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap);
+
+/// Parses the byte layout; throws std::runtime_error on bad magic, version,
+/// truncation, or a missing required section.
+[[nodiscard]] Snapshot decode_snapshot(const std::uint8_t* data,
+                                       std::size_t size);
+
+/// Rebuilds live components (network, injection, detector, metrics) from the
+/// stored configs and replays each state section into them. Throws
+/// std::runtime_error when the stored state does not fit the stored config.
+[[nodiscard]] RestoredSim restore_snapshot(const Snapshot& snap);
+
+/// File I/O helpers (binary, whole-file). Both throw std::runtime_error on
+/// I/O failure; the writer creates missing parent directories.
+void write_snapshot_file(const std::string& path, const Snapshot& snap);
+[[nodiscard]] Snapshot read_snapshot_file(const std::string& path);
+
+// Config codecs, exposed for tests and the dump tool.
+class BinReader;
+class BinWriter;
+void save_sim_config(BinWriter& out, const SimConfig& c);
+[[nodiscard]] SimConfig load_sim_config(BinReader& in);
+void save_traffic_config(BinWriter& out, const TrafficConfig& c);
+[[nodiscard]] TrafficConfig load_traffic_config(BinReader& in);
+void save_detector_config(BinWriter& out, const DetectorConfig& c);
+[[nodiscard]] DetectorConfig load_detector_config(BinReader& in);
+void save_meta(BinWriter& out, const SnapshotMeta& m);
+[[nodiscard]] SnapshotMeta load_meta(BinReader& in);
+
+}  // namespace flexnet

@@ -220,6 +220,16 @@ void write_manifest_json(std::ostream& out, const ExperimentConfig& config,
   write_window(json, result.window);
   json.end_object();
 
+  // Resume lineage + corpus capture summary, so a manifest always records
+  // whether its window was produced by an uninterrupted run.
+  json.key("snapshot").begin_object();
+  json.field("resumed_from", result.resumed_from);
+  json.field("checkpoint_cycle", result.resumed_at_cycle);
+  json.field("deadlocks_captured", result.deadlocks_captured);
+  json.field("capture_duplicates", result.capture_duplicates);
+  json.field("capture_dropped", result.capture_dropped);
+  json.end_object();
+
   write_series(json, telemetry.interval_series());
   write_heatmap_summary(json, telemetry.heatmap(), net);
   write_profile(json, telemetry.profiler());

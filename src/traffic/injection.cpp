@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/binio.hpp"
+
 namespace flexnet {
 
 InjectionProcess::InjectionProcess(const Network& net,
@@ -30,6 +32,23 @@ std::int32_t InjectionProcess::draw_length(Pcg32& rng) const {
     return short_length_;
   }
   return length_;
+}
+
+void InjectionProcess::save_state(BinWriter& out) const {
+  const Pcg32::State s = rng_.save();
+  out.u64(s.state);
+  out.u64(s.inc);
+  out.u64(s.draws);
+  out.i64(stalled_);
+}
+
+void InjectionProcess::restore_state(BinReader& in) {
+  Pcg32::State s;
+  s.state = in.u64();
+  s.inc = in.u64();
+  s.draws = in.u64();
+  rng_.restore(s);
+  stalled_ = in.i64();
 }
 
 void InjectionProcess::tick(Network& net) {

@@ -14,6 +14,9 @@
 
 namespace flexnet {
 
+class BinReader;
+class BinWriter;
+
 class InjectionProcess {
  public:
   InjectionProcess(const Network& net, const TrafficConfig& traffic,
@@ -34,6 +37,11 @@ class InjectionProcess {
   [[nodiscard]] double message_probability() const noexcept { return probability_; }
   /// Generation attempts suppressed by a full source queue.
   [[nodiscard]] std::int64_t stalled_generations() const noexcept { return stalled_; }
+
+  /// Snapshot hooks: the RNG position and the stall counter are the only
+  /// dynamic state (patterns and rates are pure functions of the config).
+  void save_state(BinWriter& out) const;
+  void restore_state(BinReader& in);
 
  private:
   [[nodiscard]] std::int32_t draw_length(Pcg32& rng) const;

@@ -1,0 +1,37 @@
+#include "util/binio.hpp"
+
+#include <stdexcept>
+
+namespace flexnet {
+
+void BinWriter::patch_u64(std::size_t offset, std::uint64_t v) {
+  if (offset + sizeof(v) > bytes_.size()) {
+    throw std::logic_error("BinWriter::patch_u64 past end of buffer");
+  }
+  for (std::size_t i = 0; i < sizeof(v); ++i) {
+    bytes_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+const std::uint8_t* BinReader::take(std::size_t count) {
+  if (count > size_ - pos_) {
+    throw std::runtime_error("binary decode overruns buffer: need " +
+                             std::to_string(count) + " bytes, have " +
+                             std::to_string(size_ - pos_));
+  }
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += count;
+  return p;
+}
+
+std::string BinReader::str() {
+  const std::uint64_t len = u64();
+  if (len > remaining()) {
+    throw std::runtime_error("binary decode: string length exceeds buffer");
+  }
+  const std::uint8_t* p = take(static_cast<std::size_t>(len));
+  return std::string(reinterpret_cast<const char*>(p),
+                     static_cast<std::size_t>(len));
+}
+
+}  // namespace flexnet

@@ -1,8 +1,20 @@
 #include "util/options.hpp"
 
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace flexnet {
+
+namespace {
+[[noreturn]] void bad_value(std::string_view name, const std::string& value,
+                            const char* expected) {
+  throw std::invalid_argument("option --" + std::string(name) + " expects " +
+                              expected + ", got '" + value + "'");
+}
+}  // namespace
 
 std::optional<Options> Options::parse(int argc, const char* const* argv,
                                       std::string* error) {
@@ -48,13 +60,32 @@ std::string Options::get(std::string_view name, std::string def) const {
 long long Options::get_int(std::string_view name, long long def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& v = it->second;
+  long long value = 0;
+  const char* first = v.c_str();
+  if (*first == '+') ++first;  // from_chars rejects an explicit plus sign
+  const auto [end, ec] = std::from_chars(first, v.c_str() + v.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    bad_value(name, v, "an integer in range (value overflows)");
+  }
+  if (ec != std::errc{} || end != v.c_str() + v.size() || first == end) {
+    bad_value(name, v, "an integer");
+  }
+  return value;
 }
 
 double Options::get_double(std::string_view name, double def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& v = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') bad_value(name, v, "a number");
+  if (errno == ERANGE && std::isinf(value)) {
+    bad_value(name, v, "a finite number (value overflows)");
+  }
+  return value;
 }
 
 bool Options::get_bool(std::string_view name, bool def) const {

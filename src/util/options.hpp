@@ -21,6 +21,9 @@ class Options {
   [[nodiscard]] bool has(std::string_view name) const;
   [[nodiscard]] std::string get(std::string_view name,
                                 std::string def = {}) const;
+  /// Numeric getters parse the FULL value: trailing garbage ("1e9x"), empty
+  /// values and out-of-range magnitudes throw std::invalid_argument naming
+  /// the option, instead of silently truncating (strtoll's behavior).
   [[nodiscard]] long long get_int(std::string_view name, long long def) const;
   [[nodiscard]] double get_double(std::string_view name, double def) const;
   [[nodiscard]] bool get_bool(std::string_view name, bool def) const;

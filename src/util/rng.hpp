@@ -26,6 +26,18 @@ class Pcg32 {
  public:
   using result_type = std::uint32_t;
 
+  /// Complete generator state. `draws` counts values produced since seeding —
+  /// a position marker within the stream, useful for asserting that two
+  /// generators sit at the same point (snapshot round-trip checks).
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+    std::uint64_t draws = 0;
+
+    friend constexpr bool operator==(const State&, const State&) noexcept =
+        default;
+  };
+
   constexpr Pcg32() noexcept { seed(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL); }
 
   explicit constexpr Pcg32(std::uint64_t seed_value,
@@ -39,7 +51,21 @@ class Pcg32 {
     next();
     state_ += splitmix64(seed_value);
     next();
+    draws_ = 0;  // seeding scrambles; position counting starts here
   }
+
+  /// Snapshot of the full generator state; restoring it resumes the exact
+  /// output sequence from the saved position.
+  [[nodiscard]] constexpr State save() const noexcept {
+    return State{state_, inc_, draws_};
+  }
+  constexpr void restore(const State& s) noexcept {
+    state_ = s.state;
+    inc_ = s.inc;
+    draws_ = s.draws;
+  }
+  /// Values produced since the last seed()/restore-to-zero point.
+  [[nodiscard]] constexpr std::uint64_t draws() const noexcept { return draws_; }
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
@@ -78,6 +104,7 @@ class Pcg32 {
   constexpr result_type next() noexcept {
     const std::uint64_t old = state_;
     state_ = old * 6364136223846793005ULL + inc_;
+    ++draws_;
     const auto xorshifted =
         static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
     const auto rot = static_cast<std::uint32_t>(old >> 59u);
@@ -86,6 +113,7 @@ class Pcg32 {
 
   std::uint64_t state_ = 0;
   std::uint64_t inc_ = 0;
+  std::uint64_t draws_ = 0;
 };
 
 }  // namespace flexnet

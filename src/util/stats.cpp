@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/binio.hpp"
+
 namespace flexnet {
 
 void RunningStat::add(double x) noexcept {
@@ -33,6 +35,22 @@ void RunningStat::merge(const RunningStat& other) noexcept {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   n_ += other.n_;
+}
+
+void RunningStat::save_state(BinWriter& out) const {
+  out.i64(n_);
+  out.f64(mean_);
+  out.f64(m2_);
+  out.f64(min_);
+  out.f64(max_);
+}
+
+void RunningStat::restore_state(BinReader& in) {
+  n_ = in.i64();
+  mean_ = in.f64();
+  m2_ = in.f64();
+  min_ = in.f64();
+  max_ = in.f64();
 }
 
 double RunningStat::variance() const noexcept {

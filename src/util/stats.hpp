@@ -6,6 +6,9 @@
 
 namespace flexnet {
 
+class BinReader;
+class BinWriter;
+
 /// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
 /// Numerically stable; O(1) memory regardless of sample count.
 class RunningStat {
@@ -13,6 +16,11 @@ class RunningStat {
   void add(double x) noexcept;
   void merge(const RunningStat& other) noexcept;
   void reset() noexcept { *this = RunningStat{}; }
+
+  /// Snapshot hooks; doubles round-trip as raw IEEE-754 bits, so a restored
+  /// accumulator continues the exact Welford sequence.
+  void save_state(BinWriter& out) const;
+  void restore_state(BinReader& in);
 
   [[nodiscard]] std::int64_t count() const noexcept { return n_; }
   [[nodiscard]] bool empty() const noexcept { return n_ == 0; }

@@ -92,6 +92,43 @@ TEST(Pcg32, ChanceExtremes) {
   }
 }
 
+TEST(Pcg32, SaveRestoreReproducesTheStream) {
+  // The snapshot subsystem relies on this exactly: capture the state at an
+  // arbitrary position, keep drawing, then restore — the restored generator
+  // must replay the identical suffix of the stream.
+  Pcg32 rng(99, 3);
+  for (int i = 0; i < 1234; ++i) (void)rng();
+  const Pcg32::State mark = rng.save();
+  EXPECT_EQ(mark.draws, 1234u);
+
+  std::vector<std::uint32_t> expected;
+  for (int i = 0; i < 500; ++i) expected.push_back(rng());
+  EXPECT_EQ(rng.draws(), 1734u);
+
+  Pcg32 other(1);  // deliberately different seed: restore overrides it all
+  other.restore(mark);
+  EXPECT_EQ(other.save(), mark);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(other(), expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Pcg32, DrawCounterTracksEveryKindOfDraw) {
+  Pcg32 rng(7);
+  (void)rng();
+  (void)rng.bounded(10);     // may draw multiple times (rejection sampling)
+  (void)rng.chance(0.5);
+  const std::uint64_t draws = rng.draws();
+  EXPECT_GE(draws, 3u);
+  // Replaying the same calls from the saved start reaches the same position.
+  Pcg32 replay(7);
+  (void)replay();
+  (void)replay.bounded(10);
+  (void)replay.chance(0.5);
+  EXPECT_EQ(replay.draws(), draws);
+  EXPECT_EQ(replay.save(), rng.save());
+}
+
 TEST(Pcg32, BoundedIsUnbiasedAcrossBuckets) {
   Pcg32 rng(17);
   std::vector<int> counts(10, 0);

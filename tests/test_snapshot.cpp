@@ -1,0 +1,386 @@
+// Snapshot subsystem: binary codec round trips, the byte-identical
+// save → load → step N determinism guarantee (DOR and TFAR at saturation),
+// checkpoint/resume equivalence including bit-exact WindowMetrics, deadlock
+// corpus capture + replay, and corrupt-input rejection.
+#include "snapshot/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "snapshot/corpus.hpp"
+#include "util/binio.hpp"
+
+namespace flexnet {
+namespace {
+
+// ---------------------------------------------------------------- binio
+
+TEST(BinIo, ScalarRoundTrip) {
+  BinWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-12345);
+  w.i64(-9876543210LL);
+  w.f64(3.141592653589793);
+  w.f64(-0.0);
+  w.str("hello");
+
+  BinReader r(w.bytes().data(), w.size());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -12345);
+  EXPECT_EQ(r.i64(), -9876543210LL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+  EXPECT_TRUE(std::signbit(r.f64()));  // -0.0 survives bit-exactly
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BinIo, LittleEndianLayoutIsFixed) {
+  BinWriter w;
+  w.u32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(BinIo, ReaderThrowsOnOverrun) {
+  BinWriter w;
+  w.u32(7);
+  BinReader r(w.bytes().data(), w.size());
+  (void)r.u32();
+  EXPECT_THROW((void)r.u8(), std::runtime_error);
+  BinReader r2(w.bytes().data(), w.size());
+  EXPECT_THROW((void)r2.u64(), std::runtime_error);  // 8 > 4 available
+}
+
+TEST(BinIo, PatchU64BackfillsSectionLengths) {
+  BinWriter w;
+  const std::size_t at = w.size();
+  w.u64(0);
+  w.str("payload");
+  w.patch_u64(at, 123);
+  BinReader r(w.bytes().data(), w.size());
+  EXPECT_EQ(r.u64(), 123u);
+}
+
+// ---------------------------------------------------------------- codecs
+
+TEST(SnapshotCodec, ConfigRoundTrip) {
+  SimConfig sim;
+  sim.topology = {4, 3, false, false};
+  sim.vcs = 3;
+  sim.buffer_depth = 7;
+  sim.message_length = 12;
+  sim.short_message_fraction = 0.25;
+  sim.routing = RoutingKind::DuatoTFAR;
+  sim.selection = SelectionKind::Random;
+  sim.max_misroutes = 2;
+  sim.link_fault_fraction = 0.125;
+  sim.source_queue_limit = 9;
+  sim.seed = 0xfeedfaceULL;
+
+  TrafficConfig traffic;
+  traffic.pattern = TrafficKind::HotSpot;
+  traffic.load = 0.65;
+  traffic.hotspot_nodes = 2;
+  traffic.hybrid_fraction = 0.1;
+  traffic.hybrid_with = TrafficKind::Tornado;
+
+  DetectorConfig det;
+  det.interval = 25;
+  det.recovery = RecoveryKind::RemoveRandom;
+  det.require_quiescence = false;
+  det.count_total_cycles = true;
+  det.livelock_hop_limit = 99;
+
+  BinWriter w;
+  save_sim_config(w, sim);
+  save_traffic_config(w, traffic);
+  save_detector_config(w, det);
+  BinReader r(w.bytes().data(), w.size());
+  const SimConfig sim2 = load_sim_config(r);
+  const TrafficConfig traffic2 = load_traffic_config(r);
+  const DetectorConfig det2 = load_detector_config(r);
+  EXPECT_TRUE(r.done());
+
+  EXPECT_EQ(sim2.topology.k, 4);
+  EXPECT_EQ(sim2.topology.n, 3);
+  EXPECT_FALSE(sim2.topology.bidirectional);
+  EXPECT_FALSE(sim2.topology.wrap);
+  EXPECT_EQ(sim2.vcs, 3);
+  EXPECT_EQ(sim2.buffer_depth, 7);
+  EXPECT_EQ(sim2.message_length, 12);
+  EXPECT_DOUBLE_EQ(sim2.short_message_fraction, 0.25);
+  EXPECT_EQ(sim2.routing, RoutingKind::DuatoTFAR);
+  EXPECT_EQ(sim2.selection, SelectionKind::Random);
+  EXPECT_EQ(sim2.max_misroutes, 2);
+  EXPECT_DOUBLE_EQ(sim2.link_fault_fraction, 0.125);
+  EXPECT_EQ(sim2.source_queue_limit, 9);
+  EXPECT_EQ(sim2.seed, 0xfeedfaceULL);
+  EXPECT_EQ(traffic2.pattern, TrafficKind::HotSpot);
+  EXPECT_DOUBLE_EQ(traffic2.load, 0.65);
+  EXPECT_EQ(traffic2.hotspot_nodes, 2);
+  EXPECT_EQ(traffic2.hybrid_with, TrafficKind::Tornado);
+  EXPECT_EQ(det2.interval, 25);
+  EXPECT_EQ(det2.recovery, RecoveryKind::RemoveRandom);
+  EXPECT_FALSE(det2.require_quiescence);
+  EXPECT_TRUE(det2.count_total_cycles);
+  EXPECT_EQ(det2.livelock_hop_limit, 99);
+}
+
+TEST(SnapshotCodec, RejectsBadMagicVersionAndTruncation) {
+  ExperimentConfig cfg;
+  cfg.sim.topology = {4, 1, false, true};
+  cfg.sim.routing = RoutingKind::DOR;
+  Simulation sim(cfg);
+  const std::vector<std::uint8_t> bytes = encode_snapshot(sim.make_checkpoint());
+
+  std::vector<std::uint8_t> bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_THROW((void)decode_snapshot(bad.data(), bad.size()),
+               std::runtime_error);
+
+  std::vector<std::uint8_t> wrong_version = bytes;
+  wrong_version[12] = 99;  // version word follows the 12-byte magic
+  EXPECT_THROW((void)decode_snapshot(wrong_version.data(), wrong_version.size()),
+               std::runtime_error);
+
+  for (const std::size_t cut : {bytes.size() / 2, bytes.size() - 3}) {
+    EXPECT_THROW((void)decode_snapshot(bytes.data(), cut), std::runtime_error);
+  }
+}
+
+TEST(SnapshotCodec, RestoreIntoMismatchedTopologyThrows) {
+  ExperimentConfig cfg;
+  cfg.sim.topology = {4, 2, false, true};
+  cfg.sim.routing = RoutingKind::DOR;
+  Simulation sim(cfg);
+  sim.run_cycles(50);
+  Snapshot snap = sim.make_checkpoint();
+  snap.sim.topology.k = 8;  // state no longer fits the claimed shape
+  EXPECT_THROW((void)restore_snapshot(snap), std::runtime_error);
+}
+
+// ------------------------------------------------- round-trip determinism
+
+// Serializes the network's full dynamic state for byte comparison: equality
+// here means flit-for-flit identical evolution (buffers, message table with
+// per-message delivery cycles, counters, RNG position).
+std::vector<std::uint8_t> state_bytes(const Network& net) {
+  BinWriter w;
+  net.save_state(w);
+  return w.bytes();
+}
+
+void step_restored(RestoredSim& r, Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) {
+    r.injection->tick(*r.net);
+    r.net->step();
+    r.detector->tick(*r.net);
+  }
+}
+
+class RoundTripDeterminism : public ::testing::TestWithParam<RoutingKind> {};
+
+TEST_P(RoundTripDeterminism, SaveLoadStepMatchesStepExactly) {
+  // Saturation load on an 8-ary 2-cube, where deep congestion (and for DOR /
+  // TFAR with unrestricted VCs, genuine deadlock + recovery) exercises every
+  // serialized structure: VC chains, request sets, source queue backlogs,
+  // detector RNG victim draws.
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 8;
+  cfg.sim.topology.n = 2;
+  cfg.sim.topology.bidirectional = GetParam() != RoutingKind::DOR;
+  cfg.sim.routing = GetParam();
+  cfg.sim.vcs = GetParam() == RoutingKind::DOR ? 1 : 2;
+  cfg.sim.message_length = 16;
+  cfg.traffic.load = 0.95;
+  cfg.sim.seed = 2026;
+  cfg.detector.interval = 50;
+
+  Simulation sim(cfg);
+  sim.run_cycles(1000);
+
+  const Snapshot snap = sim.make_checkpoint();
+  // Encode → decode through the file format, not just the in-memory struct.
+  const std::vector<std::uint8_t> bytes = encode_snapshot(snap);
+  RestoredSim restored = restore_snapshot(decode_snapshot(bytes.data(), bytes.size()));
+
+  ASSERT_EQ(restored.net->now(), sim.network().now());
+  ASSERT_EQ(state_bytes(*restored.net), state_bytes(sim.network()));
+
+  // Step both 5000 cycles and compare the complete state byte-for-byte.
+  sim.run_cycles(5000);
+  step_restored(restored, 5000);
+
+  EXPECT_EQ(state_bytes(*restored.net), state_bytes(sim.network()));
+  EXPECT_EQ(restored.net->counters().delivered, sim.network().counters().delivered);
+  EXPECT_EQ(restored.net->counters().recovered, sim.network().counters().recovered);
+  EXPECT_EQ(restored.detector->total_deadlocks(), sim.detector().total_deadlocks());
+  EXPECT_EQ(restored.detector->transient_knots(), sim.detector().transient_knots());
+  EXPECT_EQ(restored.detector->records().size(), sim.detector().records().size());
+  // And the follow-on evolution stays locked after another save/load.
+  BinWriter wa, wb;
+  restored.detector->save_state(wa);
+  sim.detector().save_state(wb);
+  EXPECT_EQ(wa.bytes(), wb.bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Routings, RoundTripDeterminism,
+                         ::testing::Values(RoutingKind::DOR, RoutingKind::TFAR));
+
+// ------------------------------------------------------ checkpoint/resume
+
+ExperimentConfig resume_base_config() {
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 4;
+  cfg.sim.topology.n = 2;
+  cfg.sim.topology.bidirectional = false;
+  cfg.sim.routing = RoutingKind::DOR;
+  cfg.sim.message_length = 8;
+  cfg.sim.seed = 7;
+  cfg.traffic.load = 0.8;
+  cfg.detector.interval = 50;
+  cfg.run.warmup = 500;
+  cfg.run.measure = 1500;
+  return cfg;
+}
+
+void expect_same_window(const WindowMetrics& a, const WindowMetrics& b) {
+  EXPECT_EQ(a.window_cycles, b.window_cycles);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.flits_delivered, b.flits_delivered);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);  // exact: same sums, same counts
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.deadlocks, b.deadlocks);
+  EXPECT_EQ(a.normalized_deadlocks, b.normalized_deadlocks);
+  EXPECT_EQ(a.blocked_messages.count(), b.blocked_messages.count());
+  EXPECT_EQ(a.blocked_messages.mean(), b.blocked_messages.mean());
+  EXPECT_EQ(a.blocked_fraction.mean(), b.blocked_fraction.mean());
+  EXPECT_EQ(a.in_network_messages.mean(), b.in_network_messages.mean());
+  EXPECT_EQ(a.queued_messages.mean(), b.queued_messages.mean());
+  EXPECT_EQ(a.deadlock_set_size.mean(), b.deadlock_set_size.mean());
+  EXPECT_EQ(a.resource_set_size.mean(), b.resource_set_size.mean());
+  EXPECT_EQ(a.single_cycle_deadlocks, b.single_cycle_deadlocks);
+  EXPECT_EQ(a.multi_cycle_deadlocks, b.multi_cycle_deadlocks);
+}
+
+TEST(CheckpointResume, MidMeasurementResumeReproducesTheWindowBitExactly) {
+  const std::string dir = ::testing::TempDir() + "flexnet_ckpt_measure";
+  std::filesystem::remove_all(dir);
+
+  ExperimentConfig with_ckpt = resume_base_config();
+  with_ckpt.snapshot.checkpoint_every = 700;
+  with_ckpt.snapshot.checkpoint_dir = dir;
+  const ExperimentResult full = run_experiment(with_ckpt);
+
+  // Cycle 1400 is inside the measurement window (warmup ends at 500).
+  ExperimentConfig resume;
+  resume.snapshot.resume_path = dir + "/ckpt-1400.snap";
+  const ExperimentResult resumed = run_experiment(resume);
+
+  expect_same_window(full.window, resumed.window);
+  EXPECT_EQ(full.normalized_throughput, resumed.normalized_throughput);
+  EXPECT_EQ(resumed.resumed_from, resume.snapshot.resume_path);
+  EXPECT_EQ(resumed.resumed_at_cycle, 1400);
+  EXPECT_TRUE(full.resumed_from.empty());
+}
+
+TEST(CheckpointResume, MidWarmupResumeReproducesTheWindowBitExactly) {
+  const std::string dir = ::testing::TempDir() + "flexnet_ckpt_warmup";
+  std::filesystem::remove_all(dir);
+
+  ExperimentConfig with_ckpt = resume_base_config();
+  with_ckpt.snapshot.checkpoint_every = 300;
+  with_ckpt.snapshot.checkpoint_dir = dir;
+  const ExperimentResult full = run_experiment(with_ckpt);
+
+  // Cycle 300 is still warming up: the resumed run must finish warmup, open
+  // its own window, and land on the identical metrics.
+  ExperimentConfig resume;
+  resume.snapshot.resume_path = dir + "/ckpt-300.snap";
+  const ExperimentResult resumed = run_experiment(resume);
+
+  expect_same_window(full.window, resumed.window);
+  EXPECT_EQ(resumed.resumed_at_cycle, 300);
+}
+
+TEST(CheckpointResume, CheckpointsAppearOnSchedule) {
+  const std::string dir = ::testing::TempDir() + "flexnet_ckpt_schedule";
+  std::filesystem::remove_all(dir);
+  ExperimentConfig cfg = resume_base_config();
+  cfg.run.warmup = 100;
+  cfg.run.measure = 200;
+  cfg.snapshot.checkpoint_every = 100;
+  cfg.snapshot.checkpoint_dir = dir;
+  (void)run_experiment(cfg);
+  for (const Cycle c : {100, 200, 300}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/ckpt-" + std::to_string(c) +
+                                        ".snap"))
+        << "missing checkpoint at cycle " << c;
+  }
+  const Snapshot snap = read_snapshot_file(dir + "/ckpt-200.snap");
+  EXPECT_EQ(snap.meta.kind, SnapshotKind::Checkpoint);
+  EXPECT_EQ(snap.meta.cycle, 200);
+  EXPECT_TRUE(snap.meta.measuring);
+  EXPECT_EQ(snap.meta.warmup, 100);
+  EXPECT_EQ(snap.meta.measure, 200);
+}
+
+// ------------------------------------------------------------- corpus
+
+TEST(DeadlockCorpusTest, CapturesDedupedSnapshotsThatReplay) {
+  const std::string dir = ::testing::TempDir() + "flexnet_corpus";
+  std::filesystem::remove_all(dir);
+
+  ExperimentConfig cfg = resume_base_config();
+  cfg.run.warmup = 200;
+  cfg.run.measure = 800;
+  cfg.snapshot.capture_dir = dir;
+  cfg.snapshot.capture_limit = 6;
+  const ExperimentResult result = run_experiment(cfg);
+
+  ASSERT_GT(result.deadlocks_captured, 0);
+  EXPECT_LE(result.deadlocks_captured, 6);
+  // Every confirmed knot is either captured, deduped, or dropped by the cap
+  // (the hook also runs during warmup, so the total can exceed the window's).
+  EXPECT_GE(result.deadlocks_captured + result.capture_duplicates +
+                result.capture_dropped,
+            result.window.deadlocks);
+
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const Snapshot snap = read_snapshot_file(entry.path().string());
+    EXPECT_EQ(snap.meta.kind, SnapshotKind::DeadlockCapture);
+    EXPECT_GT(snap.meta.deadlock_set_size, 0);
+    const ReplayResult replay = replay_capture(snap);
+    EXPECT_TRUE(replay.knot_found) << entry.path();
+    EXPECT_TRUE(replay.matches) << entry.path() << ": " << replay.detail;
+    ++files;
+  }
+  EXPECT_EQ(files, result.deadlocks_captured);
+}
+
+TEST(DeadlockCorpusTest, ReplayRejectsCheckpointSnapshots) {
+  ExperimentConfig cfg;
+  cfg.sim.topology = {4, 1, false, true};
+  cfg.sim.routing = RoutingKind::DOR;
+  Simulation sim(cfg);
+  EXPECT_THROW((void)replay_capture(sim.make_checkpoint()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flexnet

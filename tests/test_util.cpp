@@ -52,6 +52,46 @@ TEST(Options, BoolSpellings) {
   EXPECT_FALSE(opts->get_bool("d", true));
 }
 
+TEST(Options, StrictIntParsingRejectsGarbageOverflowAndEmpty) {
+  const char* argv[] = {"prog",           "--trailing", "1e9x",
+                        "--huge",         "99999999999999999999",
+                        "--tiny",         "-99999999999999999999",
+                        "--empty=",       "--floaty",   "3.5",
+                        "--spacey",       "12 ",        "--ok",
+                        "-42",            "--plus",     "+7"};
+  const auto opts = Options::parse(16, argv);
+  ASSERT_TRUE(opts.has_value());
+  // "1e9x" silently truncating to 1 is exactly the bug this guards against.
+  EXPECT_THROW((void)opts->get_int("trailing", 0), std::invalid_argument);
+  EXPECT_THROW((void)opts->get_int("huge", 0), std::invalid_argument);
+  EXPECT_THROW((void)opts->get_int("tiny", 0), std::invalid_argument);
+  EXPECT_THROW((void)opts->get_int("empty", 0), std::invalid_argument);
+  EXPECT_THROW((void)opts->get_int("floaty", 0), std::invalid_argument);
+  EXPECT_THROW((void)opts->get_int("spacey", 0), std::invalid_argument);
+  EXPECT_EQ(opts->get_int("ok", 0), -42);
+  EXPECT_EQ(opts->get_int("plus", 0), 7);
+  // The error message names the offending option and value.
+  try {
+    (void)opts->get_int("trailing", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1e9x"), std::string::npos);
+  }
+}
+
+TEST(Options, StrictDoubleParsingRejectsGarbageAndOverflow) {
+  const char* argv[] = {"prog",      "--trailing", "0.5x", "--huge", "1e999",
+                        "--empty=",  "--ok",       "2.5",  "--sci",  "1e-3"};
+  const auto opts = Options::parse(10, argv);
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_THROW((void)opts->get_double("trailing", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)opts->get_double("huge", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)opts->get_double("empty", 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(opts->get_double("ok", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(opts->get_double("sci", 0.0), 1e-3);
+}
+
 TEST(Options, RejectsBareDashes) {
   const char* argv[] = {"prog", "--"};
   std::string error;
