@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_micro_core.json summaries.
+
+Compares a freshly produced benchmark summary against the committed baseline
+and fails (exit 1) when a gated benchmark regressed by more than the
+threshold. Raw nanoseconds are not comparable across hosts (the committed
+baseline and a CI runner differ in clock speed and contention), so both sides
+are first normalized by a calibration benchmark — BM_CycleEnumerationCapped,
+a pure CPU-bound graph kernel on a fixed synthetic graph, whose ratio
+between two hosts approximates their general speed ratio. (Calibration must
+be code the repo rarely touches: normalizing by e.g. BM_SccDense would turn
+any SCC optimization into a phantom regression of every gated benchmark.)
+The gate then compares *normalized* times:
+
+    regression = (fresh[b] / fresh[cal]) / (base[b] / base[cal]) - 1
+
+Usage:
+    bench/compare_bench.py --baseline BENCH_micro_core.json \
+        --fresh /tmp/fresh.json [--threshold 0.15]
+
+Exit codes: 0 ok, 1 regression past threshold, 2 malformed/missing input.
+"""
+
+import argparse
+import json
+import sys
+
+# Benchmarks the gate enforces: the simulator cycle rate and the worst-case
+# (full-rebuild oracle) detection pass.
+GATED = ["BM_NetworkStep/8", "BM_NetworkStep/16", "BM_FullDetectionPass"]
+CALIBRATION = "BM_CycleEnumerationCapped"
+
+
+def load_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: float(b["cpu_time_ns"]) for b in data["benchmarks"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_micro_core.json")
+    parser.add_argument("--fresh", required=True,
+                        help="summary produced by this run")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed normalized regression (0.15 = 15%%)")
+    args = parser.parse_args()
+
+    try:
+        base = load_times(args.baseline)
+        fresh = load_times(args.fresh)
+    except (OSError, KeyError, ValueError) as err:
+        print(f"error: cannot load summaries: {err}", file=sys.stderr)
+        return 2
+
+    for side, times in (("baseline", base), ("fresh", fresh)):
+        if CALIBRATION not in times:
+            print(f"error: calibration benchmark {CALIBRATION} missing from "
+                  f"{side} summary", file=sys.stderr)
+            return 2
+
+    failed = False
+    print(f"calibration {CALIBRATION}: baseline {base[CALIBRATION]:.0f}ns, "
+          f"fresh {fresh[CALIBRATION]:.0f}ns")
+    for name in GATED:
+        if name not in base:
+            # A benchmark new in this commit has no baseline yet; the refresh
+            # of BENCH_micro_core.json in the same PR closes the gap.
+            print(f"  {name}: not in baseline, skipped")
+            continue
+        if name not in fresh:
+            print(f"error: gated benchmark {name} missing from fresh summary",
+                  file=sys.stderr)
+            return 2
+        norm_base = base[name] / base[CALIBRATION]
+        norm_fresh = fresh[name] / fresh[CALIBRATION]
+        delta = norm_fresh / norm_base - 1.0
+        verdict = "FAIL" if delta > args.threshold else "ok"
+        if delta > args.threshold:
+            failed = True
+        print(f"  {name}: baseline {base[name]:.0f}ns, fresh "
+              f"{fresh[name]:.0f}ns, normalized {delta:+.1%} [{verdict}]")
+
+    if failed:
+        print(f"perf gate: regression beyond {args.threshold:.0%} threshold",
+              file=sys.stderr)
+        return 1
+    print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

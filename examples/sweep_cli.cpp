@@ -15,6 +15,8 @@
 //   ./sweep_cli --resume ckpt.p0/ckpt-15000.snap   # continue that run
 //   ./sweep_cli --routing DOR --uni --loads 0.8 --capture-deadlocks corpus
 //       --capture-limit 8                    # dump deduped knot snapshots
+//   ./sweep_cli --routing TFAR --loads 0.5 --interval 1
+//       --detector-full-rebuild              # oracle: rebuild CWG every pass
 #include <fstream>
 #include <iostream>
 

@@ -9,31 +9,58 @@ namespace flexnet {
 Cwg::Cwg(int num_vcs, std::vector<CwgMessage> messages)
     : graph_(num_vcs),
       messages_(std::move(messages)),
+      num_messages_(0),
       owner_(static_cast<std::size_t>(num_vcs), kInvalidMessage) {
+  num_messages_ = messages_.size();
   build();
 }
 
 Cwg Cwg::from_network(const Network& net) {
-  std::vector<CwgMessage> messages;
-  messages.reserve(net.active_messages().size());
-  for (const MessageId id : net.active_messages()) {
-    const Message& msg = net.message(id);
-    CwgMessage entry;
-    entry.id = id;
-    entry.held = msg.held;
-    if (msg.blocked) entry.requests = msg.request_set;
-    messages.push_back(std::move(entry));
+  Cwg cwg;
+  cwg.rebuild_from_network(net);
+  return cwg;
+}
+
+void Cwg::rebuild_from_network(const Network& net) {
+  const std::vector<MessageId>& active = net.active_messages();
+  if (messages_.size() < active.size()) messages_.resize(active.size());
+  num_messages_ = active.size();
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const Message& msg = net.message(active[i]);
+    CwgMessage& entry = messages_[i];
+    entry.id = msg.id;
+    entry.held.assign(msg.held.begin(), msg.held.end());
+    if (msg.blocked) {
+      entry.requests.assign(msg.request_set.begin(), msg.request_set.end());
+    } else {
+      entry.requests.clear();
+    }
   }
-  return Cwg(static_cast<int>(net.num_vcs()), std::move(messages));
+  graph_.reset(static_cast<int>(net.num_vcs()));
+  owner_.assign(net.num_vcs(), kInvalidMessage);
+  ownership_arcs_ = 0;
+  request_arcs_ = 0;
+  blocked_ = 0;
+  build();
 }
 
 void Cwg::build() {
-  for (std::size_t i = 0; i < messages_.size(); ++i) {
-    const CwgMessage& msg = messages_[i];
+  ++generation_;
+  const std::span<const CwgMessage> live = messages();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const CwgMessage& msg = live[i];
     if (msg.held.empty()) {
       throw std::invalid_argument("CWG messages must own at least one VC");
     }
-    index_.emplace(msg.id, i);
+    if (msg.id < 0) {
+      throw std::invalid_argument("CWG message ids must be non-negative");
+    }
+    if (static_cast<std::size_t>(msg.id) >= index_.size()) {
+      index_.resize(static_cast<std::size_t>(msg.id) + 1);
+    }
+    IndexSlot& slot = index_[static_cast<std::size_t>(msg.id)];
+    slot.gen = generation_;
+    slot.idx = static_cast<std::uint32_t>(i);
     for (std::size_t h = 0; h < msg.held.size(); ++h) {
       const VcId vc = msg.held[h];
       if (owner_[static_cast<std::size_t>(vc)] != kInvalidMessage) {
@@ -47,7 +74,7 @@ void Cwg::build() {
     }
   }
   // Request (dashed) arcs leave the newest owned VC of each blocked message.
-  for (const CwgMessage& msg : messages_) {
+  for (const CwgMessage& msg : live) {
     if (msg.requests.empty()) continue;
     ++blocked_;
     const VcId tip = msg.held.back();
@@ -59,8 +86,10 @@ void Cwg::build() {
 }
 
 const CwgMessage* Cwg::find_message(MessageId id) const {
-  const auto it = index_.find(id);
-  return it == index_.end() ? nullptr : &messages_[it->second];
+  if (id < 0 || static_cast<std::size_t>(id) >= index_.size()) return nullptr;
+  const IndexSlot& slot = index_[static_cast<std::size_t>(id)];
+  if (slot.gen != generation_) return nullptr;
+  return &messages_[slot.idx];
 }
 
 }  // namespace flexnet

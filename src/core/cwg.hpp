@@ -8,8 +8,8 @@
 // disconnected. A deadlock exists iff the graph contains a knot.
 #pragma once
 
+#include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/graph.hpp"
@@ -28,6 +28,9 @@ struct CwgMessage {
 
 class Cwg {
  public:
+  /// Empty graph; populate with rebuild_from_network().
+  Cwg() = default;
+
   /// Hand-built scenario (unit tests reproduce the paper's Figs. 1-4).
   Cwg(int num_vcs, std::vector<CwgMessage> messages);
 
@@ -35,10 +38,17 @@ class Cwg {
   /// request sets recorded by the most recent routing attempt.
   [[nodiscard]] static Cwg from_network(const Network& net);
 
+  /// In-place equivalent of from_network: rebuilds this graph from the live
+  /// network state while reusing all previously allocated storage (adjacency
+  /// rows, owner table, message pool, id index). After the first few passes
+  /// every vector runs at its high-water capacity and rebuilds allocate
+  /// nothing, which is what makes per-cycle detection affordable.
+  void rebuild_from_network(const Network& net);
+
   [[nodiscard]] const Digraph& graph() const noexcept { return graph_; }
   [[nodiscard]] int num_vcs() const noexcept { return graph_.num_vertices(); }
   [[nodiscard]] std::span<const CwgMessage> messages() const noexcept {
-    return messages_;
+    return {messages_.data(), num_messages_};
   }
   /// Owner of a VC vertex; kInvalidMessage when free.
   [[nodiscard]] MessageId owner_of(VcId vc) const {
@@ -57,9 +67,20 @@ class Cwg {
   void build();
 
   Digraph graph_;
+  /// Grow-only message pool; entries [0, num_messages_) are live this pass.
+  /// Dead tail entries keep their held/requests capacity for reuse.
   std::vector<CwgMessage> messages_;
+  std::size_t num_messages_ = 0;
   std::vector<MessageId> owner_;
-  std::unordered_map<MessageId, std::size_t> index_;
+  /// Dense MessageId -> pool-index map. A slot is valid only when its
+  /// generation stamp matches the current build, so rebuilds skip the O(max
+  /// id) clear an unordered_map (or a plain -1 fill) would need.
+  struct IndexSlot {
+    std::uint64_t gen = 0;
+    std::uint32_t idx = 0;
+  };
+  std::vector<IndexSlot> index_;
+  std::uint64_t generation_ = 0;
   int ownership_arcs_ = 0;
   int request_arcs_ = 0;
   int blocked_ = 0;

@@ -21,29 +21,60 @@ int DeadlockDetector::tick(Network& net) {
 
 int DeadlockDetector::run_detection(Network& net) {
   ScopedPhase detector_timer(profiler_, SimPhase::Detector);
-  ++invocations_;
+  ++invocations_;  // counted even for skipped passes: the cycle-sampling
+                   // schedule and telemetry invocation counts must not depend
+                   // on which pipeline ran
 
   if (config_.livelock_hop_limit > 0) {
-    // Collect first: remove_message mutates the active list.
-    std::vector<MessageId> livelocked;
+    // Collect first: remove_message mutates the active list. (A removal
+    // bumps the arc epoch, so gating below cannot reuse a stale verdict.)
+    livelock_scratch_.clear();
     for (const MessageId id : net.active_messages()) {
       if (net.message(id).hops >= config_.livelock_hop_limit) {
-        livelocked.push_back(id);
+        livelock_scratch_.push_back(id);
       }
     }
-    if (!livelocked.empty()) {
+    if (!livelock_scratch_.empty()) {
       ScopedPhase recovery_timer(profiler_, SimPhase::Recovery);
-      for (const MessageId id : livelocked) {
+      for (const MessageId id : livelock_scratch_) {
         net.remove_message(id);
         ++livelocks_;
       }
     }
   }
 
-  const Cwg cwg = Cwg::from_network(net);
+  const bool sample_due = config_.count_total_cycles &&
+                          (invocations_ % config_.cycle_sample_every) == 0;
 
-  if (config_.count_total_cycles &&
-      (invocations_ % config_.cycle_sample_every) == 0) {
+  if (!config_.full_rebuild && !sample_due) {
+    if (cache_valid_ && cached_net_ == &net &&
+        cached_epoch_ == net.arc_epoch()) {
+      // No arc changed since the last pass, so the CWG — and therefore the
+      // knot set, a pure function of it — is exactly what we found then.
+      // Quiescence, victim choice, and record/hook emission still rerun:
+      // buffer occupancy (message_immobile) can change without arc changes,
+      // and the paper's methodology re-reports a persisting knot each pass.
+      ++skipped_passes_;
+      if (cached_knots_.empty()) return 0;
+      return process_knots(net, scratch_.cwg());
+    }
+    if (net.blocked_message_count() == 0) {
+      // No blocked messages means no dashed arcs; the CWG is a disjoint
+      // union of ownership paths and cannot contain a cycle, let alone a
+      // knot. Skip the rebuild entirely and cache the knot-free verdict.
+      cached_knots_.clear();
+      cached_density_.clear();
+      cached_net_ = &net;
+      cached_epoch_ = net.arc_epoch();
+      cache_valid_ = true;
+      ++skipped_passes_;
+      return 0;
+    }
+  }
+
+  const Cwg& cwg = scratch_.rebuild(net);
+
+  if (sample_due) {
     const CycleEnumeration total =
         enumerate_simple_cycles(cwg.graph(), config_.total_cycle_cap);
     CycleSample sample;
@@ -55,9 +86,19 @@ int DeadlockDetector::run_detection(Network& net) {
     cycle_samples_.push_back(sample);
   }
 
-  const std::vector<Knot> knots = find_knots(cwg);
+  cached_knots_ =
+      config_.full_rebuild ? find_knots(cwg) : scratch_.find_knots_blocked();
+  cached_density_.assign(cached_knots_.size(), CachedDensity{});
+  cached_net_ = &net;
+  cached_epoch_ = net.arc_epoch();
+  cache_valid_ = !config_.full_rebuild;
+  return process_knots(net, cwg);
+}
+
+int DeadlockDetector::process_knots(Network& net, const Cwg& cwg) {
   int confirmed = 0;
-  for (const Knot& knot : knots) {
+  for (std::size_t ki = 0; ki < cached_knots_.size(); ++ki) {
+    const Knot& knot = cached_knots_[ki];
     if (config_.require_quiescence) {
       const bool quiescent =
           std::all_of(knot.deadlock_set.begin(), knot.deadlock_set.end(),
@@ -76,10 +117,18 @@ int DeadlockDetector::run_detection(Network& net) {
     record.knot_size = static_cast<int>(knot.knot_vcs.size());
     record.dependent_count = static_cast<int>(knot.dependent_messages.size());
     if (config_.measure_knot_density) {
-      const CycleEnumeration density =
-          knot_cycle_density(cwg, knot, config_.knot_density_cap);
-      record.knot_cycle_density = density.count;
-      record.density_capped = density.capped;
+      // Measured at most once per cached knot: within an epoch the knot
+      // subgraph is frozen, so the enumeration result cannot change.
+      CachedDensity& cache = cached_density_[ki];
+      if (!cache.measured) {
+        const CycleEnumeration density =
+            knot_cycle_density(cwg, knot, config_.knot_density_cap);
+        cache.measured = true;
+        cache.count = density.count;
+        cache.capped = density.capped;
+      }
+      record.knot_cycle_density = cache.count;
+      record.density_capped = cache.capped;
     }
     if (config_.recovery != RecoveryKind::None) {
       record.victim =
@@ -146,6 +195,12 @@ void DeadlockDetector::save_state(BinWriter& out) const {
 }
 
 void DeadlockDetector::restore_state(BinReader& in) {
+  // Scratch/cache state is intentionally not part of the snapshot format;
+  // a restored detector simply pays one full pass to repopulate it.
+  cache_valid_ = false;
+  cached_net_ = nullptr;
+  cached_knots_.clear();
+  cached_density_.clear();
   Pcg32::State s;
   s.state = in.u64();
   s.inc = in.u64();

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/incremental.hpp"
 #include "core/knot.hpp"
 #include "sim/config.hpp"
 #include "util/rng.hpp"
@@ -67,6 +68,13 @@ struct DetectorConfig {
   /// is removed and delivered via recovery, like Disha's timeout criterion.
   /// Only relevant with misrouting/faults — minimal routing cannot livelock.
   int livelock_hop_limit = 0;
+
+  /// Disables the incremental pipeline (arc-epoch gating, verdict reuse,
+  /// blocked-subgraph SCC): every pass rebuilds the CWG and runs Tarjan over
+  /// all VCs. The two paths are bit-identical in verdicts, records, and hook
+  /// firings; this one exists as the equivalence-test oracle and an escape
+  /// hatch (--detector-full-rebuild).
+  bool full_rebuild = false;
 };
 
 /// One detected deadlock's characterization (paper Section 2.2 metrics).
@@ -143,6 +151,12 @@ class DeadlockDetector {
   /// Messages removed by the livelock guard.
   [[nodiscard]] std::int64_t livelocks() const noexcept { return livelocks_; }
   [[nodiscard]] std::int64_t invocations() const noexcept { return invocations_; }
+  /// Passes that skipped the CWG rebuild + SCC because the arc epoch proved
+  /// the graph unchanged (or no message was blocked). Always counted inside
+  /// invocations(); 0 when full_rebuild is set.
+  [[nodiscard]] std::int64_t skipped_passes() const noexcept {
+    return skipped_passes_;
+  }
 
   /// Drops accumulated records/samples (e.g. at the end of warmup) while
   /// keeping detector state.
@@ -154,6 +168,10 @@ class DeadlockDetector {
   void restore_state(BinReader& in);
 
  private:
+  /// Quiescence-checks, characterizes, records, and recovers every knot in
+  /// cached_knots_ against the given CWG. Returns the confirmed count.
+  int process_knots(Network& net, const Cwg& cwg);
+
   DetectorConfig config_;
   Pcg32 rng_;
   DeadlockForensics* forensics_ = nullptr;
@@ -165,6 +183,26 @@ class DeadlockDetector {
   std::int64_t transient_knots_ = 0;
   std::int64_t livelocks_ = 0;
   std::int64_t invocations_ = 0;
+
+  // --- incremental pipeline state (never serialized: save_state/restore_state
+  // deliberately exclude everything below so snapshots stay format-stable and
+  // path-independent; restore_state just invalidates the cache) --------------
+  CwgScratch scratch_;
+  std::vector<MessageId> livelock_scratch_;
+  std::int64_t skipped_passes_ = 0;
+  /// Knots found by the most recent rebuild, reusable while the arc epoch
+  /// stands still. Density is measured lazily once per cached knot — the
+  /// graph (hence the count) cannot change within an epoch.
+  std::vector<Knot> cached_knots_;
+  struct CachedDensity {
+    bool measured = false;
+    std::int64_t count = 0;
+    bool capped = false;
+  };
+  std::vector<CachedDensity> cached_density_;
+  const Network* cached_net_ = nullptr;
+  std::uint64_t cached_epoch_ = 0;
+  bool cache_valid_ = false;
 };
 
 }  // namespace flexnet

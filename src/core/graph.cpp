@@ -5,6 +5,14 @@
 
 namespace flexnet {
 
+void Digraph::reset(int num_vertices) {
+  const auto n = static_cast<std::size_t>(num_vertices);
+  const std::size_t keep = std::min(adj_.size(), n);
+  for (std::size_t i = 0; i < keep; ++i) adj_[i].clear();
+  adj_.resize(n);
+  num_edges_ = 0;
+}
+
 void Digraph::add_edge(int from, int to) {
   if (from < 0 || from >= num_vertices() || to < 0 || to >= num_vertices()) {
     throw std::out_of_range("Digraph::add_edge vertex out of range");

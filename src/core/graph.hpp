@@ -12,6 +12,10 @@ class Digraph {
   Digraph() = default;
   explicit Digraph(int num_vertices) : adj_(static_cast<std::size_t>(num_vertices)) {}
 
+  /// Clears all edges and resizes to `num_vertices`, keeping the capacity of
+  /// surviving adjacency rows so repeated rebuilds stop allocating.
+  void reset(int num_vertices);
+
   [[nodiscard]] int num_vertices() const noexcept {
     return static_cast<int>(adj_.size());
   }

@@ -1,0 +1,65 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+
+namespace flexnet {
+
+std::vector<Knot> CwgScratch::find_knots_blocked() {
+  const Digraph& g = cwg_.graph();
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  ++mark_gen_;
+  if (mark_.size() < n) mark_.resize(n, 0);
+  if (local_of_.size() < n) local_of_.resize(n, -1);
+  subset_.clear();
+  dfs_stack_.clear();
+
+  // Seed with every blocked message's tip: each dashed arc leaves there, and
+  // the solid arcs further down the chain are reachable through it only if a
+  // cycle returns — which is exactly when they can matter for a knot.
+  for (const CwgMessage& msg : cwg_.messages()) {
+    if (msg.requests.empty()) continue;
+    const int tip = msg.held.back();
+    if (mark_[static_cast<std::size_t>(tip)] != mark_gen_) {
+      mark_[static_cast<std::size_t>(tip)] = mark_gen_;
+      subset_.push_back(tip);
+      dfs_stack_.push_back(tip);
+    }
+  }
+  if (subset_.empty()) return {};
+
+  // Forward closure over solid + dashed arcs.
+  while (!dfs_stack_.empty()) {
+    const int v = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    for (const int w : g.out(v)) {
+      if (mark_[static_cast<std::size_t>(w)] != mark_gen_) {
+        mark_[static_cast<std::size_t>(w)] = mark_gen_;
+        subset_.push_back(w);
+        dfs_stack_.push_back(w);
+      }
+    }
+  }
+
+  // Renumber ascending so knots_from_scc's to_global mapping preserves the
+  // ascending knot_vcs invariant.
+  std::sort(subset_.begin(), subset_.end());
+  for (std::size_t i = 0; i < subset_.size(); ++i) {
+    local_of_[static_cast<std::size_t>(subset_[i])] = static_cast<int>(i);
+  }
+
+  // Induced subgraph; every out-neighbor of a closure member is itself in
+  // the closure, so no edge is dropped.
+  sub_.reset(static_cast<int>(subset_.size()));
+  for (std::size_t i = 0; i < subset_.size(); ++i) {
+    for (const int w : g.out(subset_[i])) {
+      sub_.add_edge(static_cast<int>(i), local_of_[static_cast<std::size_t>(w)]);
+    }
+  }
+
+  strongly_connected_components(sub_, scc_, scc_scratch_);
+  std::vector<Knot> knots = knots_from_scc(sub_, scc_, subset_);
+  characterize_knots(cwg_, knots);
+  return knots;
+}
+
+}  // namespace flexnet

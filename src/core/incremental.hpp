@@ -1,0 +1,65 @@
+// Persistent working state for the incremental detection pipeline.
+//
+// CwgScratch owns a Cwg that is rebuilt in place every pass (allocation-free
+// once warm, see Cwg::rebuild_from_network) plus the arenas for the
+// blocked-subgraph knot search: instead of running Tarjan over every VC
+// vertex, find_knots_blocked() restricts it to the forward closure of the
+// blocked messages' dashed-arc sources.
+//
+// Why that is exact, not an approximation: solid (ownership) arcs alone form
+// vertex-disjoint simple paths — each VC has at most one owner and each
+// message's held chain is a path — so the solid-only graph is acyclic. Every
+// cycle therefore contains at least one dashed arc, whose source is the tip
+// (newest held VC) of a blocked message. Since every vertex of an SCC with
+// an edge lies on a cycle, every knot contains a blocked tip and is wholly
+// inside the tips' forward closure. The closure is closed under out-edges,
+// so the induced subgraph preserves every member's full out-neighborhood:
+// its SCC decomposition, terminality, and self-loops restricted to the
+// closure match the full graph exactly. Hence the subgraph search finds
+// precisely the knots of the full CWG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cwg.hpp"
+#include "core/knot.hpp"
+#include "core/scc.hpp"
+
+namespace flexnet {
+
+class Network;
+
+class CwgScratch {
+ public:
+  /// Rebuilds the owned CWG from the live network, reusing all storage.
+  const Cwg& rebuild(const Network& net) {
+    cwg_.rebuild_from_network(net);
+    return cwg_;
+  }
+
+  /// The CWG produced by the most recent rebuild().
+  [[nodiscard]] const Cwg& cwg() const noexcept { return cwg_; }
+
+  /// Equivalent to find_knots(cwg()) — same knots, same canonical order —
+  /// but SCC runs only over the blocked-reachable induced subgraph, with
+  /// vertex renumbering kept inside this scratch arena.
+  [[nodiscard]] std::vector<Knot> find_knots_blocked();
+
+ private:
+  Cwg cwg_;
+
+  // Blocked-closure collection: generation-stamped visit marks avoid an
+  // O(num_vcs) clear per pass; subset_ holds the closure, ascending.
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t mark_gen_ = 0;
+  std::vector<int> subset_;
+  std::vector<int> dfs_stack_;
+  std::vector<int> local_of_;  ///< global VC -> subgraph vertex (when marked)
+
+  Digraph sub_;
+  SccResult scc_;
+  SccScratch scc_scratch_;
+};
+
+}  // namespace flexnet

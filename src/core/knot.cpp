@@ -6,10 +6,8 @@
 
 namespace flexnet {
 
-std::vector<Knot> find_knots(const Cwg& cwg) {
-  const Digraph& g = cwg.graph();
-  const SccResult scc = strongly_connected_components(g);
-
+std::vector<Knot> knots_from_scc(const Digraph& g, const SccResult& scc,
+                                 std::span<const int> to_global) {
   // A component is terminal when no member has an edge leaving it; it is a
   // knot when it additionally contains an edge (size >= 2, or a self-loop).
   std::vector<bool> terminal(static_cast<std::size_t>(scc.num_components), true);
@@ -40,8 +38,23 @@ std::vector<Knot> find_knots(const Cwg& cwg) {
   for (int v = 0; v < g.num_vertices(); ++v) {
     const int k =
         knot_of_comp[static_cast<std::size_t>(scc.component[static_cast<std::size_t>(v)])];
-    if (k >= 0) knots[static_cast<std::size_t>(k)].knot_vcs.push_back(v);
+    if (k >= 0) {
+      knots[static_cast<std::size_t>(k)].knot_vcs.push_back(
+          to_global.empty() ? v : to_global[static_cast<std::size_t>(v)]);
+    }
   }
+
+  // Tarjan numbers components in DFS-dependent order, which differs between
+  // the full graph and an induced subgraph. Sorting by each knot's smallest
+  // VC (knots are disjoint) makes the output order canonical.
+  std::sort(knots.begin(), knots.end(), [](const Knot& a, const Knot& b) {
+    return a.knot_vcs.front() < b.knot_vcs.front();
+  });
+  return knots;
+}
+
+void characterize_knots(const Cwg& cwg, std::vector<Knot>& knots) {
+  if (knots.empty()) return;
 
   // Characterize each knot: deadlock set, resource set, dependent messages.
   for (Knot& knot : knots) {
@@ -79,6 +92,13 @@ std::vector<Knot> find_knots(const Cwg& cwg) {
       if (waits_on_knot) knot.dependent_messages.push_back(msg.id);
     }
   }
+}
+
+std::vector<Knot> find_knots(const Cwg& cwg) {
+  const Digraph& g = cwg.graph();
+  const SccResult scc = strongly_connected_components(g);
+  std::vector<Knot> knots = knots_from_scc(g, scc);
+  characterize_knots(cwg, knots);
   return knots;
 }
 

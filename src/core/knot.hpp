@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/cwg.hpp"
@@ -33,8 +34,25 @@ struct Knot {
 };
 
 /// Finds every knot in the CWG. An empty result means no deadlock exists,
-/// regardless of how many cycles the graph contains.
+/// regardless of how many cycles the graph contains. Knots are ordered by
+/// their smallest VC — canonical regardless of how the SCC pass numbered
+/// components, so the full-graph and blocked-subgraph pipelines agree.
 [[nodiscard]] std::vector<Knot> find_knots(const Cwg& cwg);
+
+struct SccResult;  // core/scc.hpp
+
+/// Extracts the knots (terminal SCCs containing an edge) of `g` given its
+/// SCC decomposition, filling only knot_vcs (sorted ascending; knots ordered
+/// by smallest VC). When `to_global` is non-empty, `g` is an induced
+/// subgraph and vertex v is reported as to_global[v]; the mapping must be
+/// strictly increasing so sortedness is preserved.
+[[nodiscard]] std::vector<Knot> knots_from_scc(const Digraph& g,
+                                               const SccResult& scc,
+                                               std::span<const int> to_global = {});
+
+/// Fills each knot's deadlock set, resource set, and dependent messages from
+/// the owning CWG (the paper's Section 2.2 characterization).
+void characterize_knots(const Cwg& cwg, std::vector<Knot>& knots);
 
 /// Knot cycle density: the number of unique elementary cycles within the
 /// knot-induced subgraph (1 for the paper's "single-cycle deadlocks").

@@ -13,42 +13,50 @@ std::vector<int> SccResult::members(int c) const {
 }
 
 SccResult strongly_connected_components(const Digraph& graph) {
-  const int n = graph.num_vertices();
   SccResult result;
+  SccScratch scratch;
+  strongly_connected_components(graph, result, scratch);
+  return result;
+}
+
+void strongly_connected_components(const Digraph& graph, SccResult& result,
+                                   SccScratch& scratch) {
+  const int n = graph.num_vertices();
+  result.num_components = 0;
   result.component.assign(static_cast<std::size_t>(n), -1);
+  result.size.clear();
 
-  std::vector<int> index(static_cast<std::size_t>(n), -1);
-  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
-  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
-  std::vector<int> stack;
+  auto& index = scratch.index;
+  auto& lowlink = scratch.lowlink;
+  auto& on_stack = scratch.on_stack;
+  auto& stack = scratch.stack;
+  auto& frames = scratch.frames;  // explicit DFS: (vertex, edge cursor)
+  index.assign(static_cast<std::size_t>(n), -1);
+  lowlink.assign(static_cast<std::size_t>(n), 0);
+  on_stack.assign(static_cast<std::size_t>(n), 0);
+  stack.clear();
+  frames.clear();
   int next_index = 0;
-
-  // Explicit DFS frames: (vertex, position within its adjacency list).
-  struct Frame {
-    int vertex;
-    std::size_t edge;
-  };
-  std::vector<Frame> frames;
 
   for (int root = 0; root < n; ++root) {
     if (index[static_cast<std::size_t>(root)] != -1) continue;
-    frames.push_back({root, 0});
+    frames.emplace_back(root, 0);
     index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] = next_index++;
     stack.push_back(root);
-    on_stack[static_cast<std::size_t>(root)] = true;
+    on_stack[static_cast<std::size_t>(root)] = 1;
 
     while (!frames.empty()) {
-      Frame& frame = frames.back();
-      const int v = frame.vertex;
+      auto& frame = frames.back();
+      const int v = frame.first;
       const auto edges = graph.out(v);
-      if (frame.edge < edges.size()) {
-        const int w = edges[frame.edge++];
+      if (frame.second < edges.size()) {
+        const int w = edges[frame.second++];
         if (index[static_cast<std::size_t>(w)] == -1) {
           index[static_cast<std::size_t>(w)] = lowlink[static_cast<std::size_t>(w)] = next_index++;
           stack.push_back(w);
-          on_stack[static_cast<std::size_t>(w)] = true;
-          frames.push_back({w, 0});
-        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          on_stack[static_cast<std::size_t>(w)] = 1;
+          frames.emplace_back(w, 0);
+        } else if (on_stack[static_cast<std::size_t>(w)] != 0) {
           lowlink[static_cast<std::size_t>(v)] =
               std::min(lowlink[static_cast<std::size_t>(v)],
                        index[static_cast<std::size_t>(w)]);
@@ -62,7 +70,7 @@ SccResult strongly_connected_components(const Digraph& graph) {
         for (;;) {
           const int w = stack.back();
           stack.pop_back();
-          on_stack[static_cast<std::size_t>(w)] = false;
+          on_stack[static_cast<std::size_t>(w)] = 0;
           result.component[static_cast<std::size_t>(w)] = comp;
           ++members;
           if (w == v) break;
@@ -71,14 +79,13 @@ SccResult strongly_connected_components(const Digraph& graph) {
       }
       frames.pop_back();
       if (!frames.empty()) {
-        const int parent = frames.back().vertex;
+        const int parent = frames.back().first;
         lowlink[static_cast<std::size_t>(parent)] =
             std::min(lowlink[static_cast<std::size_t>(parent)],
                      lowlink[static_cast<std::size_t>(v)]);
       }
     }
   }
-  return result;
 }
 
 }  // namespace flexnet

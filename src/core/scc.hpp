@@ -4,6 +4,8 @@
 // edge between components goes from a higher component id to a lower one.
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/graph.hpp"
@@ -20,5 +22,22 @@ struct SccResult {
 };
 
 [[nodiscard]] SccResult strongly_connected_components(const Digraph& graph);
+
+/// Working storage for the allocation-free overload below. Reusing one
+/// instance across invocations keeps Tarjan's five auxiliary arrays at their
+/// high-water capacity instead of reallocating them every detection pass.
+struct SccScratch {
+  std::vector<int> index;
+  std::vector<int> lowlink;
+  std::vector<std::uint8_t> on_stack;
+  std::vector<int> stack;
+  std::vector<std::pair<int, std::size_t>> frames;  ///< (vertex, edge cursor)
+};
+
+/// Identical result to the value-returning overload, but writes into `result`
+/// and draws working memory from `scratch` (both grown on demand, never
+/// shrunk).
+void strongly_connected_components(const Digraph& graph, SccResult& result,
+                                   SccScratch& scratch);
 
 }  // namespace flexnet

@@ -103,6 +103,7 @@ ExperimentConfig experiment_from_options(const Options& opts) {
       opts.get_int("cycle-cap", cfg.detector.total_cycle_cap);
   cfg.detector.livelock_hop_limit = static_cast<int>(
       opts.get_int("livelock-limit", cfg.detector.livelock_hop_limit));
+  cfg.detector.full_rebuild = opts.get_bool("detector-full-rebuild", false);
 
   cfg.run.warmup = opts.get_int("warmup", cfg.run.warmup);
   cfg.run.measure = opts.get_int("measure", cfg.run.measure);

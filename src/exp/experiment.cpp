@@ -204,6 +204,8 @@ ExperimentResult Simulation::run() {
     result.capture_duplicates = corpus_->duplicates();
     result.capture_dropped = corpus_->dropped();
   }
+  result.detector_invocations = detector_->invocations();
+  result.detector_skipped_passes = detector_->skipped_passes();
 
   flush_trace();
   if (telemetry_) {

@@ -128,6 +128,12 @@ struct ExperimentResult {
   int deadlocks_captured = 0;
   int capture_duplicates = 0;
   int capture_dropped = 0;
+
+  /// Detection-cost accounting (recorded in the telemetry manifest):
+  /// total detector passes and how many the incremental pipeline satisfied
+  /// without a CWG rebuild (arc epoch unchanged or nothing blocked).
+  std::int64_t detector_invocations = 0;
+  std::int64_t detector_skipped_passes = 0;
 };
 
 /// A constructed, steppable simulation (examples drive this directly; the

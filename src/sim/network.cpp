@@ -304,6 +304,7 @@ void Network::complete_delivery(Message& msg, VcState& eject_vc) {
   assert(msg.held.size() == 1 && msg.held.front() == eject_vc.id);
   eject_vc.release();
   msg.held.clear();
+  ++arc_epoch_;  // message leaves the CWG
   msg.status = MessageStatus::Delivered;
   msg.finished = now_;
   ++counters_.delivered;
@@ -370,6 +371,7 @@ void Network::try_injection_grants(NodeId node) {
     vc.owner = msg.id;
     vc.route_in = kInvalidVc;  // fed directly by the source
     msg.held.push_back(vc.id);
+    ++arc_epoch_;  // a new ownership chain enters the CWG
     msg.status = MessageStatus::InFlight;
     msg.injected = now_;
     active_pos_[static_cast<std::size_t>(msg.id)] =
@@ -424,6 +426,10 @@ bool Network::try_route_header(VcId head_vc) {
   }
 
   const bool newly_blocked = !msg.blocked;
+  // Dashed arcs change only when the message first blocks or its recomputed
+  // candidate set differs from last cycle's (a stable blocked header re-fails
+  // with the same request set and leaves the CWG untouched).
+  if (newly_blocked || msg.request_set != scratch_vcs_) ++arc_epoch_;
   if (newly_blocked) {
     msg.blocked = true;
     msg.blocked_since = now_;
@@ -459,6 +465,7 @@ void Network::acquire_vc(Message& msg, VcState& from, VcState& target) {
   target.route_in = from.id;
   from.route_out = target.id;
   msg.held.push_back(target.id);
+  ++arc_epoch_;  // new solid arc; the unblocked message drops its dashed arcs
 
   const PhysChannel& pc = phys(target.channel);
   if (pc.kind == ChannelKind::Network) {
@@ -517,6 +524,7 @@ void Network::transmit_phase() {
         msg.held.erase(msg.held.begin());
         u.release();
         w.route_in = kInvalidVc;  // no further flits arrive from upstream
+        ++arc_epoch_;  // oldest solid arc retired, VC ownership vacated
       }
       flit.arrived = now_;
       w.buffer.push(flit);
@@ -565,6 +573,7 @@ void Network::remove_message(MessageId id) {
   msg.held.clear();
   msg.request_set.clear();
   msg.blocked = false;
+  ++arc_epoch_;  // message and all its arcs leave the CWG
   msg.status = MessageStatus::Recovered;
   msg.finished = now_;
   ++counters_.recovered;
@@ -792,6 +801,11 @@ void Network::restore_state(BinReader& in) {
   }
 
   restore_id_vector(in, pending_, vcs_.size());
+
+  // The epoch is deliberately NOT serialized (it is a process-local cache
+  // key, not simulation state); bumping it here invalidates any detector
+  // verdict cached against the pre-restore graph.
+  ++arc_epoch_;
 
   check_invariants();
 }

@@ -106,6 +106,12 @@ class Network {
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
   /// In-network messages whose header allocation failed this cycle.
   [[nodiscard]] int blocked_message_count() const noexcept { return blocked_count_; }
+  /// Monotonic counter bumped on every event that changes the channel
+  /// wait-for graph: VC acquisition/release (solid arcs), block/unblock and
+  /// request-set changes (dashed arcs), message completion/removal, and
+  /// snapshot restore. Equal epochs across two instants guarantee an
+  /// identical CWG, which lets the deadlock detector skip or reuse a pass.
+  [[nodiscard]] std::uint64_t arc_epoch() const noexcept { return arc_epoch_; }
   /// Messages still waiting in source queues.
   [[nodiscard]] std::int64_t queued_message_count() const noexcept;
   /// Messages waiting in one node's source queue.
@@ -207,6 +213,7 @@ class Network {
   std::vector<VcId> pending_;             // VCs holding unrouted headers
 
   Cycle now_ = 0;
+  std::uint64_t arc_epoch_ = 0;
   int blocked_count_ = 0;
   int faulted_ = 0;
   Counters counters_;

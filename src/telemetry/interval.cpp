@@ -65,6 +65,8 @@ void IntervalRecorder::sample(const Network& net,
   // counters mid-run, which would otherwise yield one negative interval.
   s.detector_invocations =
       std::max<std::int64_t>(detector.invocations() - prev_.invocations, 0);
+  s.detector_skipped =
+      std::max<std::int64_t>(detector.skipped_passes() - prev_.skipped, 0);
   s.deadlocks =
       std::max<std::int64_t>(detector.total_deadlocks() - prev_.deadlocks, 0);
   s.transient_knots = std::max<std::int64_t>(
@@ -80,6 +82,7 @@ void IntervalRecorder::sample(const Network& net,
   prev_.flits_delivered = c.flits_delivered;
   prev_.delivered_latency_sum = c.delivered_latency_sum;
   prev_.invocations = detector.invocations();
+  prev_.skipped = detector.skipped_passes();
   prev_.deadlocks = detector.total_deadlocks();
   prev_.transient_knots = detector.transient_knots();
   prev_.livelocks = detector.livelocks();

@@ -45,6 +45,9 @@ struct IntervalSample {
 
   // Detector activity over the interval.
   std::int64_t detector_invocations = 0;
+  /// Passes the incremental pipeline answered without a CWG rebuild (arc
+  /// epoch unchanged or nothing blocked); <= detector_invocations.
+  std::int64_t detector_skipped = 0;
   std::int64_t deadlocks = 0;
   std::int64_t transient_knots = 0;
   std::int64_t livelocks = 0;
@@ -90,6 +93,7 @@ class IntervalRecorder {
     std::int64_t flits_delivered = 0;
     std::int64_t delivered_latency_sum = 0;
     std::int64_t invocations = 0;
+    std::int64_t skipped = 0;
     std::int64_t deadlocks = 0;
     std::int64_t transient_knots = 0;
     std::int64_t livelocks = 0;

@@ -69,6 +69,7 @@ void write_config(JsonWriter& json, const ExperimentConfig& cfg) {
   json.field("measure_knot_density", cfg.detector.measure_knot_density);
   json.field("count_total_cycles", cfg.detector.count_total_cycles);
   json.field("livelock_hop_limit", cfg.detector.livelock_hop_limit);
+  json.field("full_rebuild", cfg.detector.full_rebuild);
   json.end_object();
 
   json.key("run").begin_object();
@@ -139,6 +140,7 @@ void write_series(JsonWriter& json, const IntervalRecorder& series) {
     json.field("cwg_ownership_arcs", s.cwg_ownership_arcs);
     json.field("cwg_request_arcs", s.cwg_request_arcs);
     json.field("detector_invocations", s.detector_invocations);
+    json.field("detector_skipped", s.detector_skipped);
     json.field("deadlocks", s.deadlocks);
     json.field("transient_knots", s.transient_knots);
     json.field("livelocks", s.livelocks);
@@ -218,6 +220,12 @@ void write_manifest_json(std::ostream& out, const ExperimentConfig& config,
   json.field("accepted_ratio", result.accepted_ratio);
   json.field("saturated", result.saturated);
   write_window(json, result.window);
+  // Effective detection cost: how many scheduled passes the incremental
+  // pipeline answered without rebuilding the wait-for graph.
+  json.key("detector").begin_object();
+  json.field("invocations", result.detector_invocations);
+  json.field("skipped_passes", result.detector_skipped_passes);
+  json.end_object();
   json.end_object();
 
   // Resume lineage + corpus capture summary, so a manifest always records

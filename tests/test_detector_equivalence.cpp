@@ -1,0 +1,294 @@
+// Incremental-vs-oracle equivalence: the change-gated, blocked-subgraph
+// detection pipeline (the default) must be bit-identical to the full-rebuild
+// oracle (--detector-full-rebuild) in every observable way — per-pass
+// verdicts, DeadlockRecord fields, capture-hook firings, RNG consumption, and
+// serialized detector state. The suite checks live saturation runs for DOR
+// and TFAR, replays of the committed deadlock corpus, and a checkpoint/resume
+// mid-run proving the scratch/cache state is not serialized.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "exp/experiment.hpp"
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/network.hpp"
+#include "snapshot/snapshot.hpp"
+#include "traffic/injection.hpp"
+#include "util/binio.hpp"
+
+#ifndef FLEXNET_CORPUS_DIR
+#error "FLEXNET_CORPUS_DIR must point at the committed tests/corpus directory"
+#endif
+
+namespace flexnet {
+namespace {
+
+std::vector<std::uint8_t> detector_bytes(const DeadlockDetector& det) {
+  BinWriter out;
+  det.save_state(out);
+  return out.bytes();
+}
+
+/// Records every on_knot firing with enough context to prove both pipelines
+/// present identical knots, CWGs, and records to their hooks.
+struct RecordingHook : KnotCaptureHook {
+  struct Firing {
+    Cycle at = -1;
+    std::vector<VcId> knot_vcs;
+    std::vector<MessageId> deadlock_set;
+    std::vector<VcId> resource_set;
+    std::vector<MessageId> dependents;
+    MessageId victim = kInvalidMessage;
+    std::int64_t density = -1;
+    int cwg_ownership_arcs = 0;
+    int cwg_request_arcs = 0;
+
+    bool operator==(const Firing&) const = default;
+  };
+  std::vector<Firing> firings;
+
+  void on_knot(const Network& net, const Cwg& cwg, const Knot& knot,
+               const DeadlockRecord& record) override {
+    firings.push_back({net.now(), knot.knot_vcs, knot.deadlock_set,
+                       knot.resource_set, knot.dependent_messages,
+                       record.victim, record.knot_cycle_density,
+                       cwg.num_ownership_arcs(), cwg.num_request_arcs()});
+  }
+};
+
+void expect_same_records(const DeadlockDetector& a, const DeadlockDetector& b) {
+  ASSERT_EQ(a.records().size(), b.records().size());
+  for (std::size_t i = 0; i < a.records().size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    const DeadlockRecord& ra = a.records()[i];
+    const DeadlockRecord& rb = b.records()[i];
+    EXPECT_EQ(ra.detected_at, rb.detected_at);
+    EXPECT_EQ(ra.deadlock_set_size, rb.deadlock_set_size);
+    EXPECT_EQ(ra.resource_set_size, rb.resource_set_size);
+    EXPECT_EQ(ra.knot_size, rb.knot_size);
+    EXPECT_EQ(ra.dependent_count, rb.dependent_count);
+    EXPECT_EQ(ra.knot_cycle_density, rb.knot_cycle_density);
+    EXPECT_EQ(ra.density_capped, rb.density_capped);
+    EXPECT_EQ(ra.victim, rb.victim);
+  }
+}
+
+ExperimentConfig saturation_config(RoutingKind routing, RecoveryKind recovery) {
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 8;
+  cfg.sim.topology.n = 2;
+  cfg.sim.vcs = 1;  // one VC per channel: wrap-around DOR/TFAR can deadlock
+  cfg.sim.routing = routing;
+  cfg.sim.message_length = 8;
+  cfg.sim.seed = 11;
+  cfg.traffic.load = 0.7;
+  cfg.detector.interval = 1;  // the tightest cadence the paper's Section 3 needs
+  cfg.detector.recovery = recovery;
+  return cfg;
+}
+
+void run_equivalence(ExperimentConfig cfg, Cycle cycles) {
+  ExperimentConfig oracle_cfg = cfg;
+  oracle_cfg.detector.full_rebuild = true;
+  Simulation inc(cfg);
+  Simulation oracle(oracle_cfg);
+  RecordingHook inc_hook;
+  RecordingHook oracle_hook;
+  inc.detector().set_capture(&inc_hook);
+  oracle.detector().set_capture(&oracle_hook);
+
+  for (Cycle i = 0; i < cycles; ++i) {
+    inc.injection().tick(inc.network());
+    inc.network().step();
+    const int inc_verdict = inc.detector().tick(inc.network());
+    oracle.injection().tick(oracle.network());
+    oracle.network().step();
+    const int oracle_verdict = oracle.detector().tick(oracle.network());
+    ASSERT_EQ(inc_verdict, oracle_verdict) << "diverged at cycle " << i;
+  }
+
+  // The scenario must actually exercise detection and recovery.
+  EXPECT_GT(inc.detector().total_deadlocks(), 0);
+  EXPECT_FALSE(inc_hook.firings.empty());
+  // ...and the gating must have engaged on the incremental side only.
+  EXPECT_GT(inc.detector().skipped_passes(), 0);
+  EXPECT_EQ(oracle.detector().skipped_passes(), 0);
+
+  EXPECT_EQ(inc.detector().invocations(), oracle.detector().invocations());
+  EXPECT_EQ(inc.detector().total_deadlocks(), oracle.detector().total_deadlocks());
+  EXPECT_EQ(inc.detector().transient_knots(), oracle.detector().transient_knots());
+  EXPECT_EQ(inc.detector().livelocks(), oracle.detector().livelocks());
+  expect_same_records(inc.detector(), oracle.detector());
+  EXPECT_EQ(inc_hook.firings, oracle_hook.firings);
+  // Serialized state identical: the skip counter, verdict cache, and scratch
+  // arenas are process-local and must never leak into the snapshot format.
+  EXPECT_EQ(detector_bytes(inc.detector()), detector_bytes(oracle.detector()));
+  // The networks evolved identically (same victims removed at same cycles).
+  EXPECT_EQ(inc.network().counters().delivered,
+            oracle.network().counters().delivered);
+  EXPECT_EQ(inc.network().counters().recovered,
+            oracle.network().counters().recovered);
+}
+
+TEST(DetectorEquivalence, LiveDorSaturationBitIdentical) {
+  run_equivalence(saturation_config(RoutingKind::DOR, RecoveryKind::RemoveOldest),
+                  5000);
+}
+
+TEST(DetectorEquivalence, LiveTfarSaturationBitIdentical) {
+  // RemoveRandom draws from the detector RNG per confirmed knot, so this also
+  // proves both pipelines consume the stream identically.
+  run_equivalence(
+      saturation_config(RoutingKind::TFAR, RecoveryKind::RemoveRandom), 5000);
+}
+
+TEST(DetectorEquivalence, QuiescenceRefreshPathMatchesOracle) {
+  // recovery=None leaves every knot in place forever: the incremental side
+  // re-reports from its cached verdict on every pass while the oracle
+  // re-finds the same knots from scratch.
+  run_equivalence(saturation_config(RoutingKind::DOR, RecoveryKind::None),
+                  2000);
+}
+
+TEST(DetectorEquivalence, CommittedCorpusReplaysBitIdentical) {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(FLEXNET_CORPUS_DIR)) {
+    if (entry.path().extension() == ".snap") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty());
+
+  for (const std::string& path : files) {
+    SCOPED_TRACE(path);
+    const Snapshot snap = read_snapshot_file(path);
+    RestoredSim inc = restore_snapshot(snap);
+    RestoredSim oracle = restore_snapshot(snap);
+
+    // Fresh detectors (shared seed) so both sides start from identical
+    // tallies and RNG positions; the restored network is the interesting
+    // state — it contains the captured, still-unbroken knot.
+    DetectorConfig inc_cfg = snap.detector;
+    inc_cfg.interval = 1;
+    inc_cfg.full_rebuild = false;
+    DetectorConfig oracle_cfg = inc_cfg;
+    oracle_cfg.full_rebuild = true;
+    DeadlockDetector inc_det(inc_cfg, 99);
+    DeadlockDetector oracle_det(oracle_cfg, 99);
+    RecordingHook inc_hook;
+    RecordingHook oracle_hook;
+    inc_det.set_capture(&inc_hook);
+    oracle_det.set_capture(&oracle_hook);
+
+    for (int i = 0; i < 300; ++i) {
+      inc.injection->tick(*inc.net);
+      inc.net->step();
+      const int inc_verdict = inc_det.tick(*inc.net);
+      oracle.injection->tick(*oracle.net);
+      oracle.net->step();
+      const int oracle_verdict = oracle_det.tick(*oracle.net);
+      ASSERT_EQ(inc_verdict, oracle_verdict) << "diverged at step " << i;
+    }
+    EXPECT_GT(inc_det.total_deadlocks(), 0) << "capture should re-deadlock";
+    expect_same_records(inc_det, oracle_det);
+    EXPECT_EQ(inc_hook.firings, oracle_hook.firings);
+    EXPECT_EQ(detector_bytes(inc_det), detector_bytes(oracle_det));
+  }
+}
+
+TEST(DetectorEquivalence, CheckpointResumeDoesNotSerializeScratch) {
+  const ExperimentConfig cfg =
+      saturation_config(RoutingKind::DOR, RecoveryKind::RemoveOldest);
+  Simulation original(cfg);
+  for (Cycle i = 0; i < 1500; ++i) {
+    original.injection().tick(original.network());
+    original.network().step();
+    original.detector().tick(original.network());
+  }
+  ASSERT_GT(original.detector().skipped_passes(), 0);
+
+  // Mid-run checkpoint while the incremental cache is warm. Round-tripping
+  // the detector must be byte-stable even though the live detector carries
+  // cache/scratch state the restored one cannot have.
+  const Snapshot snap = original.make_checkpoint();
+  RestoredSim resumed = restore_snapshot(snap);
+  EXPECT_EQ(detector_bytes(*resumed.detector),
+            detector_bytes(original.detector()));
+  // A resumed detector starts with zero skipped passes: the counter is
+  // process-local cost accounting, not simulation state.
+  EXPECT_EQ(resumed.detector->skipped_passes(), 0);
+
+  // Continuing both must stay flit- and verdict-identical: the restored
+  // detector rebuilds its scratch on the first pass and re-converges.
+  for (Cycle i = 0; i < 800; ++i) {
+    original.injection().tick(original.network());
+    original.network().step();
+    const int original_verdict = original.detector().tick(original.network());
+    resumed.injection->tick(*resumed.net);
+    resumed.net->step();
+    const int resumed_verdict = resumed.detector->tick(*resumed.net);
+    ASSERT_EQ(original_verdict, resumed_verdict) << "diverged at cycle " << i;
+  }
+  expect_same_records(original.detector(), *resumed.detector);
+  EXPECT_EQ(detector_bytes(original.detector()),
+            detector_bytes(*resumed.detector));
+}
+
+TEST(DetectorEquivalence, ArcEpochIsStableInASettledDeadlock) {
+  // 4-node unidirectional ring, every node sending two hops ahead: a
+  // permanent deadlock. Once settled, nothing moves, so the arc epoch must
+  // stand still — the precondition for the detector's pure-refresh path.
+  SimConfig cfg;
+  cfg.topology.k = 4;
+  cfg.topology.n = 1;
+  cfg.topology.bidirectional = false;
+  cfg.routing = RoutingKind::DOR;
+  cfg.message_length = 8;
+  cfg.buffer_depth = 2;
+  auto net = std::make_unique<Network>(cfg, make_routing(cfg),
+                                       make_selection(cfg.selection));
+  for (NodeId n = 0; n < 4; ++n) net->enqueue_message(n, (n + 2) % 4, 8);
+  for (int i = 0; i < 100; ++i) net->step();
+
+  const std::uint64_t settled = net->arc_epoch();
+  EXPECT_GT(settled, 0u);
+  for (int i = 0; i < 20; ++i) net->step();
+  EXPECT_EQ(net->arc_epoch(), settled);
+
+  DetectorConfig det_cfg;
+  det_cfg.interval = 1;
+  det_cfg.recovery = RecoveryKind::None;
+  DeadlockDetector det(det_cfg, 1);
+  for (int i = 0; i < 50; ++i) {
+    net->step();
+    det.tick(*net);
+  }
+  EXPECT_EQ(det.invocations(), 50);
+  EXPECT_EQ(det.skipped_passes(), 49);  // only the first pass rebuilds
+  EXPECT_EQ(det.total_deadlocks(), 50);  // re-reported every pass, as before
+}
+
+TEST(DetectorEquivalence, IdleNetworkSkipsEveryPass) {
+  SimConfig cfg;
+  cfg.topology.k = 4;
+  cfg.topology.n = 2;
+  auto net = std::make_unique<Network>(cfg, make_routing(cfg),
+                                       make_selection(cfg.selection));
+  DeadlockDetector det(DetectorConfig{.interval = 1}, 1);
+  for (int i = 0; i < 25; ++i) {
+    net->step();
+    EXPECT_EQ(det.tick(*net), 0);
+  }
+  // Nothing is ever blocked, so the zero-blocked fast path answers each pass.
+  EXPECT_EQ(det.invocations(), 25);
+  EXPECT_EQ(det.skipped_passes(), 25);
+}
+
+}  // namespace
+}  // namespace flexnet

@@ -284,7 +284,15 @@ TEST(Telemetry, ManifestParsesWithFullSchema) {
   EXPECT_FALSE(root.at("build").at("git_sha").string.empty());
   EXPECT_EQ(root.at("config").at("sim").at("k").as_int(), 4);
   EXPECT_DOUBLE_EQ(root.at("config").at("traffic").at("load").number, 0.4);
+  EXPECT_EQ(root.at("config").at("detector").at("full_rebuild").boolean, false);
   EXPECT_GT(root.at("result").at("window").at("delivered").as_int(), 0);
+
+  // Detection-cost accounting: every scheduled pass is an invocation; the
+  // skipped count is how many the incremental pipeline answered for free.
+  const JsonValue& det = root.at("result").at("detector");
+  EXPECT_GT(det.at("invocations").as_int(), 0);
+  EXPECT_GE(det.at("skipped_passes").as_int(), 0);
+  EXPECT_LE(det.at("skipped_passes").as_int(), det.at("invocations").as_int());
 
   const JsonValue& series = root.at("series");
   EXPECT_EQ(series.at("interval").as_int(), 50);
@@ -292,6 +300,10 @@ TEST(Telemetry, ManifestParsesWithFullSchema) {
   const JsonValue& sample = series.at("samples").array.front();
   EXPECT_EQ(sample.at("cycle").as_int(), 50);  // warmup ramp is part of the series
   EXPECT_NE(sample.find("cwg_request_arcs"), nullptr);
+  ASSERT_NE(sample.find("detector_skipped"), nullptr);
+  EXPECT_GE(sample.at("detector_skipped").as_int(), 0);
+  EXPECT_LE(sample.at("detector_skipped").as_int(),
+            sample.at("detector_invocations").as_int());
 
   EXPECT_GT(root.at("heatmap").at("total_traversals").as_int(), 0);
   EXPECT_FALSE(root.at("heatmap").at("hot_channels").array.empty());
