@@ -26,7 +26,7 @@ using namespace flexnet;
 std::string describe_vc(const Network& net, VcId vc_id) {
   const VcState& vc = net.vc(vc_id);
   const PhysChannel& pc = net.phys(vc.channel);
-  const Coordinates& coords = net.topology().coordinates();
+  const Coordinates& coords = torus_topology(net.topology()).coordinates();
   char buf[96];
   switch (pc.kind) {
     case ChannelKind::Injection:
@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
       std::printf("\ndeadlock set (held chain -> requests):\n");
       for (const MessageId id : knot.deadlock_set) {
         const Message& m = net.message(id);
-        const Coordinates& coords = net.topology().coordinates();
+        const Coordinates& coords = torus_topology(net.topology()).coordinates();
         std::printf("  m%-6lld (%d,%d)->(%d,%d) len %d, blocked since %lld\n",
                     static_cast<long long>(id), coords.coordinate(m.src, 0),
                     coords.coordinate(m.src, 1), coords.coordinate(m.dst, 0),

@@ -17,11 +17,18 @@
 //       --capture-limit 8                    # dump deduped knot snapshots
 //   ./sweep_cli --routing TFAR --loads 0.5 --interval 1
 //       --detector-full-rebuild              # oracle: rebuild CWG every pass
+//   ./sweep_cli --topology file:examples/topologies/irregular-16.topo
+//       --loads 0.6 --capture-deadlocks corpus  # irregular network, TableMin
+//   ./sweep_cli --topology dragonfly --df-routers 8 --df-globals 1
+//       --routing TableUpDown --loads 0.4    # deadlock-free any-topology
+//   ./sweep_cli --topology random --nodes 24 --degree 3 --topo-seed 7
+//       --route-table-dump tables.rt --loads 0.3  # dump the routing tables
 #include <fstream>
 #include <iostream>
 
 #include "exp/cli.hpp"
 #include "flexnet.hpp"
+#include "routing/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace flexnet;
@@ -59,14 +66,41 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // --route-table-dump FILE: build the network once, write its routing
+    // tables as flexnet-rtable-v1, and exit (no sweep).
+    if (opts->has("route-table-dump")) {
+      Simulation sim(base);
+      const auto* table =
+          dynamic_cast<const TableRouting*>(&sim.network().routing_algorithm());
+      if (table == nullptr) {
+        throw std::runtime_error(
+            "--route-table-dump needs --routing TableMin or TableUpDown");
+      }
+      const std::string path = opts->get("route-table-dump");
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot open " + path);
+      table->dump(out);
+      std::cout << "routing tables (" << table->name() << ", "
+                << sim.network().topology().name() << ") written to " << path
+                << '\n';
+      return 0;
+    }
+
     const std::vector<double> loads = loads_from_options(*opts);
 
     std::cout << "flexnet sweep: " << to_string(base.sim.routing) << ", "
-              << base.sim.vcs << " VC(s), " << base.sim.topology.k << "-ary "
-              << base.sim.topology.n << "-cube ("
-              << (base.sim.topology.wrap ? "torus" : "mesh") << ", "
-              << (base.sim.topology.bidirectional ? "bi" : "uni") << "), "
-              << to_string(base.traffic.pattern) << " traffic, "
+              << base.sim.vcs << " VC(s), ";
+    if (base.sim.topo_kind == TopoKind::Torus) {
+      std::cout << base.sim.topology.k << "-ary " << base.sim.topology.n
+                << "-cube (" << (base.sim.topology.wrap ? "torus" : "mesh")
+                << ", " << (base.sim.topology.bidirectional ? "bi" : "uni")
+                << "), ";
+    } else {
+      std::cout << to_string(base.sim.topo_kind);
+      if (!base.sim.topo_file.empty()) std::cout << ' ' << base.sim.topo_file;
+      std::cout << ", ";
+    }
+    std::cout << to_string(base.traffic.pattern) << " traffic, "
               << loads.size() << " load points\n\n";
 
     const auto results = sweep_loads(base, loads);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "topo/topology.hpp"
+
 namespace flexnet {
 
 std::string cwg_to_dot(const Cwg& cwg, std::span<const Knot> knots) {
@@ -41,6 +43,45 @@ std::string cwg_to_dot(const Cwg& cwg, std::span<const Knot> knots) {
       out << "  c" << msg.held.back() << " -> c" << want
           << " [style=dashed label=\"m" << msg.id << "\"];\n";
     }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string topology_to_dot(const Topology& topo) {
+  // Pair up antiparallel channels of equal width so bidirectional links
+  // render as a single undirected edge (dir=none) instead of two arrows.
+  const auto& channels = topo.channels();
+  std::vector<bool> paired(channels.size(), false);
+  std::ostringstream out;
+  out << "digraph topology {\n"
+      << "  label=\"" << topo.name() << "\";\n"
+      << "  node [shape=circle fontsize=10];\n";
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) out << "  n" << v << ";\n";
+  for (const ChannelDesc& ch : channels) {
+    if (paired[static_cast<std::size_t>(ch.id)]) continue;
+    bool undirected = false;
+    for (const ChannelId other_id : topo.out_channels(ch.dst)) {
+      const ChannelDesc& other = topo.channel(other_id);
+      if (other.dst == ch.src && other.width == ch.width &&
+          !paired[static_cast<std::size_t>(other_id)] && other_id != ch.id) {
+        paired[static_cast<std::size_t>(other_id)] = true;
+        undirected = true;
+        break;
+      }
+    }
+    out << "  n" << ch.src << " -> n" << ch.dst;
+    const char* sep = " [";
+    if (undirected) {
+      out << sep << "dir=none";
+      sep = " ";
+    }
+    if (ch.width > 1) {
+      out << sep << "label=\"x" << ch.width << "\"";
+      sep = " ";
+    }
+    if (sep[0] == ' ' && sep[1] == '\0') out << ']';
+    out << ";\n";
   }
   out << "}\n";
   return out.str();

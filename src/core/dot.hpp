@@ -11,10 +11,17 @@
 
 namespace flexnet {
 
+class Topology;
+
 /// Serializes the CWG (isolated vertices omitted). Vertices belonging to a
 /// knot in `knots` are filled red; each arc is labeled with the owning or
 /// requesting message id.
 [[nodiscard]] std::string cwg_to_dot(const Cwg& cwg,
                                      std::span<const Knot> knots = {});
+
+/// Serializes a topology's node/link structure. Antiparallel equal-width
+/// channel pairs collapse into one undirected edge; remaining channels are
+/// drawn directed. Links of width > 1 are labeled "xW".
+[[nodiscard]] std::string topology_to_dot(const Topology& topo);
 
 }  // namespace flexnet

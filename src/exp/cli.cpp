@@ -17,7 +17,8 @@ namespace {
 RoutingKind parse_routing(std::string_view name) {
   for (const RoutingKind kind :
        {RoutingKind::DOR, RoutingKind::TFAR, RoutingKind::DatelineDOR,
-        RoutingKind::DuatoTFAR, RoutingKind::NegativeFirst}) {
+        RoutingKind::DuatoTFAR, RoutingKind::NegativeFirst,
+        RoutingKind::TableMin, RoutingKind::TableUpDown}) {
     if (name == to_string(kind)) return kind;
   }
   unknown("routing", name);
@@ -51,13 +52,42 @@ RecoveryKind parse_recovery(std::string_view name) {
   unknown("recovery", name);
 }
 
+TopoKind parse_topology(std::string_view name) {
+  if (name == "torus" || name == "mesh") return TopoKind::Torus;
+  if (name == "fullmesh") return TopoKind::FullMesh;
+  if (name == "dragonfly") return TopoKind::Dragonfly;
+  if (name == "random") return TopoKind::RandomIrregular;
+  if (name.substr(0, 5) == "file:") return TopoKind::File;
+  unknown("topology (torus|mesh|fullmesh|dragonfly|random|file:<path>)", name);
+}
+
 ExperimentConfig experiment_from_options(const Options& opts) {
   ExperimentConfig cfg;
+
+  // --topology selects the family; "mesh" is torus shorthand for wrap=false,
+  // "file:<path>" loads a flexnet-topo-v1 file.
+  const std::string topo_arg = opts.get("topology", "torus");
+  cfg.sim.topo_kind = parse_topology(topo_arg);
+  if (cfg.sim.topo_kind == TopoKind::File) {
+    cfg.sim.topo_file = topo_arg.substr(5);
+  }
 
   cfg.sim.topology.k = static_cast<int>(opts.get_int("k", cfg.sim.topology.k));
   cfg.sim.topology.n = static_cast<int>(opts.get_int("n", cfg.sim.topology.n));
   cfg.sim.topology.bidirectional = !opts.get_bool("uni", false);
-  cfg.sim.topology.wrap = !opts.get_bool("mesh", false);
+  cfg.sim.topology.wrap = topo_arg != "mesh" && !opts.get_bool("mesh", false);
+
+  cfg.sim.topo_nodes =
+      static_cast<int>(opts.get_int("nodes", cfg.sim.topo_nodes));
+  cfg.sim.topo_degree =
+      static_cast<int>(opts.get_int("degree", cfg.sim.topo_degree));
+  cfg.sim.topo_df_routers =
+      static_cast<int>(opts.get_int("df-routers", cfg.sim.topo_df_routers));
+  cfg.sim.topo_df_globals =
+      static_cast<int>(opts.get_int("df-globals", cfg.sim.topo_df_globals));
+  cfg.sim.topo_seed =
+      static_cast<std::uint64_t>(opts.get_int("topo-seed", 1));
+  cfg.sim.route_table_file = opts.get("route-table");
 
   cfg.sim.vcs = static_cast<int>(opts.get_int("vcs", cfg.sim.vcs));
   cfg.sim.buffer_depth =
@@ -73,7 +103,10 @@ ExperimentConfig experiment_from_options(const Options& opts) {
   cfg.sim.short_message_fraction =
       opts.get_double("short-fraction", cfg.sim.short_message_fraction);
 
-  cfg.sim.routing = parse_routing(opts.get("routing", "TFAR"));
+  // The five torus relations cannot route an arbitrary graph, so non-torus
+  // topologies default to the table-based deadlock-prone subject.
+  cfg.sim.routing = parse_routing(opts.get(
+      "routing", cfg.sim.topo_kind == TopoKind::Torus ? "TFAR" : "TableMin"));
   cfg.sim.selection = parse_selection(opts.get("selection", "PreferStraight"));
   cfg.sim.max_misroutes =
       static_cast<int>(opts.get_int("misroutes", cfg.sim.max_misroutes));

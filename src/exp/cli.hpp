@@ -18,8 +18,13 @@ namespace flexnet {
 [[nodiscard]] SelectionKind parse_selection(std::string_view name);
 [[nodiscard]] TrafficKind parse_traffic(std::string_view name);
 [[nodiscard]] RecoveryKind parse_recovery(std::string_view name);
+/// "torus" | "mesh" | "fullmesh" | "dragonfly" | "random" | "file:<path>"
+/// (lowercase family names; "mesh" maps to Torus with wrap=false).
+[[nodiscard]] TopoKind parse_topology(std::string_view name);
 
 /// Builds a full experiment configuration from options:
+///   --topology torus|mesh|fullmesh|dragonfly|random|file:<path>
+///   --nodes --degree --df-routers --df-globals --topo-seed --route-table
 ///   --k --n --uni --mesh --vcs --buffer --ivcs --evcs --length
 ///   --short-length --short-fraction --routing --selection --misroutes
 ///   --faults --queue-limit --seed

@@ -34,6 +34,7 @@
 #include "routing/duato.hpp"     // IWYU pragma: export
 #include "routing/routing.hpp"   // IWYU pragma: export
 #include "routing/selection.hpp" // IWYU pragma: export
+#include "routing/table.hpp"     // IWYU pragma: export
 #include "routing/tfar.hpp"      // IWYU pragma: export
 #include "routing/turnmodel.hpp" // IWYU pragma: export
 #include "sim/network.hpp"       // IWYU pragma: export
@@ -44,7 +45,12 @@
 #include "telemetry/manifest.hpp"  // IWYU pragma: export
 #include "telemetry/profiler.hpp"  // IWYU pragma: export
 #include "telemetry/telemetry.hpp" // IWYU pragma: export
-#include "topo/torus.hpp"        // IWYU pragma: export
+#include "topo/factory.hpp"        // IWYU pragma: export
+#include "topo/generators.hpp"     // IWYU pragma: export
+#include "topo/graph_topology.hpp" // IWYU pragma: export
+#include "topo/topo_file.hpp"      // IWYU pragma: export
+#include "topo/topology.hpp"       // IWYU pragma: export
+#include "topo/torus.hpp"          // IWYU pragma: export
 #include "trace/forensics.hpp"   // IWYU pragma: export
 #include "trace/sinks.hpp"       // IWYU pragma: export
 #include "trace/trace.hpp"       // IWYU pragma: export

@@ -4,12 +4,13 @@
 
 #include "routing/dor.hpp"
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 namespace flexnet {
 
 int DatelineDorRouting::dateline_class(const Network& net, const Message& msg,
                                        ChannelId out_ch) {
-  const KAryNCube& topo = net.topology();
+  const KAryNCube& topo = torus_topology(net.topology());
   const PhysChannel& pc = net.phys(out_ch);
   assert(pc.kind == ChannelKind::Network);
   const int dim = pc.dim;

@@ -3,11 +3,12 @@
 #include <cassert>
 
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 namespace flexnet {
 
 ChannelId DorRouting::dor_channel(const Network& net, NodeId here, NodeId dst) {
-  const KAryNCube& topo = net.topology();
+  const KAryNCube& topo = torus_topology(net.topology());
   for (int dim = 0; dim < topo.dimensions(); ++dim) {
     if (topo.dim_distance(here, dst, dim) == 0) continue;
     const DimRoute route = topo.minimal_dirs(here, dst, dim);

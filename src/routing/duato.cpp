@@ -5,6 +5,7 @@
 #include "routing/dateline.hpp"
 #include "routing/dor.hpp"
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 namespace flexnet {
 
@@ -14,7 +15,7 @@ void DuatoTfarRouting::candidate_channels(const Network& net,
                                           std::vector<ChannelId>& out) const {
   // All minimal channels; the DOR channel (which carries the escape VCs) is
   // always among them, so the escape path is reachable from every state.
-  const KAryNCube& topo = net.topology();
+  const KAryNCube& topo = torus_topology(net.topology());
   for (int dim = 0; dim < topo.dimensions(); ++dim) {
     const DimRoute route = topo.minimal_dirs(here, msg.dst, dim);
     for (int i = 0; i < route.count; ++i) {

@@ -5,10 +5,13 @@
 #include "routing/dateline.hpp"
 #include "routing/dor.hpp"
 #include "routing/duato.hpp"
+#include "routing/table.hpp"
 #include "routing/tfar.hpp"
 #include "routing/turnmodel.hpp"
 
 namespace flexnet {
+
+void RoutingAlgorithm::attach(const Network& /*net*/) {}
 
 bool RoutingAlgorithm::vc_allowed(const Network& /*net*/,
                                   const Message& /*msg*/,
@@ -29,6 +32,12 @@ std::unique_ptr<RoutingAlgorithm> make_routing(const SimConfig& config) {
       return std::make_unique<DuatoTfarRouting>();
     case RoutingKind::NegativeFirst:
       return std::make_unique<NegativeFirstRouting>();
+    case RoutingKind::TableMin:
+      return std::make_unique<TableRouting>(TableRouting::Mode::MinimalAdaptive,
+                                            config.route_table_file);
+    case RoutingKind::TableUpDown:
+      return std::make_unique<TableRouting>(TableRouting::Mode::UpDown,
+                                            config.route_table_file);
   }
   throw std::invalid_argument("unknown routing kind");
 }

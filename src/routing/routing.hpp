@@ -25,6 +25,11 @@ class RoutingAlgorithm {
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
+  /// Called once, at the end of Network construction, before any routing
+  /// query. Table-based algorithms build (or load) their next-channel tables
+  /// here; the torus algorithms need no setup and keep the default no-op.
+  virtual void attach(const Network& net);
+
   /// Appends the permitted output channels for `msg` at router `here`.
   /// `in_vc` is the VC holding the header (an injection VC for the first
   /// hop). Must never produce an empty set when here != msg.dst.

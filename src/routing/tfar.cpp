@@ -4,13 +4,14 @@
 #include <cassert>
 
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 namespace flexnet {
 
 void TfarRouting::candidate_channels(const Network& net, const Message& msg,
                                      NodeId here, VcId in_vc,
                                      std::vector<ChannelId>& out) const {
-  const KAryNCube& topo = net.topology();
+  const KAryNCube& topo = torus_topology(net.topology());
   for (int dim = 0; dim < topo.dimensions(); ++dim) {
     const DimRoute route = topo.minimal_dirs(here, msg.dst, dim);
     for (int i = 0; i < route.count; ++i) {

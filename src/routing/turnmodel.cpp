@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 namespace flexnet {
 
@@ -10,7 +11,7 @@ void NegativeFirstRouting::candidate_channels(const Network& net,
                                               const Message& msg, NodeId here,
                                               VcId /*in_vc*/,
                                               std::vector<ChannelId>& out) const {
-  const KAryNCube& topo = net.topology();
+  const KAryNCube& topo = torus_topology(net.topology());
   assert(!topo.wrap() && "negative-first targets meshes");
 
   // Phase 1: while any dimension still needs a negative hop, only negative

@@ -12,6 +12,8 @@ std::string_view to_string(RoutingKind kind) noexcept {
     case RoutingKind::DatelineDOR: return "DatelineDOR";
     case RoutingKind::DuatoTFAR: return "DuatoTFAR";
     case RoutingKind::NegativeFirst: return "NegativeFirst";
+    case RoutingKind::TableMin: return "TableMin";
+    case RoutingKind::TableUpDown: return "TableUpDown";
   }
   return "?";
 }
@@ -40,10 +42,39 @@ void SimConfig::validate() const {
   auto fail = [](const std::string& what) {
     throw std::invalid_argument("SimConfig: " + what);
   };
-  if (topology.k < 2) fail("radix k must be >= 2");
-  if (topology.n < 1) fail("dimensions n must be >= 1");
-  if (!topology.wrap && !topology.bidirectional) {
-    fail("a unidirectional mesh is not connected");
+  const bool table_routing =
+      routing == RoutingKind::TableMin || routing == RoutingKind::TableUpDown;
+  switch (topo_kind) {
+    case TopoKind::Torus:
+      if (topology.k < 2) fail("radix k must be >= 2");
+      if (topology.n < 1) fail("dimensions n must be >= 1");
+      if (!topology.wrap && !topology.bidirectional) {
+        fail("a unidirectional mesh is not connected");
+      }
+      break;
+    case TopoKind::FullMesh:
+      if (topo_nodes < 2) fail("full mesh needs topo_nodes >= 2");
+      break;
+    case TopoKind::Dragonfly:
+      if (topo_df_routers < 2) fail("dragonfly needs topo_df_routers >= 2");
+      if (topo_df_globals < 1) fail("dragonfly needs topo_df_globals >= 1");
+      break;
+    case TopoKind::RandomIrregular:
+      if (topo_nodes < 2) fail("irregular topology needs topo_nodes >= 2");
+      if (topo_degree < 1 || topo_degree >= topo_nodes) {
+        fail("irregular degree must be in [1, topo_nodes)");
+      }
+      break;
+    case TopoKind::File:
+      if (topo_file.empty()) fail("File topology needs topo_file");
+      break;
+  }
+  if (topo_kind != TopoKind::Torus && !table_routing) {
+    fail(std::string(to_string(routing)) +
+         " is torus-only; non-torus topologies need TableMin or TableUpDown");
+  }
+  if (!route_table_file.empty() && !table_routing) {
+    fail("route_table_file requires TableMin or TableUpDown routing");
   }
   if (vcs < 1) fail("vcs must be >= 1");
   if (buffer_depth < 1) fail("buffer_depth must be >= 1");
@@ -68,7 +99,8 @@ void SimConfig::validate() const {
   if (routing == RoutingKind::NegativeFirst) {
     if (topology.wrap) fail("NegativeFirst (turn model) targets meshes");
   }
-  if (routing == RoutingKind::DOR || routing == RoutingKind::DatelineDOR) {
+  if (routing == RoutingKind::DOR || routing == RoutingKind::DatelineDOR ||
+      table_routing) {
     if (max_misroutes != 0) fail("misrouting requires an adaptive algorithm");
   }
   if (link_fault_fraction < 0.0 || link_fault_fraction >= 0.5) {

@@ -5,20 +5,27 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
+#include "topo/topology.hpp"
 #include "topo/torus.hpp"
 
 namespace flexnet {
 
 /// Routing algorithms. DOR and TFAR use VCs *unrestrictedly* so deadlock is
 /// possible (the paper's subjects); the rest are deadlock-avoidance baselines.
+/// The first five are torus-only; the Table pair routes any topology through
+/// precomputed per-(node, destination) next-channel tables. Values are part
+/// of the snapshot format; append only.
 enum class RoutingKind : std::uint8_t {
   DOR,           ///< Static dimension-order routing.
   TFAR,          ///< Minimal true fully adaptive routing.
   DatelineDOR,   ///< DOR + Dally/Seitz dateline VC classes (avoidance, >=2 VCs).
   DuatoTFAR,     ///< Adaptive VCs + dateline escape pair (avoidance, >=3 VCs).
   NegativeFirst, ///< Turn-model adaptive routing (avoidance, mesh only).
+  TableMin,      ///< Table-based minimal adaptive; deadlock-prone (subject).
+  TableUpDown,   ///< Table-based up*/down* (avoidance, any topology).
 };
 
 /// Channel-selection policy applied when several candidate VCs are free.
@@ -42,7 +49,20 @@ enum class RecoveryKind : std::uint8_t {
 [[nodiscard]] std::string_view to_string(RecoveryKind kind) noexcept;
 
 struct SimConfig {
+  /// Which topology family to build; `topology` (the torus shape) applies
+  /// only when kind == Torus, the topo_* fields parameterize the rest.
+  TopoKind topo_kind = TopoKind::Torus;
   TopologyConfig topology;
+  int topo_nodes = 8;        ///< FullMesh / RandomIrregular node count.
+  int topo_degree = 3;       ///< RandomIrregular average undirected degree.
+  int topo_df_routers = 8;   ///< Dragonfly routers per group (a).
+  int topo_df_globals = 1;   ///< Dragonfly global links per router (h).
+  std::uint64_t topo_seed = 1;  ///< RandomIrregular generator seed.
+  std::string topo_file;     ///< flexnet-topo-v1 path (kind == File).
+
+  /// Optional flexnet-rtable-v1 file overriding the built routing tables
+  /// (Table* routing only); empty = build from the topology.
+  std::string route_table_file;
 
   int vcs = 1;            ///< Virtual channels per network physical channel.
   int buffer_depth = 2;   ///< Flits of buffering per VC (edge buffer depth).

@@ -9,6 +9,7 @@
 #include "routing/selection.hpp"
 #include "telemetry/heatmap.hpp"
 #include "telemetry/profiler.hpp"
+#include "topo/factory.hpp"
 #include "util/binio.hpp"
 
 namespace flexnet {
@@ -88,22 +89,31 @@ void Network::trace_request_set_change(const Message& msg, VcId head_vc) {
 Network::Network(const SimConfig& config,
                  std::unique_ptr<RoutingAlgorithm> routing,
                  std::unique_ptr<SelectionPolicy> selection)
+    : Network(config, make_topology(config), std::move(routing),
+              std::move(selection)) {}
+
+Network::Network(const SimConfig& config,
+                 std::shared_ptr<const Topology> topology,
+                 std::unique_ptr<RoutingAlgorithm> routing,
+                 std::unique_ptr<SelectionPolicy> selection)
     : config_(config),
-      topo_(config.topology),
+      topo_(std::move(topology)),
       routing_(std::move(routing)),
       selection_(std::move(selection)),
       rng_(splitmix64(config.seed), 0x6e657477 /* "netw" */) {
   config_.validate();
+  if (!topo_) throw std::invalid_argument("Network requires a topology");
   if (!routing_ || !selection_) {
     throw std::invalid_argument("Network requires routing and selection policies");
   }
 
-  const NodeId nodes = topo_.num_nodes();
+  const NodeId nodes = topo_->num_nodes();
 
   // Physical channels: the topology's network links keep their ids; one
-  // injection and one ejection channel per node follow.
-  phys_.reserve(topo_.channels().size() + 2 * static_cast<std::size_t>(nodes));
-  for (const ChannelDesc& link : topo_.channels()) {
+  // injection and one ejection channel per node follow. A link of width w
+  // carries w times the configured VCs (width models bundled physical lanes).
+  phys_.reserve(topo_->channels().size() + 2 * static_cast<std::size_t>(nodes));
+  for (const ChannelDesc& link : topo_->channels()) {
     PhysChannel pc;
     pc.id = link.id;
     pc.kind = ChannelKind::Network;
@@ -112,7 +122,7 @@ Network::Network(const SimConfig& config,
     pc.dim = link.dim;
     pc.dir = link.dir;
     pc.is_wrap = link.is_wrap;
-    pc.num_vcs = config_.vcs;
+    pc.num_vcs = config_.vcs * link.width;
     phys_.push_back(pc);
   }
   first_injection_ = static_cast<ChannelId>(phys_.size());
@@ -155,10 +165,14 @@ Network::Network(const SimConfig& config,
   source_queues_.resize(static_cast<std::size_t>(nodes));
 
   if (config_.link_fault_fraction > 0.0) inject_link_faults();
+
+  // Last: table-based algorithms build (or load) their routing tables against
+  // the fully constructed network.
+  routing_->attach(*this);
 }
 
 bool Network::network_strongly_connected() const {
-  const NodeId nodes = topo_.num_nodes();
+  const NodeId nodes = topo_->num_nodes();
   // One forward and one backward reachability sweep from node 0 over the
   // surviving network channels.
   for (const bool forward : {true, false}) {
@@ -253,7 +267,7 @@ std::int64_t Network::queued_message_count() const noexcept {
 
 double Network::capacity_flits_per_node(double avg_distance) const noexcept {
   return static_cast<double>(num_network_channels()) /
-         (static_cast<double>(topo_.num_nodes()) * avg_distance);
+         (static_cast<double>(topo_->num_nodes()) * avg_distance);
 }
 
 void Network::step() {
@@ -279,7 +293,7 @@ void Network::step() {
 }
 
 void Network::deliver_phase() {
-  const NodeId nodes = topo_.num_nodes();
+  const NodeId nodes = topo_->num_nodes();
   for (NodeId node = 0; node < nodes; ++node) {
     PhysChannel& pc = phys_[static_cast<std::size_t>(ejection_channel(node))];
     for (int j = 0; j < pc.num_vcs; ++j) {
@@ -332,7 +346,7 @@ void Network::route_phase() {
   blocked_count_ = 0;
 
   // Grant injection VCs to source-queue heads.
-  const NodeId nodes = topo_.num_nodes();
+  const NodeId nodes = topo_->num_nodes();
   for (NodeId node = 0; node < nodes; ++node) {
     if (!source_queues_[static_cast<std::size_t>(node)].empty()) {
       try_injection_grants(node);
@@ -470,12 +484,7 @@ void Network::acquire_vc(Message& msg, VcState& from, VcState& target) {
   const PhysChannel& pc = phys(target.channel);
   if (pc.kind == ChannelKind::Network) {
     ++msg.hops;
-    const DimRoute minimal = topo_.minimal_dirs(pc.src, msg.dst, pc.dim);
-    bool is_minimal = false;
-    for (int i = 0; i < minimal.count; ++i) {
-      if (minimal.dirs[static_cast<std::size_t>(i)] == pc.dir) is_minimal = true;
-    }
-    if (!is_minimal) ++msg.misroutes;
+    if (!topo_->hop_is_minimal(topo_->channel(pc.id), msg.dst)) ++msg.misroutes;
   }
   msg.blocked = false;
   msg.request_set.clear();

@@ -26,7 +26,7 @@
 #include "sim/config.hpp"
 #include "sim/message.hpp"
 #include "sim/types.hpp"
-#include "topo/torus.hpp"
+#include "topo/topology.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -52,7 +52,13 @@ class Network {
     std::int64_t delivered_hops_sum = 0;
   };
 
+  /// Builds the topology described by `config` (make_topology).
   Network(const SimConfig& config, std::unique_ptr<RoutingAlgorithm> routing,
+          std::unique_ptr<SelectionPolicy> selection);
+  /// Uses a pre-built topology (snapshot restore rebuilds file-defined
+  /// topologies from the embedded section rather than the filesystem).
+  Network(const SimConfig& config, std::shared_ptr<const Topology> topology,
+          std::unique_ptr<RoutingAlgorithm> routing,
           std::unique_ptr<SelectionPolicy> selection);
   ~Network();
 
@@ -72,7 +78,13 @@ class Network {
   // --- observers -----------------------------------------------------------
   [[nodiscard]] Cycle now() const noexcept { return now_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const KAryNCube& topology() const noexcept { return topo_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return *topo_; }
+  /// Shared handle, for components that outlive or sibling the network
+  /// (snapshot capture, tools).
+  [[nodiscard]] const std::shared_ptr<const Topology>& topology_ptr()
+      const noexcept {
+    return topo_;
+  }
   [[nodiscard]] const RoutingAlgorithm& routing_algorithm() const noexcept {
     return *routing_;
   }
@@ -89,7 +101,7 @@ class Network {
   [[nodiscard]] ChannelId ejection_channel(NodeId node) const noexcept;
   /// Number of network (router-to-router) channels; their ids are [0, count).
   [[nodiscard]] std::size_t num_network_channels() const noexcept {
-    return topo_.channels().size();
+    return topo_->channels().size();
   }
 
   [[nodiscard]] const Message& message(MessageId id) const {
@@ -196,7 +208,7 @@ class Network {
   void deactivate(Message& msg);
 
   SimConfig config_;
-  KAryNCube topo_;
+  std::shared_ptr<const Topology> topo_;
   std::unique_ptr<RoutingAlgorithm> routing_;
   std::unique_ptr<SelectionPolicy> selection_;
   Pcg32 rng_;

@@ -8,6 +8,8 @@
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 #include "sim/network.hpp"
+#include "topo/factory.hpp"
+#include "topo/graph_topology.hpp"
 #include "traffic/injection.hpp"
 #include "util/binio.hpp"
 
@@ -15,7 +17,7 @@ namespace flexnet {
 
 namespace {
 
-// Section ids of the flexnet-snap-v1 container.
+// Section ids of the flexnet-snap container.
 enum Section : std::uint32_t {
   kMeta = 1,
   kSim = 2,
@@ -25,6 +27,7 @@ enum Section : std::uint32_t {
   kInjection = 6,
   kDetectorState = 7,
   kMetrics = 8,
+  kTopology = 9,  // v2
 };
 
 constexpr std::size_t kMagicLen = 12;
@@ -53,6 +56,47 @@ void write_section(BinWriter& out, std::uint32_t id,
 // Every field is written explicitly (no memcpy of structs), so the format is
 // stable against compiler padding and survives field reordering in headers.
 
+namespace {
+
+void save_topo_image(BinWriter& out, const TopoImage& t) {
+  out.u8(static_cast<std::uint8_t>(t.kind));
+  out.str(t.name);
+  out.i32(t.nodes);
+  out.u64(t.content_hash);
+  out.u64(t.links.size());
+  for (const TopoLink& link : t.links) {
+    out.i32(link.src);
+    out.i32(link.dst);
+    out.i32(link.width);
+  }
+}
+
+TopoImage load_topo_image(BinReader& in) {
+  TopoImage t;
+  t.present = true;
+  const std::uint8_t kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(TopoKind::File)) {
+    bad_snapshot("unknown topology kind " + std::to_string(kind));
+  }
+  t.kind = static_cast<TopoKind>(kind);
+  t.name = in.str();
+  t.nodes = in.i32();
+  t.content_hash = in.u64();
+  const std::uint64_t count = in.u64();
+  if (count > in.remaining()) bad_snapshot("topology link list truncated");
+  t.links.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TopoLink link;
+    link.src = in.i32();
+    link.dst = in.i32();
+    link.width = in.i32();
+    t.links.push_back(link);
+  }
+  return t;
+}
+
+}  // namespace
+
 void save_sim_config(BinWriter& out, const SimConfig& c) {
   out.i32(c.topology.k);
   out.i32(c.topology.n);
@@ -71,9 +115,18 @@ void save_sim_config(BinWriter& out, const SimConfig& c) {
   out.f64(c.link_fault_fraction);
   out.i32(c.source_queue_limit);
   out.u64(c.seed);
+  // v2 fields (the generalized-topology parameters).
+  out.u8(static_cast<std::uint8_t>(c.topo_kind));
+  out.i32(c.topo_nodes);
+  out.i32(c.topo_degree);
+  out.i32(c.topo_df_routers);
+  out.i32(c.topo_df_globals);
+  out.u64(c.topo_seed);
+  out.str(c.topo_file);
+  out.str(c.route_table_file);
 }
 
-SimConfig load_sim_config(BinReader& in) {
+SimConfig load_sim_config(BinReader& in, std::uint32_t version) {
   SimConfig c;
   c.topology.k = in.i32();
   c.topology.n = in.i32();
@@ -92,6 +145,22 @@ SimConfig load_sim_config(BinReader& in) {
   c.link_fault_fraction = in.f64();
   c.source_queue_limit = in.i32();
   c.seed = in.u64();
+  if (version >= 2) {
+    const std::uint8_t kind = in.u8();
+    if (kind > static_cast<std::uint8_t>(TopoKind::File)) {
+      bad_snapshot("unknown topology kind " + std::to_string(kind));
+    }
+    c.topo_kind = static_cast<TopoKind>(kind);
+    c.topo_nodes = in.i32();
+    c.topo_degree = in.i32();
+    c.topo_df_routers = in.i32();
+    c.topo_df_globals = in.i32();
+    c.topo_seed = in.u64();
+    c.topo_file = in.str();
+    c.route_table_file = in.str();
+  }
+  // v1 records predate topo_kind: they are torus snapshots by construction
+  // and keep the TopoKind::Torus defaults.
   return c;
 }
 
@@ -192,6 +261,19 @@ Snapshot capture_snapshot(const SnapshotMeta& meta, const SimConfig& sim,
   snap.traffic = traffic;
   snap.detector = detector;
 
+  const Topology& topo = net.topology();
+  snap.topo.present = true;
+  snap.topo.kind = topo.kind();
+  snap.topo.name = topo.name();
+  snap.topo.nodes = topo.num_nodes();
+  snap.topo.content_hash = topo.content_hash();
+  if (topo.kind() != TopoKind::Torus) {
+    snap.topo.links.reserve(topo.channels().size());
+    for (const ChannelDesc& ch : topo.channels()) {
+      snap.topo.links.push_back(TopoLink{ch.src, ch.dst, ch.width});
+    }
+  }
+
   BinWriter w;
   net.save_state(w);
   snap.network_state = w.bytes();
@@ -236,6 +318,13 @@ std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap) {
   save_detector_config(out, snap.detector);
   out.patch_u64(len_at, out.size() - det_start);
 
+  if (snap.topo.present) {
+    begin_section(out, kTopology, len_at);
+    const std::size_t topo_start = out.size();
+    save_topo_image(out, snap.topo);
+    out.patch_u64(len_at, out.size() - topo_start);
+  }
+
   write_section(out, kNetwork, snap.network_state);
   write_section(out, kInjection, snap.injection_state);
   write_section(out, kDetectorState, snap.detector_state);
@@ -251,7 +340,7 @@ Snapshot decode_snapshot(const std::uint8_t* data, std::size_t size) {
   }
   in.skip(kMagicLen);
   const std::uint32_t version = in.u32();
-  if (version != kSnapshotVersion) {
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
     bad_snapshot("unsupported version " + std::to_string(version));
   }
 
@@ -270,7 +359,7 @@ Snapshot decode_snapshot(const std::uint8_t* data, std::size_t size) {
         have_meta = true;
         break;
       case kSim:
-        snap.sim = load_sim_config(section);
+        snap.sim = load_sim_config(section, version);
         have_sim = true;
         break;
       case kTraffic:
@@ -294,6 +383,9 @@ Snapshot decode_snapshot(const std::uint8_t* data, std::size_t size) {
       case kMetrics:
         snap.metrics_state.assign(begin, begin + len);
         break;
+      case kTopology:
+        snap.topo = load_topo_image(section);
+        break;
       default:
         break;  // forward compatibility: unknown sections are skipped
     }
@@ -314,7 +406,28 @@ RestoredSim restore_snapshot(const Snapshot& snap) {
   out.detector_config = snap.detector;
   out.metrics = MetricsCollector(snap.meta.sample_every);
 
-  out.net = std::make_unique<Network>(snap.sim, make_routing(snap.sim),
+  // Non-torus topologies rebuild from the embedded link list, so a capture
+  // of a file-defined network restores without the original .topo file (and
+  // a generator version bump cannot silently change the graph under a
+  // stored state). Tori rebuild from SimConfig::topology as always.
+  std::shared_ptr<const Topology> topo;
+  if (snap.topo.present && snap.topo.kind != TopoKind::Torus) {
+    GraphTopology::Spec spec;
+    spec.kind = snap.topo.kind;
+    spec.name = snap.topo.name;
+    spec.nodes = snap.topo.nodes;
+    spec.links = snap.topo.links;
+    topo = std::make_shared<GraphTopology>(std::move(spec));
+  } else {
+    topo = make_topology(snap.sim);
+  }
+  if (snap.topo.present && topo->content_hash() != snap.topo.content_hash) {
+    bad_snapshot("topology hash mismatch (stored " + snap.topo.name +
+                 ", rebuilt " + topo->name() + ")");
+  }
+
+  out.net = std::make_unique<Network>(snap.sim, std::move(topo),
+                                      make_routing(snap.sim),
                                       make_selection(snap.sim.selection));
   {
     BinReader in(snap.network_state.data(), snap.network_state.size());

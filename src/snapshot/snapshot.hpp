@@ -1,8 +1,8 @@
-// Deterministic full-state snapshots: the flexnet-snap-v1 container.
+// Deterministic full-state snapshots: the flexnet-snap container.
 //
 // A snapshot file is
 //
-//   magic "flexnet-snap" (12 bytes) | u32 version (=1) | sections...
+//   magic "flexnet-snap" (12 bytes) | u32 version (=2) | sections...
 //
 // where each section is framed as `u32 id | u64 length | payload`, so readers
 // can skip sections they do not understand and inspectors can decode the meta
@@ -16,6 +16,13 @@
 //   6 injection  — InjectionProcess::save_state payload
 //   7 det-state  — DeadlockDetector::save_state payload
 //   8 metrics    — MetricsCollector::save_state payload
+//   9 topology   — topology identity + link list (v2; restores file-defined
+//                  and generated topologies without touching the filesystem)
+//
+// Version history: v1 had no topology section and a shorter sim-config
+// record (torus only); v2 files append the topo_* fields to the sim codec
+// and embed the topology. Readers accept both; v1 decodes with Torus
+// defaults, so every pre-existing capture keeps restoring bit-identically.
 //
 // The round-trip guarantee: restore_snapshot() on a capture of a live
 // simulation produces components whose subsequent evolution is flit-for-flit
@@ -39,7 +46,9 @@ class InjectionProcess;
 class Network;
 
 inline constexpr char kSnapshotMagic[] = "flexnet-snap";  // 12 chars + NUL
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// Oldest version decode_snapshot still reads.
+inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
 enum class SnapshotKind : std::uint8_t {
   Checkpoint = 1,       ///< Periodic mid-run checkpoint (resumable).
@@ -65,6 +74,19 @@ struct SnapshotMeta {
   std::uint64_t cwg_hash = 0;  ///< canonical_knot_hash of the captured knot.
 };
 
+/// The embedded topology record (section 9). For non-torus topologies the
+/// link list makes the snapshot self-contained: restore rebuilds the graph
+/// from these links instead of re-reading topo_file or re-running a
+/// generator. Tori rebuild from SimConfig::topology and store no links.
+struct TopoImage {
+  bool present = false;  ///< False for v1 snapshots.
+  TopoKind kind = TopoKind::Torus;
+  std::string name;
+  NodeId nodes = 0;
+  std::uint64_t content_hash = 0;
+  std::vector<TopoLink> links;  ///< Empty when kind == Torus.
+};
+
 /// A decoded snapshot: meta + configs, plus the opaque component-state
 /// sections kept as raw bytes until restore_snapshot() replays them.
 struct Snapshot {
@@ -72,6 +94,7 @@ struct Snapshot {
   SimConfig sim;
   TrafficConfig traffic;
   DetectorConfig detector;
+  TopoImage topo;
   std::vector<std::uint8_t> network_state;
   std::vector<std::uint8_t> injection_state;
   std::vector<std::uint8_t> detector_state;
@@ -122,7 +145,10 @@ void write_snapshot_file(const std::string& path, const Snapshot& snap);
 class BinReader;
 class BinWriter;
 void save_sim_config(BinWriter& out, const SimConfig& c);
-[[nodiscard]] SimConfig load_sim_config(BinReader& in);
+/// `version` selects the field layout: v1 records stop after `seed` and
+/// decode with torus defaults for the topo_* fields.
+[[nodiscard]] SimConfig load_sim_config(BinReader& in,
+                                        std::uint32_t version = kSnapshotVersion);
 void save_traffic_config(BinWriter& out, const TrafficConfig& c);
 [[nodiscard]] TrafficConfig load_traffic_config(BinReader& in);
 void save_detector_config(BinWriter& out, const DetectorConfig& c);

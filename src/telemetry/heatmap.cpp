@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 #include "util/csv.hpp"
 
 namespace flexnet {
@@ -91,8 +92,11 @@ std::vector<ChannelId> SpatialHeatmap::hottest_channels(
 }
 
 std::string SpatialHeatmap::ascii_grid(const Network& net, Field field) const {
-  const KAryNCube& topo = net.topology();
-  if (topo.dimensions() != 2) return {};
+  // The grid rendering only makes sense for 2-D tori/meshes; other
+  // topologies degrade gracefully (the CSV form covers them).
+  const KAryNCube* torus = net.topology().as_torus();
+  if (torus == nullptr || torus->dimensions() != 2) return {};
+  const KAryNCube& topo = *torus;
   const int k = topo.radix();
   const NodeId nodes = topo.num_nodes();
 

@@ -51,6 +51,11 @@ void write_config(JsonWriter& json, const ExperimentConfig& cfg) {
   json.field("link_fault_fraction", cfg.sim.link_fault_fraction);
   json.field("source_queue_limit", cfg.sim.source_queue_limit);
   json.field("seed", static_cast<std::uint64_t>(cfg.sim.seed));
+  json.field("topology", to_string(cfg.sim.topo_kind));
+  if (!cfg.sim.topo_file.empty()) json.field("topo_file", cfg.sim.topo_file);
+  if (!cfg.sim.route_table_file.empty()) {
+    json.field("route_table_file", cfg.sim.route_table_file);
+  }
   json.end_object();
 
   json.key("traffic").begin_object();
@@ -210,6 +215,18 @@ void write_manifest_json(std::ostream& out, const ExperimentConfig& config,
   json.end_object();
 
   write_config(json, config);
+
+  // The realized topology (vs the requested config): identity, size, and the
+  // content hash that snapshot restore and route-table load validate against.
+  json.key("topology").begin_object();
+  json.field("kind", to_string(net.topology().kind()));
+  json.field("name", net.topology().name());
+  json.field("nodes", net.topology().num_nodes());
+  json.field("channels",
+             static_cast<std::uint64_t>(net.topology().channels().size()));
+  json.field("avg_distance", net.topology().average_distance());
+  json.field("content_hash", net.topology().content_hash());
+  json.end_object();
 
   json.key("result").begin_object();
   json.field("load", result.load);

@@ -1,0 +1,33 @@
+#include "topo/factory.hpp"
+
+#include <stdexcept>
+
+#include "topo/generators.hpp"
+#include "topo/graph_topology.hpp"
+#include "topo/topo_file.hpp"
+#include "topo/torus.hpp"
+
+namespace flexnet {
+
+std::shared_ptr<const Topology> make_topology(const SimConfig& config) {
+  switch (config.topo_kind) {
+    case TopoKind::Torus:
+      return std::make_shared<KAryNCube>(config.topology);
+    case TopoKind::FullMesh:
+      return std::make_shared<GraphTopology>(
+          full_mesh_spec(static_cast<NodeId>(config.topo_nodes)));
+    case TopoKind::Dragonfly:
+      return std::make_shared<GraphTopology>(
+          dragonfly_spec(config.topo_df_routers, config.topo_df_globals));
+    case TopoKind::RandomIrregular:
+      return std::make_shared<GraphTopology>(random_irregular_spec(
+          static_cast<NodeId>(config.topo_nodes), config.topo_degree,
+          config.topo_seed));
+    case TopoKind::File:
+      return std::make_shared<GraphTopology>(
+          load_topology_file(config.topo_file));
+  }
+  throw std::invalid_argument("unknown topology kind");
+}
+
+}  // namespace flexnet

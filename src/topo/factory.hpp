@@ -1,0 +1,17 @@
+// Builds the topology a SimConfig describes. Returned shared so Network,
+// snapshot restore and tools can hold the same immutable instance.
+#pragma once
+
+#include <memory>
+
+#include "sim/config.hpp"
+#include "topo/topology.hpp"
+
+namespace flexnet {
+
+/// Dispatches on config.topo_kind; throws what the underlying constructor,
+/// generator or file parser throws (always fail-loud).
+[[nodiscard]] std::shared_ptr<const Topology> make_topology(
+    const SimConfig& config);
+
+}  // namespace flexnet

@@ -1,0 +1,141 @@
+#include "topo/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace flexnet {
+
+namespace {
+void add_bilink(std::vector<TopoLink>& links, NodeId a, NodeId b) {
+  links.push_back({a, b, 1});
+  links.push_back({b, a, 1});
+}
+}  // namespace
+
+GraphTopology::Spec full_mesh_spec(NodeId nodes) {
+  if (nodes < 2) throw std::invalid_argument("full mesh needs >= 2 nodes");
+  if (nodes > kMaxGraphNodes) {
+    throw std::invalid_argument("full mesh node count exceeds the graph cap");
+  }
+  GraphTopology::Spec spec;
+  spec.kind = TopoKind::FullMesh;
+  spec.name = "full-mesh-" + std::to_string(nodes);
+  spec.nodes = nodes;
+  spec.links.reserve(static_cast<std::size_t>(nodes) *
+                     static_cast<std::size_t>(nodes - 1));
+  for (NodeId src = 0; src < nodes; ++src) {
+    for (NodeId dst = 0; dst < nodes; ++dst) {
+      if (src != dst) spec.links.push_back({src, dst, 1});
+    }
+  }
+  return spec;
+}
+
+GraphTopology::Spec dragonfly_spec(int routers_per_group,
+                                   int global_links_per_router) {
+  const int a = routers_per_group;
+  const int h = global_links_per_router;
+  if (a < 2) throw std::invalid_argument("dragonfly needs >= 2 routers per group");
+  if (h < 1) throw std::invalid_argument("dragonfly needs >= 1 global link per router");
+  const int g = a * h + 1;  // balanced dragonfly: one global link per group pair
+  const NodeId nodes = static_cast<NodeId>(a) * static_cast<NodeId>(g);
+  if (nodes > kMaxGraphNodes) {
+    throw std::invalid_argument("dragonfly node count exceeds the graph cap");
+  }
+
+  GraphTopology::Spec spec;
+  spec.kind = TopoKind::Dragonfly;
+  spec.name = "dragonfly-a" + std::to_string(a) + "h" + std::to_string(h) +
+              "-" + std::to_string(nodes);
+  spec.nodes = nodes;
+
+  const auto node_of = [a](int group, int router) {
+    return static_cast<NodeId>(group * a + router);
+  };
+
+  for (int group = 0; group < g; ++group) {
+    // Intra-group full mesh (directed both ways via ordered pairs).
+    for (int r1 = 0; r1 < a; ++r1) {
+      for (int r2 = 0; r2 < a; ++r2) {
+        if (r1 != r2) spec.links.push_back({node_of(group, r1), node_of(group, r2), 1});
+      }
+    }
+    // Global links, consecutive arrangement: router q/h's port q%h (global
+    // index q in [0, g-1)) reaches group (group + q + 1) mod g; the peer's
+    // reciprocal index is g-2-q, so each direction is emitted exactly once.
+    for (int q = 0; q < g - 1; ++q) {
+      const int target_group = (group + q + 1) % g;
+      const int peer_q = g - 2 - q;
+      spec.links.push_back(
+          {node_of(group, q / h), node_of(target_group, peer_q / h), 1});
+    }
+  }
+  return spec;
+}
+
+GraphTopology::Spec random_irregular_spec(NodeId nodes, int degree,
+                                          std::uint64_t seed) {
+  if (nodes < 2) throw std::invalid_argument("irregular graph needs >= 2 nodes");
+  if (nodes > kMaxGraphNodes) {
+    throw std::invalid_argument("irregular node count exceeds the graph cap");
+  }
+  if (degree < 1 || degree >= nodes) {
+    throw std::invalid_argument("irregular degree must be in [1, nodes)");
+  }
+
+  GraphTopology::Spec spec;
+  spec.kind = TopoKind::RandomIrregular;
+  spec.name = "irregular-" + std::to_string(nodes) + "-d" +
+              std::to_string(degree) + "-s" + std::to_string(seed);
+  spec.nodes = nodes;
+
+  Pcg32 rng(splitmix64(seed), 0x746f706f /* "topo" */);
+
+  // Random spanning tree over a random node permutation: each node links to
+  // a uniformly chosen earlier node, guaranteeing (undirected) connectivity.
+  std::vector<NodeId> perm(static_cast<std::size_t>(nodes));
+  for (NodeId i = 0; i < nodes; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.bounded(static_cast<std::uint32_t>(i))]);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;  // undirected, a < b
+  const auto has_edge = [&edges](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return std::find(edges.begin(), edges.end(), std::make_pair(a, b)) !=
+           edges.end();
+  };
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    const NodeId a = perm[i];
+    const NodeId b = perm[rng.bounded(static_cast<std::uint32_t>(i))];
+    edges.emplace_back(std::min(a, b), std::max(a, b));
+  }
+
+  // Extra edges until the average undirected degree reaches `degree`.
+  const std::size_t target_edges = std::max<std::size_t>(
+      edges.size(), (static_cast<std::size_t>(nodes) *
+                     static_cast<std::size_t>(degree)) /
+                        2);
+  int stale_attempts = 0;
+  while (edges.size() < target_edges && stale_attempts < 10000) {
+    const auto a = static_cast<NodeId>(
+        rng.bounded(static_cast<std::uint32_t>(nodes)));
+    const auto b = static_cast<NodeId>(
+        rng.bounded(static_cast<std::uint32_t>(nodes)));
+    if (a == b || has_edge(a, b)) {
+      ++stale_attempts;
+      continue;
+    }
+    stale_attempts = 0;
+    edges.emplace_back(std::min(a, b), std::max(a, b));
+  }
+
+  for (const auto& [a, b] : edges) add_bilink(spec.links, a, b);
+  return spec;
+}
+
+}  // namespace flexnet

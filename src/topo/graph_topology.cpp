@@ -1,0 +1,107 @@
+#include "topo/graph_topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace flexnet {
+
+namespace {
+[[noreturn]] void bad_spec(const std::string& name, const std::string& what) {
+  throw std::invalid_argument("topology '" + name + "': " + what);
+}
+}  // namespace
+
+GraphTopology::GraphTopology(Spec spec)
+    : Topology(spec.kind, std::move(spec.name)) {
+  if (spec.nodes < 2) bad_spec(name_, "needs at least 2 nodes");
+  if (spec.nodes > kMaxGraphNodes) {
+    bad_spec(name_, "node count " + std::to_string(spec.nodes) +
+                        " exceeds the explicit-graph cap of " +
+                        std::to_string(kMaxGraphNodes));
+  }
+  if (spec.links.empty()) bad_spec(name_, "has no links");
+  num_nodes_ = spec.nodes;
+
+  for (const TopoLink& link : spec.links) {
+    if (link.src < 0 || link.src >= num_nodes_) {
+      bad_spec(name_, "link source " + std::to_string(link.src) +
+                          " is not a declared node");
+    }
+    if (link.dst < 0 || link.dst >= num_nodes_) {
+      bad_spec(name_, "link destination " + std::to_string(link.dst) +
+                          " is not a declared node");
+    }
+    if (link.src == link.dst) {
+      bad_spec(name_, "self-loop at node " + std::to_string(link.src));
+    }
+    if (link.width < 1) {
+      bad_spec(name_, "link " + std::to_string(link.src) + "->" +
+                          std::to_string(link.dst) + " has width < 1");
+    }
+  }
+
+  // Canonical order: (src, dst) ascending; duplicates become adjacent.
+  std::sort(spec.links.begin(), spec.links.end(),
+            [](const TopoLink& a, const TopoLink& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  for (std::size_t i = 1; i < spec.links.size(); ++i) {
+    if (spec.links[i].src == spec.links[i - 1].src &&
+        spec.links[i].dst == spec.links[i - 1].dst) {
+      bad_spec(name_, "duplicate link " + std::to_string(spec.links[i].src) +
+                          "->" + std::to_string(spec.links[i].dst));
+    }
+  }
+
+  channels_.reserve(spec.links.size());
+  for (const TopoLink& link : spec.links) {
+    ChannelDesc desc;
+    desc.id = static_cast<ChannelId>(channels_.size());
+    desc.src = link.src;
+    desc.dst = link.dst;
+    desc.width = link.width;
+    channels_.push_back(desc);
+  }
+  finalize();
+  build_distance_matrix();
+}
+
+void GraphTopology::build_distance_matrix() {
+  const auto nodes = static_cast<std::size_t>(num_nodes_);
+  constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
+  dist_.assign(nodes * nodes, kUnreached);
+
+  std::vector<NodeId> queue;
+  queue.reserve(nodes);
+  for (NodeId src = 0; src < num_nodes_; ++src) {
+    std::uint16_t* row = dist_.data() + static_cast<std::size_t>(src) * nodes;
+    row[static_cast<std::size_t>(src)] = 0;
+    queue.clear();
+    queue.push_back(src);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId at = queue[head];
+      const std::uint16_t next =
+          static_cast<std::uint16_t>(row[static_cast<std::size_t>(at)] + 1);
+      for (const ChannelId ch : out_channels(at)) {
+        const NodeId to = channel(ch).dst;
+        if (row[static_cast<std::size_t>(to)] != kUnreached) continue;
+        row[static_cast<std::size_t>(to)] = next;
+        queue.push_back(to);
+      }
+    }
+    if (queue.size() != nodes) {
+      bad_spec(name_, "graph is not strongly connected (node " +
+                          std::to_string(src) + " cannot reach every node)");
+    }
+  }
+
+  // Exact mean over ordered pairs with src != dst.
+  std::uint64_t total = 0;
+  for (const std::uint16_t d : dist_) total += d;
+  avg_distance_ = static_cast<double>(total) /
+                  (static_cast<double>(nodes) * (static_cast<double>(nodes) - 1.0));
+}
+
+}  // namespace flexnet

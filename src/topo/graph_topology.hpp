@@ -1,0 +1,53 @@
+// Explicit-link topology: any strongly connected directed graph, described
+// by a node count plus a link list. Covers the built-in generators (full
+// mesh, dragonfly, random irregular — src/topo/generators.hpp) and topology
+// files (src/topo/topo_file.hpp).
+//
+// Canonical channel ordering: links sorted by (src, dst); construction
+// rejects duplicates, self-loops, dangling endpoints and disconnected
+// graphs, so every downstream layer can assume a well-formed network.
+// Distances come from an all-pairs BFS matrix computed once at construction
+// (flat N*N array — O(1) lookups on the routing path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace flexnet {
+
+/// Hard cap on explicit-graph nodes: keeps the N*N distance matrix (and the
+/// routing tables built on top of it) within tens of megabytes.
+inline constexpr NodeId kMaxGraphNodes = 4096;
+
+class GraphTopology final : public Topology {
+ public:
+  /// Construction recipe. `links` are directed; generators emit both
+  /// directions explicitly for bidirectional connectivity.
+  struct Spec {
+    TopoKind kind = TopoKind::File;
+    std::string name;
+    NodeId nodes = 0;
+    std::vector<TopoLink> links;
+  };
+
+  /// Validates and canonicalizes the spec; throws std::invalid_argument
+  /// naming the first defect (out-of-range endpoint, self-loop, duplicate
+  /// link, disconnected graph, node/link caps).
+  explicit GraphTopology(Spec spec);
+
+  [[nodiscard]] int min_distance(NodeId from, NodeId to) const noexcept override {
+    return dist_[static_cast<std::size_t>(from) *
+                     static_cast<std::size_t>(num_nodes_) +
+                 static_cast<std::size_t>(to)];
+  }
+
+ private:
+  void build_distance_matrix();
+
+  std::vector<std::uint16_t> dist_;  // flat [from][to] minimal hop counts
+};
+
+}  // namespace flexnet

@@ -1,0 +1,194 @@
+#include "topo/topo_file.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace flexnet {
+
+namespace {
+
+[[noreturn]] void parse_error(const std::string& origin, int line,
+                              const std::string& what) {
+  throw std::invalid_argument(origin + ":" + std::to_string(line) + ": " + what);
+}
+
+/// Strict non-negative integer parse: the whole token must be digits.
+bool parse_id(const std::string& token, long long& out) {
+  if (token.empty() || token.size() > 10) return false;
+  out = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + (c - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+GraphTopology::Spec parse_topology_text(std::istream& in,
+                                        const std::string& origin) {
+  GraphTopology::Spec spec;
+  spec.kind = TopoKind::File;
+  spec.name = "file:" + origin;
+  spec.nodes = -1;
+
+  std::string line;
+  int line_no = 0;
+  bool saw_magic = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Strip comments, then tokenize.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) {
+      if (line_no == 1) parse_error(origin, 1, "missing flexnet-topo-v1 magic");
+      continue;  // blank or comment-only line
+    }
+
+    if (!saw_magic) {
+      if (keyword != kTopoFileMagic) {
+        parse_error(origin, line_no,
+                    "bad magic '" + keyword + "' (expected flexnet-topo-v1)");
+      }
+      std::string extra;
+      if (tokens >> extra) {
+        parse_error(origin, line_no, "trailing token after magic: " + extra);
+      }
+      saw_magic = true;
+      continue;
+    }
+
+    if (keyword == "nodes") {
+      if (spec.nodes >= 0) parse_error(origin, line_no, "duplicate nodes directive");
+      std::string count;
+      long long value = 0;
+      if (!(tokens >> count) || !parse_id(count, value)) {
+        parse_error(origin, line_no, "nodes needs one non-negative integer");
+      }
+      if (value < 2 || value > kMaxGraphNodes) {
+        parse_error(origin, line_no,
+                    "node count must be in [2, " +
+                        std::to_string(kMaxGraphNodes) + "]");
+      }
+      std::string extra;
+      if (tokens >> extra) {
+        parse_error(origin, line_no, "trailing token after nodes: " + extra);
+      }
+      spec.nodes = static_cast<NodeId>(value);
+      continue;
+    }
+
+    if (keyword == "link" || keyword == "bilink") {
+      if (spec.nodes < 0) {
+        parse_error(origin, line_no, "link before the nodes directive");
+      }
+      std::string src_tok, dst_tok;
+      long long src = 0, dst = 0;
+      if (!(tokens >> src_tok >> dst_tok) || !parse_id(src_tok, src) ||
+          !parse_id(dst_tok, dst)) {
+        parse_error(origin, line_no, keyword + " needs two node ids");
+      }
+      if (src >= spec.nodes || dst >= spec.nodes) {
+        parse_error(origin, line_no,
+                    "dangling node id " + std::to_string(std::max(src, dst)) +
+                        " (only " + std::to_string(spec.nodes) +
+                        " nodes declared)");
+      }
+      if (src == dst) {
+        parse_error(origin, line_no, "self-loop at node " + std::to_string(src));
+      }
+      int width = 1;
+      std::string option;
+      while (tokens >> option) {
+        long long value = 0;
+        if (option.rfind("width=", 0) == 0 &&
+            parse_id(option.substr(6), value) && value >= 1 && value <= 64) {
+          width = static_cast<int>(value);
+        } else {
+          parse_error(origin, line_no, "bad link option: " + option);
+        }
+      }
+      const auto a = static_cast<NodeId>(src);
+      const auto b = static_cast<NodeId>(dst);
+      spec.links.push_back({a, b, width});
+      if (keyword == "bilink") spec.links.push_back({b, a, width});
+      continue;
+    }
+
+    parse_error(origin, line_no, "unknown directive: " + keyword);
+  }
+
+  if (!saw_magic) parse_error(origin, 1, "empty file (missing magic)");
+  if (spec.nodes < 0) parse_error(origin, line_no, "missing nodes directive");
+  if (spec.links.empty()) parse_error(origin, line_no, "no links declared");
+
+  // Duplicate detection happens here (not just in GraphTopology) so the
+  // error carries the file origin; bilink over an existing link is the
+  // classic authoring mistake.
+  std::vector<TopoLink> sorted = spec.links;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TopoLink& x, const TopoLink& y) {
+              return x.src != y.src ? x.src < y.src : x.dst < y.dst;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].src == sorted[i - 1].src && sorted[i].dst == sorted[i - 1].dst) {
+      parse_error(origin, line_no,
+                  "duplicate link " + std::to_string(sorted[i].src) + "->" +
+                      std::to_string(sorted[i].dst));
+    }
+  }
+  return spec;
+}
+
+GraphTopology::Spec load_topology_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open topology file: " + path);
+  return parse_topology_text(in, path);
+}
+
+std::string write_topology_text(const GraphTopology::Spec& spec) {
+  std::vector<TopoLink> links = spec.links;
+  std::sort(links.begin(), links.end(),
+            [](const TopoLink& a, const TopoLink& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+
+  std::string out;
+  out += kTopoFileMagic;
+  out += "\n# ";
+  out += spec.name;
+  out += "\nnodes " + std::to_string(spec.nodes) + "\n";
+
+  const auto find_reverse = [&links](const TopoLink& link) {
+    return std::find_if(links.begin(), links.end(), [&link](const TopoLink& r) {
+      return r.src == link.dst && r.dst == link.src && r.width == link.width;
+    });
+  };
+  std::vector<bool> emitted(links.size(), false);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (emitted[i]) continue;
+    const TopoLink& link = links[i];
+    std::string keyword = "link";
+    if (link.src < link.dst) {
+      const auto rev = find_reverse(link);
+      if (rev != links.end() &&
+          !emitted[static_cast<std::size_t>(rev - links.begin())]) {
+        emitted[static_cast<std::size_t>(rev - links.begin())] = true;
+        keyword = "bilink";
+      }
+    }
+    out += keyword + " " + std::to_string(link.src) + " " +
+           std::to_string(link.dst);
+    if (link.width != 1) out += " width=" + std::to_string(link.width);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace flexnet

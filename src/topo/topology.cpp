@@ -1,0 +1,88 @@
+#include "topo/topology.hpp"
+
+#include <stdexcept>
+
+#include "topo/torus.hpp"
+
+namespace flexnet {
+
+std::string_view to_string(TopoKind kind) noexcept {
+  switch (kind) {
+    case TopoKind::Torus: return "Torus";
+    case TopoKind::FullMesh: return "FullMesh";
+    case TopoKind::Dragonfly: return "Dragonfly";
+    case TopoKind::RandomIrregular: return "RandomIrregular";
+    case TopoKind::File: return "File";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= kFnvPrime;
+  }
+}
+}  // namespace
+
+void Topology::finalize() {
+  if (num_nodes_ < 2) {
+    throw std::invalid_argument("topology needs at least 2 nodes");
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const ChannelDesc& ch = channels_[i];
+    if (ch.id != static_cast<ChannelId>(i)) {
+      throw std::logic_error("topology channel ids must be dense and ordered");
+    }
+    if (ch.src < 0 || ch.src >= num_nodes_ || ch.dst < 0 ||
+        ch.dst >= num_nodes_) {
+      throw std::invalid_argument("topology channel endpoint out of range");
+    }
+    if (ch.src == ch.dst) {
+      throw std::invalid_argument("topology channel is a self-loop");
+    }
+    if (ch.width < 1) {
+      throw std::invalid_argument("topology channel width must be >= 1");
+    }
+  }
+
+  // CSR adjacency: counting sort by source keeps per-node lists id-ascending.
+  const auto nodes = static_cast<std::size_t>(num_nodes_);
+  out_offsets_.assign(nodes + 1, 0);
+  for (const ChannelDesc& ch : channels_) {
+    ++out_offsets_[static_cast<std::size_t>(ch.src) + 1];
+  }
+  for (std::size_t n = 0; n < nodes; ++n) {
+    out_offsets_[n + 1] += out_offsets_[n];
+  }
+  out_list_.assign(channels_.size(), kInvalidChannel);
+  std::vector<std::size_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  for (const ChannelDesc& ch : channels_) {
+    out_list_[cursor[static_cast<std::size_t>(ch.src)]++] = ch.id;
+  }
+
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(num_nodes_));
+  for (const ChannelDesc& ch : channels_) {
+    fnv_mix(h, static_cast<std::uint64_t>(ch.src));
+    fnv_mix(h, static_cast<std::uint64_t>(ch.dst));
+    fnv_mix(h, static_cast<std::uint64_t>(ch.width));
+  }
+  content_hash_ = h;
+}
+
+const KAryNCube& torus_topology(const Topology& topo) {
+  const KAryNCube* torus = topo.as_torus();
+  if (torus == nullptr) {
+    throw std::logic_error("topology '" + topo.name() +
+                           "' is not a k-ary n-cube; torus-only code path "
+                           "reached on an irregular topology");
+  }
+  return *torus;
+}
+
+}  // namespace flexnet

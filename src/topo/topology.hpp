@@ -1,0 +1,144 @@
+// Topology as data: the abstract network-shape interface every layer above
+// src/topo/ programs against.
+//
+// A Topology is a finite set of nodes plus a canonically ordered list of
+// directed channels (links). "Canonical" means channel ids are dense
+// [0, channels().size()) and their order is a pure function of the topology's
+// content, so two constructions of the same topology agree on every id — the
+// property Network relies on when it mirrors the channel list into physical
+// channels and the snapshot layer relies on for byte-identical restores.
+//
+// KAryNCube (src/topo/torus.hpp) is the grid-shaped implementation with
+// coordinates; GraphTopology (src/topo/graph_topology.hpp) covers every
+// explicit-link topology (full mesh, dragonfly, random irregular, file
+// defined). Code that genuinely needs torus structure — the five
+// torus routing relations, tornado traffic, the 2-D heatmap — must go
+// through torus_topology()/as_torus() instead of downcasting ad hoc.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace flexnet {
+
+class KAryNCube;
+
+/// Topology families selectable from the CLI and recorded in snapshots and
+/// telemetry manifests. Values are part of the snapshot format; append only.
+enum class TopoKind : std::uint8_t {
+  Torus = 0,            ///< k-ary n-cube (torus or mesh), KAryNCube.
+  FullMesh = 1,         ///< Every ordered pair directly linked.
+  Dragonfly = 2,        ///< Groups of routers, full intra-group + global links.
+  RandomIrregular = 3,  ///< Random connected graph (spanning tree + extras).
+  File = 4,             ///< Loaded from a flexnet-topo-v1 file.
+};
+
+[[nodiscard]] std::string_view to_string(TopoKind kind) noexcept;
+
+/// A directed physical link between two routers.
+struct ChannelDesc {
+  ChannelId id = kInvalidChannel;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int dim = -1;  ///< Dimension the link travels along (tori only; -1 otherwise).
+  int dir = 0;   ///< +1 or -1 (tori only; 0 otherwise).
+  bool is_wrap = false;  ///< Link from coordinate k-1 to 0 (or 0 to k-1).
+  int width = 1;  ///< Link width; multiplies the VC count on this channel.
+};
+
+/// One undirected-or-directed link record as it appears in generator specs,
+/// topology files, and the snapshot topology section.
+struct TopoLink {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int width = 1;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] TopoKind kind() const noexcept { return kind_; }
+  /// Human-readable identity, e.g. "torus-16x2" or "file:irregular-16.topo".
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  /// Channels in canonical order; ids are dense and equal to vector indices.
+  [[nodiscard]] const std::vector<ChannelDesc>& channels() const noexcept {
+    return channels_;
+  }
+  [[nodiscard]] const ChannelDesc& channel(ChannelId id) const {
+    return channels_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Outgoing channel ids at `node`, ascending (flat CSR adjacency — the
+  /// "interface indirection paid for via flat arrays" of the design note).
+  [[nodiscard]] std::span<const ChannelId> out_channels(NodeId node) const {
+    const auto n = static_cast<std::size_t>(node);
+    return {out_list_.data() + out_offsets_[n],
+            out_offsets_[n + 1] - out_offsets_[n]};
+  }
+
+  /// Minimal hop distance. Every topology here is strongly connected, so the
+  /// result is always finite.
+  [[nodiscard]] virtual int min_distance(NodeId from, NodeId to) const = 0;
+
+  /// Exact mean minimal distance over all ordered pairs with src != dst;
+  /// used for load normalization (paper Section 3).
+  [[nodiscard]] double average_distance() const noexcept { return avg_distance_; }
+
+  /// Whether taking channel `ch` moves a message strictly closer to `dst`
+  /// (the misroute-accounting predicate). The default compares min_distance
+  /// at both endpoints; KAryNCube overrides with the per-dimension check to
+  /// keep the torus hot path and its historical semantics bit-identical.
+  [[nodiscard]] virtual bool hop_is_minimal(const ChannelDesc& ch,
+                                            NodeId dst) const {
+    return min_distance(ch.dst, dst) < min_distance(ch.src, dst);
+  }
+
+  /// Non-null iff this topology is a k-ary n-cube. The single sanctioned
+  /// downcast point; prefer torus_topology() which fails loud.
+  [[nodiscard]] virtual const KAryNCube* as_torus() const noexcept {
+    return nullptr;
+  }
+
+  /// FNV-1a over the node count and the canonical channel list (src, dst,
+  /// width). Two topologies hash equal iff a Network built on one is
+  /// structurally interchangeable with the other — recorded in telemetry
+  /// manifests and validated on snapshot restore and table load.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept {
+    return content_hash_;
+  }
+
+ protected:
+  Topology(TopoKind kind, std::string name)
+      : kind_(kind), name_(std::move(name)) {}
+
+  /// Derived constructors call this once num_nodes_ and channels_ are final:
+  /// validates dense canonical ids, then builds the CSR adjacency and the
+  /// content hash.
+  void finalize();
+
+  TopoKind kind_;
+  std::string name_;
+  NodeId num_nodes_ = 0;
+  std::vector<ChannelDesc> channels_;
+  double avg_distance_ = 0.0;
+
+ private:
+  std::vector<std::size_t> out_offsets_;  // per-node CSR offsets into out_list_
+  std::vector<ChannelId> out_list_;
+  std::uint64_t content_hash_ = 0;
+};
+
+/// The assert-and-cast helper for code that genuinely needs torus structure
+/// (coordinates, dimensions, wrap links). Throws std::logic_error naming the
+/// offending topology when it is not a k-ary n-cube.
+[[nodiscard]] const KAryNCube& torus_topology(const Topology& topo);
+
+}  // namespace flexnet

@@ -7,12 +7,24 @@
 
 namespace flexnet {
 
+namespace {
+std::string torus_name(const TopologyConfig& c) {
+  std::string name = c.wrap ? "torus-" : "mesh-";
+  name += std::to_string(c.k) + "x" + std::to_string(c.n);
+  if (!c.bidirectional) name += "-uni";
+  return name;
+}
+}  // namespace
+
 KAryNCube::KAryNCube(const TopologyConfig& config)
-    : config_(config), coords_(config.k, config.n) {
+    : Topology(TopoKind::Torus, torus_name(config)),
+      config_(config),
+      coords_(config.k, config.n) {
   if (!config_.wrap && !config_.bidirectional) {
     throw std::invalid_argument("a unidirectional mesh is not connected");
   }
   const NodeId nodes = coords_.num_nodes();
+  num_nodes_ = nodes;
   out_table_.assign(static_cast<std::size_t>(nodes) *
                         static_cast<std::size_t>(config_.n) * 2,
                     kInvalidChannel);
@@ -38,6 +50,15 @@ KAryNCube::KAryNCube(const TopologyConfig& config)
     }
   }
   avg_distance_ = compute_average_distance();
+  finalize();
+}
+
+bool KAryNCube::hop_is_minimal(const ChannelDesc& ch, NodeId dst) const {
+  const DimRoute minimal = minimal_dirs(ch.src, dst, ch.dim);
+  for (int i = 0; i < minimal.count; ++i) {
+    if (minimal.dirs[static_cast<std::size_t>(i)] == ch.dir) return true;
+  }
+  return false;
 }
 
 std::size_t KAryNCube::port_index(NodeId node, int dim, int dir) const noexcept {

@@ -8,6 +8,7 @@
 
 #include "sim/types.hpp"
 #include "topo/coordinates.hpp"
+#include "topo/topology.hpp"
 
 namespace flexnet {
 
@@ -18,16 +19,6 @@ struct TopologyConfig {
   bool wrap = true;           ///< Torus (true) or mesh (false).
 };
 
-/// A directed physical link between two routers.
-struct ChannelDesc {
-  ChannelId id = kInvalidChannel;
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  int dim = -1;  ///< Dimension the link travels along.
-  int dir = 0;   ///< +1 or -1.
-  bool is_wrap = false;  ///< Link from coordinate k-1 to 0 (or 0 to k-1).
-};
-
 /// Minimal directions within one dimension: zero (aligned), one, or two
 /// (bidirectional torus with the destination exactly halfway around).
 struct DimRoute {
@@ -35,7 +26,7 @@ struct DimRoute {
   int count = 0;
 };
 
-class KAryNCube {
+class KAryNCube final : public Topology {
  public:
   explicit KAryNCube(const TopologyConfig& config);
 
@@ -44,15 +35,7 @@ class KAryNCube {
   [[nodiscard]] int dimensions() const noexcept { return config_.n; }
   [[nodiscard]] bool bidirectional() const noexcept { return config_.bidirectional; }
   [[nodiscard]] bool wrap() const noexcept { return config_.wrap; }
-  [[nodiscard]] NodeId num_nodes() const noexcept { return coords_.num_nodes(); }
   [[nodiscard]] const Coordinates& coordinates() const noexcept { return coords_; }
-
-  [[nodiscard]] const std::vector<ChannelDesc>& channels() const noexcept {
-    return channels_;
-  }
-  [[nodiscard]] const ChannelDesc& channel(ChannelId id) const {
-    return channels_.at(static_cast<std::size_t>(id));
-  }
 
   /// Outgoing channel at `node` along (dim, dir); kInvalidChannel if absent
   /// (unidirectional -1 direction, or mesh boundary).
@@ -62,16 +45,23 @@ class KAryNCube {
   [[nodiscard]] int dim_distance(NodeId from, NodeId to, int dim) const noexcept;
 
   /// Total minimal hop distance.
-  [[nodiscard]] int min_distance(NodeId from, NodeId to) const noexcept;
+  [[nodiscard]] int min_distance(NodeId from, NodeId to) const noexcept override;
 
   /// Directions along `dim` that reduce distance (the routing relation's raw
   /// material). On a bidirectional torus with the destination exactly k/2
   /// away both directions are minimal.
   [[nodiscard]] DimRoute minimal_dirs(NodeId from, NodeId to, int dim) const noexcept;
 
-  /// Exact mean minimal distance over all ordered pairs with src != dst;
-  /// used for load normalization (paper Section 3).
-  [[nodiscard]] double average_distance() const noexcept { return avg_distance_; }
+  /// The per-dimension check: a hop is minimal iff its direction is one of
+  /// minimal_dirs for its dimension (historical misroute semantics — on a
+  /// bidirectional torus with the destination halfway around, both
+  /// directions count as minimal).
+  [[nodiscard]] bool hop_is_minimal(const ChannelDesc& ch,
+                                    NodeId dst) const override;
+
+  [[nodiscard]] const KAryNCube* as_torus() const noexcept override {
+    return this;
+  }
 
  private:
   [[nodiscard]] std::size_t port_index(NodeId node, int dim, int dir) const noexcept;
@@ -79,9 +69,7 @@ class KAryNCube {
 
   TopologyConfig config_;
   Coordinates coords_;
-  std::vector<ChannelDesc> channels_;
   std::vector<ChannelId> out_table_;  // node-major [node][dim][dir]
-  double avg_distance_ = 0.0;
 };
 
 }  // namespace flexnet

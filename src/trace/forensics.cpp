@@ -6,6 +6,7 @@
 
 #include "core/dot.hpp"
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 namespace flexnet {
 
@@ -75,11 +76,13 @@ namespace {
 
 std::string node_label(const Network* net, NodeId node) {
   std::ostringstream out;
-  if (net == nullptr || node == kInvalidNode) {
-    out << 'n' << node;
+  const KAryNCube* torus =
+      net == nullptr ? nullptr : net->topology().as_torus();
+  if (torus == nullptr || node == kInvalidNode) {
+    out << 'n' << node;  // non-grid topologies have no coordinates
     return out.str();
   }
-  const Coordinates& coords = net->topology().coordinates();
+  const Coordinates& coords = torus->coordinates();
   out << '(';
   for (int d = 0; d < coords.dimensions(); ++d) {
     if (d > 0) out << ',';

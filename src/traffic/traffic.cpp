@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "topo/torus.hpp"
+
 namespace flexnet {
 
 std::string_view to_string(TrafficKind kind) noexcept {
@@ -146,7 +148,8 @@ class HotSpotTraffic final : public TrafficPattern {
 
 class TornadoTraffic final : public TrafficPattern {
  public:
-  explicit TornadoTraffic(const KAryNCube& topo) : topo_(&topo) {}
+  explicit TornadoTraffic(const Topology& topo)
+      : topo_(&torus_topology(topo)) {}
   [[nodiscard]] std::string_view name() const noexcept override { return "Tornado"; }
 
   [[nodiscard]] NodeId destination(NodeId src, Pcg32& /*rng*/) const override {
@@ -165,26 +168,37 @@ class TornadoTraffic final : public TrafficPattern {
 
 class NearestNeighborTraffic final : public TrafficPattern {
  public:
-  explicit NearestNeighborTraffic(const KAryNCube& topo) : topo_(&topo) {}
+  explicit NearestNeighborTraffic(const Topology& topo)
+      : topo_(&topo), torus_(topo.as_torus()) {}
   [[nodiscard]] std::string_view name() const noexcept override {
     return "NearestNeighbor";
   }
   [[nodiscard]] bool deterministic() const noexcept override { return false; }
 
   [[nodiscard]] NodeId destination(NodeId src, Pcg32& rng) const override {
-    // A random adjacent node (uniform over the outgoing links).
-    for (int attempts = 0; attempts < 8; ++attempts) {
-      const int dim = static_cast<int>(
-          rng.bounded(static_cast<std::uint32_t>(topo_->dimensions())));
-      const int dir = topo_->bidirectional() && rng.chance(0.5) ? -1 : +1;
-      const ChannelId ch = topo_->out_channel(src, dim, dir);
-      if (ch != kInvalidChannel) return topo_->channel(ch).dst;
+    if (torus_ != nullptr) {
+      // Historical torus draw sequence, kept bit-identical: a random
+      // (dimension, direction) pair, retried past mesh boundaries.
+      for (int attempts = 0; attempts < 8; ++attempts) {
+        const int dim = static_cast<int>(
+            rng.bounded(static_cast<std::uint32_t>(torus_->dimensions())));
+        const int dir = torus_->bidirectional() && rng.chance(0.5) ? -1 : +1;
+        const ChannelId ch = torus_->out_channel(src, dim, dir);
+        if (ch != kInvalidChannel) return torus_->channel(ch).dst;
+      }
+      return kInvalidNode;  // boundary corner of a tiny mesh
     }
-    return kInvalidNode;  // boundary corner of a tiny mesh
+    // Any topology: uniform over the outgoing links.
+    const std::span<const ChannelId> outs = topo_->out_channels(src);
+    if (outs.empty()) return kInvalidNode;
+    const ChannelId ch =
+        outs[rng.bounded(static_cast<std::uint32_t>(outs.size()))];
+    return topo_->channel(ch).dst;
   }
 
  private:
-  const KAryNCube* topo_;
+  const Topology* topo_;
+  const KAryNCube* torus_;
 };
 
 /// Probabilistic mixture of two patterns.
@@ -214,7 +228,7 @@ class HybridTraffic final : public TrafficPattern {
 
 /// Dispatch on a single kind (no hybrid wrapping).
 std::unique_ptr<TrafficPattern> make_single(TrafficKind kind,
-                                            const KAryNCube& topo,
+                                            const Topology& topo,
                                             const TrafficConfig& config) {
   switch (kind) {
     case TrafficKind::Uniform:
@@ -239,7 +253,7 @@ std::unique_ptr<TrafficPattern> make_single(TrafficKind kind,
 }  // namespace
 
 std::unique_ptr<TrafficPattern> make_traffic(TrafficKind kind,
-                                             const KAryNCube& topo,
+                                             const Topology& topo,
                                              const TrafficConfig& config) {
   auto primary = make_single(kind, topo, config);
   if (config.hybrid_fraction <= 0.0) return primary;
@@ -252,7 +266,7 @@ std::unique_ptr<TrafficPattern> make_traffic(TrafficKind kind,
                                          config.hybrid_fraction);
 }
 
-double average_pattern_distance(const KAryNCube& topo,
+double average_pattern_distance(const Topology& topo,
                                 const TrafficPattern& pattern,
                                 std::uint64_t seed, int samples) {
   Pcg32 rng(splitmix64(seed), 0x74726166 /* "traf" */);

@@ -10,7 +10,7 @@
 #include <memory>
 #include <string_view>
 
-#include "topo/torus.hpp"
+#include "topo/topology.hpp"
 #include "util/rng.hpp"
 
 namespace flexnet {
@@ -56,14 +56,17 @@ class TrafficPattern {
   [[nodiscard]] virtual bool deterministic() const noexcept { return true; }
 };
 
+/// Builds the pattern over any topology. Tornado is torus-only (it needs
+/// coordinates) and throws on other topologies; the rest only need the node
+/// count or the adjacency.
 [[nodiscard]] std::unique_ptr<TrafficPattern> make_traffic(
-    TrafficKind kind, const KAryNCube& topo, const TrafficConfig& config);
+    TrafficKind kind, const Topology& topo, const TrafficConfig& config);
 
 /// Mean minimal src->dst distance under the pattern: exact for deterministic
 /// permutations, Monte Carlo (`samples` draws) otherwise. Used to normalize
 /// load by "total link bandwidth and average internode distance" (paper
 /// Section 3).
-[[nodiscard]] double average_pattern_distance(const KAryNCube& topo,
+[[nodiscard]] double average_pattern_distance(const Topology& topo,
                                               const TrafficPattern& pattern,
                                               std::uint64_t seed,
                                               int samples = 50000);

@@ -10,6 +10,7 @@
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 namespace flexnet {
 namespace {
@@ -159,7 +160,7 @@ TEST(DetectorLive, TwoIndependentDeadlocksHandledInOnePass) {
   cfg.message_length = 8;
   Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
   const auto node = [&](int x, int y) {
-    return net.topology().coordinates().pack({x, y});
+    return torus_topology(net.topology()).coordinates().pack({x, y});
   };
   for (int i = 0; i < 4; ++i) {
     net.enqueue_message(node(i, 0), node((i + 2) % 4, 0), 8);

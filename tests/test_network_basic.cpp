@@ -1,4 +1,5 @@
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 #include <gtest/gtest.h>
 
@@ -58,7 +59,7 @@ TEST(NetworkBasic, VcTableMatchesChannelConfig) {
 TEST(NetworkBasic, SingleMessageDeliveredWithMinimalHops) {
   const auto net = make_network(small_config());
   const NodeId src = 0;
-  const NodeId dst = net->topology().coordinates().pack({2, 1});
+  const NodeId dst = torus_topology(net->topology()).coordinates().pack({2, 1});
   const MessageId id = net->enqueue_message(src, dst, 8);
   EXPECT_EQ(net->counters().generated, 1);
 
@@ -83,7 +84,7 @@ TEST(NetworkBasic, UncontendedLatencyIsPipelineDepth) {
   // One hop: inject (1 cycle/flit), route, transmit, eject. The tail flit of
   // an L-flit message needs L injection cycles, then the per-hop pipeline.
   const auto net = make_network(small_config());
-  const NodeId dst = net->topology().coordinates().pack({1, 0});
+  const NodeId dst = torus_topology(net->topology()).coordinates().pack({1, 0});
   const MessageId id = net->enqueue_message(0, dst, 8);
   while (net->message(id).status != MessageStatus::Delivered) {
     ASSERT_LT(net->now(), 100);

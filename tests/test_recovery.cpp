@@ -11,6 +11,7 @@
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 #include "telemetry/interval.hpp"
 
 namespace flexnet {
@@ -105,7 +106,7 @@ TEST(MultiKnotRecovery, OnePassResolvesTwoDisjointKnots) {
   cfg.message_length = 8;
   Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
   const auto node = [&](int x, int y) {
-    return net.topology().coordinates().pack({x, y});
+    return torus_topology(net.topology()).coordinates().pack({x, y});
   };
   std::vector<MessageId> ring_a, ring_b;
   for (int i = 0; i < 4; ++i) {

@@ -11,6 +11,7 @@
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 #include "traffic/injection.hpp"
 
 namespace flexnet {
@@ -100,7 +101,7 @@ class DatelineTest : public ::testing::Test {
 TEST_F(DatelineTest, ClassZeroBeforeTheWrapLink) {
   // 1 -> 4: travels +1 without wrapping; class 0 on every hop.
   for (NodeId here = 1; here < 4; ++here) {
-    const ChannelId ch = net_->topology().out_channel(here, 0, +1);
+    const ChannelId ch = torus_topology(net_->topology()).out_channel(here, 0, +1);
     EXPECT_EQ(DatelineDorRouting::dateline_class(*net_, msg(1, 4), ch), 0);
   }
 }
@@ -110,16 +111,16 @@ TEST_F(DatelineTest, ClassSwitchesAfterCrossingTheWrap) {
   // class 1; before it class 0.
   const Message m = msg(6, 2);
   EXPECT_EQ(DatelineDorRouting::dateline_class(
-                *net_, m, net_->topology().out_channel(6, 0, +1)),
+                *net_, m, torus_topology(net_->topology()).out_channel(6, 0, +1)),
             0);
-  const ChannelId wrap = net_->topology().out_channel(7, 0, +1);
+  const ChannelId wrap = torus_topology(net_->topology()).out_channel(7, 0, +1);
   EXPECT_TRUE(net_->phys(wrap).is_wrap);
   EXPECT_EQ(DatelineDorRouting::dateline_class(*net_, m, wrap), 1);
   EXPECT_EQ(DatelineDorRouting::dateline_class(
-                *net_, m, net_->topology().out_channel(0, 0, +1)),
+                *net_, m, torus_topology(net_->topology()).out_channel(0, 0, +1)),
             1);
   EXPECT_EQ(DatelineDorRouting::dateline_class(
-                *net_, m, net_->topology().out_channel(1, 0, +1)),
+                *net_, m, torus_topology(net_->topology()).out_channel(1, 0, +1)),
             1);
 }
 
@@ -127,19 +128,19 @@ TEST_F(DatelineTest, NegativeDirectionSymmetric) {
   // 1 -> 5 the short way is -1: hops 1,0,(wrap),7,6. Class 1 after the wrap.
   const Message m = msg(1, 5);
   EXPECT_EQ(DatelineDorRouting::dateline_class(
-                *net_, m, net_->topology().out_channel(1, 0, -1)),
+                *net_, m, torus_topology(net_->topology()).out_channel(1, 0, -1)),
             0);
-  const ChannelId wrap = net_->topology().out_channel(0, 0, -1);
+  const ChannelId wrap = torus_topology(net_->topology()).out_channel(0, 0, -1);
   EXPECT_TRUE(net_->phys(wrap).is_wrap);
   EXPECT_EQ(DatelineDorRouting::dateline_class(*net_, m, wrap), 1);
   EXPECT_EQ(DatelineDorRouting::dateline_class(
-                *net_, m, net_->topology().out_channel(7, 0, -1)),
+                *net_, m, torus_topology(net_->topology()).out_channel(7, 0, -1)),
             1);
 }
 
 TEST_F(DatelineTest, VcAllowedMatchesParity) {
   const Message m = msg(1, 4);
-  const ChannelId ch = net_->topology().out_channel(1, 0, +1);
+  const ChannelId ch = torus_topology(net_->topology()).out_channel(1, 0, +1);
   DatelineDorRouting dateline;
   EXPECT_TRUE(dateline.vc_allowed(*net_, m, ch, 0, kInvalidVc));
   EXPECT_FALSE(dateline.vc_allowed(*net_, m, ch, 1, kInvalidVc));
@@ -158,11 +159,11 @@ TEST(DuatoTest, AdaptiveVcsFreeEscapeVcsRestricted) {
   EXPECT_TRUE(duato.prefer_high_vc_indices());
 
   Message m;
-  m.src = net.topology().coordinates().pack({0, 0});
-  m.dst = net.topology().coordinates().pack({2, 2});
+  m.src = torus_topology(net.topology()).coordinates().pack({0, 0});
+  m.dst = torus_topology(net.topology()).coordinates().pack({2, 2});
 
-  const ChannelId dim0 = net.topology().out_channel(m.src, 0, +1);
-  const ChannelId dim1 = net.topology().out_channel(m.src, 1, +1);
+  const ChannelId dim0 = torus_topology(net.topology()).out_channel(m.src, 0, +1);
+  const ChannelId dim1 = torus_topology(net.topology()).out_channel(m.src, 1, +1);
   // Adaptive VC (index >= 2) allowed on any minimal channel.
   EXPECT_TRUE(duato.vc_allowed(net, m, dim0, 2, kInvalidVc));
   EXPECT_TRUE(duato.vc_allowed(net, m, dim1, 2, kInvalidVc));

@@ -7,6 +7,7 @@
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 namespace flexnet {
 namespace {
@@ -40,8 +41,8 @@ class DorTest : public ::testing::Test {
 };
 
 TEST_F(DorTest, ResolvesLowestDimensionFirst) {
-  const NodeId src = net_->topology().coordinates().pack({0, 0});
-  const NodeId dst = net_->topology().coordinates().pack({2, 3});
+  const NodeId src = torus_topology(net_->topology()).coordinates().pack({0, 0});
+  const NodeId dst = torus_topology(net_->topology()).coordinates().pack({2, 3});
   std::vector<ChannelId> out;
   dor_.candidate_channels(*net_, msg_to(src, dst), src, injection_vc(src), out);
   ASSERT_EQ(out.size(), 1u);
@@ -50,8 +51,8 @@ TEST_F(DorTest, ResolvesLowestDimensionFirst) {
 }
 
 TEST_F(DorTest, SwitchesDimensionOnceAligned) {
-  const NodeId here = net_->topology().coordinates().pack({2, 0});
-  const NodeId dst = net_->topology().coordinates().pack({2, 3});
+  const NodeId here = torus_topology(net_->topology()).coordinates().pack({2, 0});
+  const NodeId dst = torus_topology(net_->topology()).coordinates().pack({2, 3});
   std::vector<ChannelId> out;
   dor_.candidate_channels(*net_, msg_to(0, dst), here, injection_vc(here), out);
   ASSERT_EQ(out.size(), 1u);
@@ -59,8 +60,8 @@ TEST_F(DorTest, SwitchesDimensionOnceAligned) {
 }
 
 TEST_F(DorTest, TakesShorterDirection) {
-  const NodeId src = net_->topology().coordinates().pack({0, 0});
-  const NodeId dst = net_->topology().coordinates().pack({6, 0});  // -2 shorter
+  const NodeId src = torus_topology(net_->topology()).coordinates().pack({0, 0});
+  const NodeId dst = torus_topology(net_->topology()).coordinates().pack({6, 0});  // -2 shorter
   std::vector<ChannelId> out;
   dor_.candidate_channels(*net_, msg_to(src, dst), src, injection_vc(src), out);
   ASSERT_EQ(out.size(), 1u);
@@ -68,8 +69,8 @@ TEST_F(DorTest, TakesShorterDirection) {
 }
 
 TEST_F(DorTest, TieBreaksPositive) {
-  const NodeId src = net_->topology().coordinates().pack({0, 0});
-  const NodeId dst = net_->topology().coordinates().pack({4, 0});  // exactly k/2
+  const NodeId src = torus_topology(net_->topology()).coordinates().pack({0, 0});
+  const NodeId dst = torus_topology(net_->topology()).coordinates().pack({4, 0});  // exactly k/2
   std::vector<ChannelId> out;
   dor_.candidate_channels(*net_, msg_to(src, dst), src, injection_vc(src), out);
   ASSERT_EQ(out.size(), 1u);
@@ -92,7 +93,7 @@ TEST_F(DorTest, UnrestrictedVcUse) {
 TEST_F(DorTest, DeliveredPathsFollowDimensionOrder) {
   // End-to-end: run messages and confirm each path's acquired network
   // channels never go back to a lower dimension.
-  const NodeId dst = net_->topology().coordinates().pack({3, 5});
+  const NodeId dst = torus_topology(net_->topology()).coordinates().pack({3, 5});
   net_->enqueue_message(0, dst, 8);
   const MessageId id = 0;
   std::vector<int> dims;
@@ -116,8 +117,8 @@ TEST_F(DorTest, UnidirectionalTorusAlwaysRoutesPositive) {
   SimConfig cfg = cfg_;
   cfg.topology.bidirectional = false;
   Network uni(cfg, make_routing(cfg), make_selection(cfg.selection));
-  const NodeId src = uni.topology().coordinates().pack({5, 0});
-  const NodeId dst = uni.topology().coordinates().pack({2, 0});
+  const NodeId src = torus_topology(uni.topology()).coordinates().pack({5, 0});
+  const NodeId dst = torus_topology(uni.topology()).coordinates().pack({2, 0});
   std::vector<ChannelId> out;
   DorRouting dor;
   Message m;

@@ -8,6 +8,7 @@
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 namespace flexnet {
 namespace {
@@ -42,8 +43,8 @@ class TfarTest : public ::testing::Test {
 
 TEST_F(TfarTest, OffersEveryMinimalDirection) {
   TfarRouting tfar;
-  const NodeId src = net_->topology().coordinates().pack({0, 0});
-  const NodeId dst = net_->topology().coordinates().pack({2, 6});  // +2, -2
+  const NodeId src = torus_topology(net_->topology()).coordinates().pack({0, 0});
+  const NodeId dst = torus_topology(net_->topology()).coordinates().pack({2, 6});  // +2, -2
   std::vector<ChannelId> out;
   tfar.candidate_channels(*net_, msg_to(src, dst), src, injection_vc(src), out);
   ASSERT_EQ(out.size(), 2u);
@@ -55,8 +56,8 @@ TEST_F(TfarTest, OffersEveryMinimalDirection) {
 
 TEST_F(TfarTest, TieDistanceOffersBothDirections) {
   TfarRouting tfar;
-  const NodeId src = net_->topology().coordinates().pack({0, 0});
-  const NodeId dst = net_->topology().coordinates().pack({4, 4});  // k/2 both
+  const NodeId src = torus_topology(net_->topology()).coordinates().pack({0, 0});
+  const NodeId dst = torus_topology(net_->topology()).coordinates().pack({4, 4});  // k/2 both
   std::vector<ChannelId> out;
   tfar.candidate_channels(*net_, msg_to(src, dst), src, injection_vc(src), out);
   EXPECT_EQ(out.size(), 4u);  // both directions in both dimensions
@@ -64,8 +65,8 @@ TEST_F(TfarTest, TieDistanceOffersBothDirections) {
 
 TEST_F(TfarTest, SingleDimensionLeftMeansOneCandidate) {
   TfarRouting tfar;
-  const NodeId here = net_->topology().coordinates().pack({2, 3});
-  const NodeId dst = net_->topology().coordinates().pack({2, 5});
+  const NodeId here = torus_topology(net_->topology()).coordinates().pack({2, 3});
+  const NodeId dst = torus_topology(net_->topology()).coordinates().pack({2, 5});
   std::vector<ChannelId> out;
   tfar.candidate_channels(*net_, msg_to(0, dst), here, injection_vc(here), out);
   ASSERT_EQ(out.size(), 1u);
@@ -108,12 +109,12 @@ TEST_F(TfarTest, MisrouteExcludesImmediateUturn) {
   TfarRouting tfar(4);
   // Header sits in the VC of the channel arriving at node 1 from node 0
   // (dim 0, dir +1); the reverse channel (1 -> 0) must not be offered.
-  const ChannelId in_ch = net_->topology().out_channel(0, 0, +1);
+  const ChannelId in_ch = torus_topology(net_->topology()).out_channel(0, 0, +1);
   const VcId in_vc = net_->phys(in_ch).first_vc;
   const NodeId here = 1;
   std::vector<ChannelId> out;
   tfar.candidate_channels(*net_, msg_to(0, 2), here, in_vc, out);
-  const ChannelId reverse = net_->topology().out_channel(1, 0, -1);
+  const ChannelId reverse = torus_topology(net_->topology()).out_channel(1, 0, -1);
   EXPECT_TRUE(std::find(out.begin(), out.end(), reverse) == out.end());
   EXPECT_EQ(out.size(), 3u);  // 4 outgoing - reverse (minimal one included)
 }

@@ -8,6 +8,7 @@
 
 #include "routing/routing.hpp"
 #include "sim/network.hpp"
+#include "topo/torus.hpp"
 
 namespace flexnet {
 namespace {
@@ -30,14 +31,14 @@ class SelectionTest : public ::testing::Test {
 TEST_F(SelectionTest, PreferStraightPutsCurrentDimensionFirst) {
   const auto policy = make_selection(SelectionKind::PreferStraight);
   // Header arrived via a dim-1 channel into node 9.
-  const ChannelId in_ch = net_->topology().out_channel(1, 1, +1);
+  const ChannelId in_ch = torus_topology(net_->topology()).out_channel(1, 1, +1);
   const VcId in_vc = net_->phys(in_ch).first_vc;
   const NodeId here = net_->phys(in_ch).dst;
 
   std::vector<ChannelId> channels{
-      net_->topology().out_channel(here, 0, +1),
-      net_->topology().out_channel(here, 1, +1),
-      net_->topology().out_channel(here, 0, -1),
+      torus_topology(net_->topology()).out_channel(here, 0, +1),
+      torus_topology(net_->topology()).out_channel(here, 1, +1),
+      torus_topology(net_->topology()).out_channel(here, 0, -1),
   };
   Message m;
   for (int trial = 0; trial < 20; ++trial) {
@@ -55,8 +56,8 @@ TEST_F(SelectionTest, PreferStraightRandomizesEqualAlternatives) {
   const auto policy = make_selection(SelectionKind::PreferStraight);
   const VcId inj_vc = net_->phys(net_->injection_channel(0)).first_vc;
   std::vector<ChannelId> channels{
-      net_->topology().out_channel(0, 0, +1),
-      net_->topology().out_channel(0, 1, +1),
+      torus_topology(net_->topology()).out_channel(0, 0, +1),
+      torus_topology(net_->topology()).out_channel(0, 1, +1),
   };
   Message m;
   std::set<ChannelId> leaders;

@@ -1,0 +1,151 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "topo/generators.hpp"
+#include "topo/graph_topology.hpp"
+#include "topo/torus.hpp"
+
+namespace flexnet {
+namespace {
+
+TopologyConfig torus_cfg(int k, int n) {
+  TopologyConfig cfg;
+  cfg.k = k;
+  cfg.n = n;
+  return cfg;
+}
+
+TEST(Topology, CsrAdjacencyMatchesChannelList) {
+  const GraphTopology topo(full_mesh_spec(6));
+  std::size_t seen = 0;
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    ChannelId prev = -1;
+    for (const ChannelId id : topo.out_channels(v)) {
+      const ChannelDesc& ch = topo.channel(id);
+      EXPECT_EQ(ch.src, v);
+      EXPECT_EQ(ch.id, id);
+      EXPECT_GT(id, prev);  // ascending within a node
+      prev = id;
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, topo.channels().size());
+}
+
+TEST(Topology, CanonicalOrderIsConstructionIndependent) {
+  // Same links presented in a different order must produce the identical
+  // canonical channel list (and therefore the identical content hash).
+  GraphTopology::Spec fwd = random_irregular_spec(12, 3, 42);
+  GraphTopology::Spec rev = fwd;
+  std::reverse(rev.links.begin(), rev.links.end());
+  const GraphTopology a(std::move(fwd));
+  const GraphTopology b(std::move(rev));
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  ASSERT_EQ(a.channels().size(), b.channels().size());
+  for (std::size_t i = 0; i < a.channels().size(); ++i) {
+    EXPECT_EQ(a.channels()[i].src, b.channels()[i].src);
+    EXPECT_EQ(a.channels()[i].dst, b.channels()[i].dst);
+  }
+}
+
+TEST(Topology, ContentHashSeparatesTopologies) {
+  const GraphTopology mesh8(full_mesh_spec(8));
+  const GraphTopology mesh9(full_mesh_spec(9));
+  const GraphTopology rand1(random_irregular_spec(16, 3, 1));
+  const GraphTopology rand2(random_irregular_spec(16, 3, 2));
+  std::set<std::uint64_t> hashes{mesh8.content_hash(), mesh9.content_hash(),
+                                 rand1.content_hash(), rand2.content_hash()};
+  EXPECT_EQ(hashes.size(), 4u);
+}
+
+TEST(Topology, FullMeshIsDiameterOne) {
+  const GraphTopology topo(full_mesh_spec(8));
+  EXPECT_EQ(topo.num_nodes(), 8);
+  EXPECT_EQ(topo.channels().size(), 8u * 7u);
+  EXPECT_DOUBLE_EQ(topo.average_distance(), 1.0);
+  for (NodeId a = 0; a < 8; ++a) {
+    for (NodeId b = 0; b < 8; ++b) {
+      EXPECT_EQ(topo.min_distance(a, b), a == b ? 0 : 1);
+    }
+  }
+}
+
+TEST(Topology, DragonflyShape) {
+  // a = 4 routers/group, h = 1 global link/router: g = a*h + 1 = 5 groups,
+  // 20 nodes, each router has (a-1) local + h global = 4 outgoing links.
+  const GraphTopology topo(dragonfly_spec(4, 1));
+  EXPECT_EQ(topo.num_nodes(), 20);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    EXPECT_EQ(topo.out_channels(v).size(), 4u);
+  }
+}
+
+TEST(Topology, RandomIrregularIsDeterministicInSeed) {
+  const GraphTopology a(random_irregular_spec(24, 3, 7));
+  const GraphTopology b(random_irregular_spec(24, 3, 7));
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  // Strong connectivity: the all-pairs BFS never sees an unreachable pair
+  // (GraphTopology would have thrown), so distances are positive.
+  for (NodeId v = 1; v < a.num_nodes(); ++v) {
+    EXPECT_GT(a.min_distance(0, v), 0);
+    EXPECT_GT(a.min_distance(v, 0), 0);
+  }
+}
+
+TEST(Topology, GraphRejectsMalformedSpecs) {
+  GraphTopology::Spec self;
+  self.nodes = 2;
+  self.links = {{0, 1}, {1, 0}, {1, 1}};
+  EXPECT_THROW(GraphTopology{std::move(self)}, std::invalid_argument);
+
+  GraphTopology::Spec dup;
+  dup.nodes = 2;
+  dup.links = {{0, 1}, {1, 0}, {0, 1}};
+  EXPECT_THROW(GraphTopology{std::move(dup)}, std::invalid_argument);
+
+  GraphTopology::Spec dangling;
+  dangling.nodes = 2;
+  dangling.links = {{0, 1}, {1, 0}, {0, 5}};
+  EXPECT_THROW(GraphTopology{std::move(dangling)}, std::invalid_argument);
+
+  GraphTopology::Spec disconnected;  // two isolated bidirectional pairs
+  disconnected.nodes = 4;
+  disconnected.links = {{0, 1}, {1, 0}, {2, 3}, {3, 2}};
+  EXPECT_THROW(GraphTopology{std::move(disconnected)}, std::invalid_argument);
+}
+
+TEST(Topology, TorusDowncastHelpers) {
+  const KAryNCube torus(torus_cfg(4, 2));
+  EXPECT_EQ(torus.as_torus(), &torus);
+  EXPECT_EQ(&torus_topology(torus), &torus);
+
+  const GraphTopology graph(full_mesh_spec(4));
+  EXPECT_EQ(graph.as_torus(), nullptr);
+  EXPECT_THROW((void)torus_topology(graph), std::logic_error);
+}
+
+TEST(Topology, TorusHopMinimalityMatchesDistancePredicate) {
+  // KAryNCube overrides hop_is_minimal with the historical per-dimension
+  // check; it must agree with the generic distance-decreasing default on
+  // every (channel, destination) pair.
+  for (const bool bidir : {true, false}) {
+    TopologyConfig cfg = torus_cfg(5, 2);
+    cfg.bidirectional = bidir;
+    const KAryNCube topo(cfg);
+    for (const ChannelDesc& ch : topo.channels()) {
+      for (NodeId dst = 0; dst < topo.num_nodes(); ++dst) {
+        const bool generic =
+            topo.min_distance(ch.dst, dst) < topo.min_distance(ch.src, dst);
+        EXPECT_EQ(topo.hop_is_minimal(ch, dst), generic)
+            << "ch " << ch.src << "->" << ch.dst << " dst " << dst;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexnet

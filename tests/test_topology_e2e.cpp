@@ -1,0 +1,116 @@
+// End-to-end coverage for file-defined topologies: the committed
+// examples/topologies/irregular-16.topo runs the full pipeline — saturate
+// table routing, detect knots, capture snapshots, replay them — and
+// mid-run checkpoints resume bit-exactly. Also pins snapshot backward
+// compatibility: the committed v1 corpus (no topology section) still
+// decodes and replays.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "snapshot/corpus.hpp"
+#include "snapshot/snapshot.hpp"
+#include "topo/factory.hpp"
+
+namespace flexnet {
+namespace {
+
+const char* kIrregular16 = FLEXNET_TOPO_DIR "/irregular-16.topo";
+
+ExperimentConfig irregular_cfg(RoutingKind routing) {
+  ExperimentConfig cfg;
+  cfg.sim.topo_kind = TopoKind::File;
+  cfg.sim.topo_file = kIrregular16;
+  cfg.sim.routing = routing;
+  cfg.sim.seed = 7;
+  cfg.traffic.load = 0.8;
+  cfg.detector.interval = 50;
+  cfg.run.warmup = 500;
+  cfg.run.measure = 3500;
+  return cfg;
+}
+
+std::vector<std::string> snap_files(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".snap") files.push_back(entry.path());
+  }
+  return files;
+}
+
+TEST(TopologyE2E, IrregularFileSaturateDetectCaptureReplay) {
+  const std::string dir = ::testing::TempDir() + "flexnet_irregular_corpus";
+  std::filesystem::remove_all(dir);
+
+  ExperimentConfig cfg = irregular_cfg(RoutingKind::TableMin);
+  cfg.snapshot.capture_dir = dir;
+  cfg.snapshot.capture_limit = 8;
+  const ExperimentResult result = run_experiment(cfg);
+
+  // Minimal adaptive routing on the irregular graph deadlocks at saturation
+  // (the paper's story, off the torus).
+  EXPECT_GT(result.window.deadlocks, 0);
+  ASSERT_GT(result.deadlocks_captured, 0);
+
+  for (const std::string& path : snap_files(dir)) {
+    const Snapshot snap = read_snapshot_file(path);
+    ASSERT_TRUE(snap.topo.present);
+    EXPECT_EQ(snap.topo.kind, TopoKind::File);
+    EXPECT_EQ(snap.topo.nodes, 16);
+    // The embedded link list rebuilds the exact topology: hashes agree with
+    // a fresh parse of the file.
+    EXPECT_EQ(snap.topo.content_hash, make_topology(snap.sim)->content_hash());
+    const ReplayResult replay = replay_capture(snap);
+    EXPECT_TRUE(replay.matches) << path << ": " << replay.detail;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TopologyE2E, UpDownStaysDeadlockFreeOnTheSameNetwork) {
+  const ExperimentResult result =
+      run_experiment(irregular_cfg(RoutingKind::TableUpDown));
+  EXPECT_EQ(result.window.deadlocks, 0);
+  EXPECT_GT(result.window.delivered, 0);
+}
+
+TEST(TopologyE2E, CheckpointResumeIsBitExactOnFileTopology) {
+  const std::string dir = ::testing::TempDir() + "flexnet_irregular_ckpt";
+  std::filesystem::remove_all(dir);
+
+  ExperimentConfig with_ckpt = irregular_cfg(RoutingKind::TableMin);
+  with_ckpt.run.measure = 1500;
+  with_ckpt.snapshot.checkpoint_every = 700;
+  with_ckpt.snapshot.checkpoint_dir = dir;
+  const ExperimentResult full = run_experiment(with_ckpt);
+
+  ExperimentConfig resume;
+  resume.snapshot.resume_path = dir + "/ckpt-1400.snap";
+  const ExperimentResult resumed = run_experiment(resume);
+
+  EXPECT_EQ(full.window.delivered, resumed.window.delivered);
+  EXPECT_EQ(full.window.deadlocks, resumed.window.deadlocks);
+  EXPECT_EQ(full.window.flits_delivered, resumed.window.flits_delivered);
+  EXPECT_EQ(full.window.avg_latency, resumed.window.avg_latency);
+  EXPECT_EQ(full.normalized_throughput, resumed.normalized_throughput);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TopologyE2E, VersionOneSnapshotsStillDecodeAndReplay) {
+  const std::vector<std::string> files = snap_files(FLEXNET_CORPUS_DIR);
+  ASSERT_FALSE(files.empty());
+  for (const std::string& path : files) {
+    const Snapshot snap = read_snapshot_file(path);
+    // v1 files predate the topology section: they decode with torus
+    // defaults and no embedded link list.
+    EXPECT_FALSE(snap.topo.present) << path;
+    EXPECT_EQ(snap.sim.topo_kind, TopoKind::Torus) << path;
+    const ReplayResult replay = replay_capture(snap);
+    EXPECT_TRUE(replay.matches) << path << ": " << replay.detail;
+  }
+}
+
+}  // namespace
+}  // namespace flexnet

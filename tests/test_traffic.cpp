@@ -1,5 +1,7 @@
 #include "traffic/traffic.hpp"
 
+#include "topo/torus.hpp"
+
 #include <gtest/gtest.h>
 
 #include <map>

@@ -36,11 +36,22 @@ void print_snapshot(const std::string& path, const Snapshot& snap) {
               m.measuring ? "measuring" : "warmup",
               static_cast<long long>(m.warmup),
               static_cast<long long>(m.measure));
-  std::printf("  topology    %d-ary %d-cube %s %s, %d VC(s), depth %d\n",
-              snap.sim.topology.k, snap.sim.topology.n,
-              snap.sim.topology.bidirectional ? "bidirectional" : "unidirectional",
-              snap.sim.topology.wrap ? "torus" : "mesh", snap.sim.vcs,
-              snap.sim.buffer_depth);
+  if (snap.sim.topo_kind == TopoKind::Torus) {
+    std::printf(
+        "  topology    %d-ary %d-cube %s %s, %d VC(s), depth %d\n",
+        snap.sim.topology.k, snap.sim.topology.n,
+        snap.sim.topology.bidirectional ? "bidirectional" : "unidirectional",
+        snap.sim.topology.wrap ? "torus" : "mesh", snap.sim.vcs,
+        snap.sim.buffer_depth);
+  } else {
+    std::printf("  topology    %s", snap.topo.name.c_str());
+    if (snap.topo.present) {
+      std::printf(" (%d nodes, %zu links embedded, hash %016llx)",
+                  snap.topo.nodes, snap.topo.links.size(),
+                  static_cast<unsigned long long>(snap.topo.content_hash));
+    }
+    std::printf(", %d VC(s), depth %d\n", snap.sim.vcs, snap.sim.buffer_depth);
+  }
   std::printf("  routing     %s / %s, recovery %s\n",
               std::string(to_string(snap.sim.routing)).c_str(),
               std::string(to_string(snap.sim.selection)).c_str(),
