@@ -13,7 +13,8 @@ namespace {
 
 /// A saturated 16-ary 2-cube TFAR1 network: the realistic worst-case CWG.
 std::unique_ptr<Simulation> saturated_sim(int k, double load,
-                                          bool telemetry = false) {
+                                          bool telemetry = false,
+                                          bool obs = false) {
   ExperimentConfig cfg;
   cfg.sim.topology.k = k;
   cfg.sim.topology.n = 2;
@@ -22,6 +23,7 @@ std::unique_ptr<Simulation> saturated_sim(int k, double load,
   cfg.traffic.load = load;
   cfg.detector.recovery = RecoveryKind::None;  // leave congestion in place
   cfg.telemetry.collect = telemetry;
+  cfg.obs.collect = obs;
   auto sim = std::make_unique<Simulation>(cfg);
   sim->run_cycles(3000);
   return sim;
@@ -53,6 +55,36 @@ void BM_NetworkStepTelemetry(benchmark::State& state) {
                           sim->network().topology().num_nodes());
 }
 BENCHMARK(BM_NetworkStepTelemetry)->Arg(8)->Arg(16);
+
+/// Same cycle with the observability layer attached (delivery-latency hook +
+/// default 100-cycle metrics sampling, no stream): budget <5% over
+/// BM_NetworkStep — amortized, one sample per 100 cycles plus the
+/// null-guarded delivery branch.
+void BM_NetworkStepMetrics(benchmark::State& state) {
+  const auto k = static_cast<int>(state.range(0));
+  auto sim = saturated_sim(k, 0.4, /*telemetry=*/false, /*obs=*/true);
+  for (auto _ : state) {
+    sim->injection().tick(sim->network());
+    sim->network().step();
+    sim->obs()->tick(sim->network(), sim->detector());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sim->network().topology().num_nodes());
+}
+BENCHMARK(BM_NetworkStepMetrics)->Arg(8)->Arg(16);
+
+/// One forced metrics sample on the frozen saturated network: the full
+/// stall-age scan, union-find component pass, census and score. This is the
+/// cost paid once per --metrics-interval; the CI gate tracks it.
+void BM_MetricsSample(benchmark::State& state) {
+  auto sim = saturated_sim(16, 0.5, /*telemetry=*/false, /*obs=*/true);
+  for (auto _ : state) {
+    sim->obs()->sample(sim->network(), sim->detector());
+    benchmark::DoNotOptimize(sim->obs()->last_sample().score);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsSample);
 
 void BM_CwgBuild(benchmark::State& state) {
   auto sim = saturated_sim(16, 0.5);

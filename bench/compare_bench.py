@@ -25,9 +25,10 @@ import argparse
 import json
 import sys
 
-# Benchmarks the gate enforces: the simulator cycle rate and the worst-case
-# (full-rebuild oracle) detection pass.
-GATED = ["BM_NetworkStep/8", "BM_NetworkStep/16", "BM_FullDetectionPass"]
+# Benchmarks the gate enforces: the simulator cycle rate, the worst-case
+# (full-rebuild oracle) detection pass, and one observability sample.
+GATED = ["BM_NetworkStep/8", "BM_NetworkStep/16", "BM_FullDetectionPass",
+         "BM_MetricsSample"]
 CALIBRATION = "BM_CycleEnumerationCapped"
 
 

@@ -10,6 +10,8 @@
 //       --trace-chrome trace.json --forensics     # chrome://tracing + forensics
 //   ./sweep_cli --routing TFAR --loads 0.3,0.6 --telemetry-json run.json
 //       --heatmap heat.csv --heatmap-ascii --profile  # telemetry manifests
+//   ./sweep_cli --routing DOR --uni --loads 0.8 --metrics run.ndjson
+//       --metrics-interval 50                # streaming observability NDJSON
 //   ./sweep_cli --routing DOR --uni --loads 0.8 --checkpoint-every 5000
 //       --checkpoint-dir ckpt                # periodic resumable checkpoints
 //   ./sweep_cli --resume ckpt.p0/ckpt-15000.snap   # continue that run
@@ -58,6 +60,11 @@ int main(int argc, char** argv) {
       if (!base.telemetry.manifest_path.empty()) {
         std::cout << "\nTelemetry manifest written to "
                   << base.telemetry.manifest_path << '\n';
+      }
+      if (!result.obs.metrics_path.empty()) {
+        std::cout << "Metrics stream appended to " << result.obs.metrics_path
+                  << " (" << result.obs.samples << " sample(s), "
+                  << result.obs.warnings << " warning(s))\n";
       }
       if (result.deadlocks_captured > 0) {
         std::cout << result.deadlocks_captured << " deadlock snapshot(s) in "
@@ -146,6 +153,14 @@ int main(int argc, char** argv) {
     if (!base.telemetry.heatmap_csv_path.empty()) {
       std::cout << "Heatmap CSV written to " << base.telemetry.heatmap_csv_path
                 << (loads.size() > 1 ? " (per-point .pN suffix)" : "") << '\n';
+    }
+    if (!base.obs.metrics_path.empty()) {
+      std::int64_t warnings = 0;
+      for (const ExperimentResult& r : results) warnings += r.obs.warnings;
+      std::cout << "Metrics stream(s) written to " << base.obs.metrics_path
+                << (loads.size() > 1 ? " (per-point .pN suffix)" : "") << ", "
+                << warnings << " deadlock warning(s) — tail with "
+                << "tools/metrics_tail\n";
     }
 
     if (!base.snapshot.capture_dir.empty()) {

@@ -55,6 +55,7 @@ int DeadlockDetector::run_detection(Network& net) {
       // buffer occupancy (message_immobile) can change without arc changes,
       // and the paper's methodology re-reports a persisting knot each pass.
       ++skipped_passes_;
+      if (pressure_.valid) pressure_.computed_at = net.now();
       if (cached_knots_.empty()) return 0;
       return process_knots(net, scratch_.cwg());
     }
@@ -68,6 +69,7 @@ int DeadlockDetector::run_detection(Network& net) {
       cached_epoch_ = net.arc_epoch();
       cache_valid_ = true;
       ++skipped_passes_;
+      pressure_ = PressureStats{net.now(), 0, 0, 0, true};
       return 0;
     }
   }
@@ -88,6 +90,11 @@ int DeadlockDetector::run_detection(Network& net) {
 
   cached_knots_ =
       config_.full_rebuild ? find_knots(cwg) : scratch_.find_knots_blocked();
+  if (!config_.full_rebuild) {
+    const BlockedSubgraphStats& stats = scratch_.blocked_stats();
+    pressure_ = PressureStats{net.now(), stats.closure_size, stats.largest_scc,
+                              stats.knots, true};
+  }
   cached_density_.assign(cached_knots_.size(), CachedDensity{});
   cached_net_ = &net;
   cached_epoch_ = net.arc_epoch();
@@ -201,6 +208,7 @@ void DeadlockDetector::restore_state(BinReader& in) {
   cached_net_ = nullptr;
   cached_knots_.clear();
   cached_density_.clear();
+  pressure_ = PressureStats{};
   Pcg32::State s;
   s.state = in.u64();
   s.inc = in.u64();

@@ -91,6 +91,22 @@ struct DeadlockRecord {
   [[nodiscard]] bool multi_cycle() const noexcept { return knot_cycle_density > 1; }
 };
 
+/// The detector's CWG-pressure reading, refreshed at every detection pass by
+/// the incremental pipeline: blocked-closure size and largest blocked-SCC
+/// from CwgScratch, plus the knot count. `computed_at` advances on every
+/// pass that (re)validates the reading — including epoch-gated skips, where
+/// the unchanged arc epoch proves the stats still describe the live CWG.
+/// Process-local and never serialized (like all scratch state); a restored
+/// detector reports valid=false until its first pass. The full-rebuild
+/// oracle does not produce subgraph stats, so it leaves valid=false too.
+struct PressureStats {
+  Cycle computed_at = -1;
+  std::int64_t closure_size = 0;  ///< VCs reachable from blocked tips.
+  std::int64_t largest_scc = 0;   ///< Largest SCC among those VCs.
+  std::int64_t knots = 0;         ///< Knots found by the pass.
+  bool valid = false;
+};
+
 /// One total-cycle-count sample.
 struct CycleSample {
   Cycle at = -1;
@@ -158,6 +174,11 @@ class DeadlockDetector {
     return skipped_passes_;
   }
 
+  /// CWG pressure as of the most recent detection pass (see PressureStats).
+  [[nodiscard]] const PressureStats& pressure() const noexcept {
+    return pressure_;
+  }
+
   /// Drops accumulated records/samples (e.g. at the end of warmup) while
   /// keeping detector state.
   void reset_statistics();
@@ -190,6 +211,7 @@ class DeadlockDetector {
   CwgScratch scratch_;
   std::vector<MessageId> livelock_scratch_;
   std::int64_t skipped_passes_ = 0;
+  PressureStats pressure_;
   /// Knots found by the most recent rebuild, reusable while the arc epoch
   /// stands still. Density is measured lazily once per cached knot — the
   /// graph (hence the count) cannot change within an epoch.

@@ -25,7 +25,10 @@ std::vector<Knot> CwgScratch::find_knots_blocked() {
       dfs_stack_.push_back(tip);
     }
   }
-  if (subset_.empty()) return {};
+  if (subset_.empty()) {
+    blocked_stats_ = BlockedSubgraphStats{};
+    return {};
+  }
 
   // Forward closure over solid + dashed arcs.
   while (!dfs_stack_.empty()) {
@@ -59,6 +62,15 @@ std::vector<Knot> CwgScratch::find_knots_blocked() {
   strongly_connected_components(sub_, scc_, scc_scratch_);
   std::vector<Knot> knots = knots_from_scc(sub_, scc_, subset_);
   characterize_knots(cwg_, knots);
+
+  blocked_stats_.closure_size = static_cast<std::int64_t>(subset_.size());
+  blocked_stats_.largest_scc = 0;
+  for (int c = 0; c < scc_.num_components; ++c) {
+    const auto sz =
+        static_cast<std::int64_t>(scc_.size[static_cast<std::size_t>(c)]);
+    if (sz > blocked_stats_.largest_scc) blocked_stats_.largest_scc = sz;
+  }
+  blocked_stats_.knots = static_cast<std::int64_t>(knots.size());
   return knots;
 }
 

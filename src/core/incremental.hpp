@@ -30,6 +30,16 @@ namespace flexnet {
 
 class Network;
 
+/// Byproduct statistics of one blocked-subgraph knot search — the
+/// observability layer's "CWG pressure" source. Pure functions of the CWG
+/// the search ran on, so two searches over identical graphs (e.g. before a
+/// checkpoint and after its resume) report identical values.
+struct BlockedSubgraphStats {
+  std::int64_t closure_size = 0;  ///< VCs in the blocked tips' forward closure.
+  std::int64_t largest_scc = 0;   ///< Largest SCC in the blocked subgraph.
+  std::int64_t knots = 0;         ///< Knots (terminal SCCs with an edge) found.
+};
+
 class CwgScratch {
  public:
   /// Rebuilds the owned CWG from the live network, reusing all storage.
@@ -46,6 +56,11 @@ class CwgScratch {
   /// vertex renumbering kept inside this scratch arena.
   [[nodiscard]] std::vector<Knot> find_knots_blocked();
 
+  /// Stats recorded by the most recent find_knots_blocked() call.
+  [[nodiscard]] const BlockedSubgraphStats& blocked_stats() const noexcept {
+    return blocked_stats_;
+  }
+
  private:
   Cwg cwg_;
 
@@ -60,6 +75,7 @@ class CwgScratch {
   Digraph sub_;
   SccResult scc_;
   SccScratch scc_scratch_;
+  BlockedSubgraphStats blocked_stats_;
 };
 
 }  // namespace flexnet

@@ -167,6 +167,25 @@ ExperimentConfig experiment_from_options(const Options& opts) {
   cfg.telemetry.manifest_path = opts.get("telemetry-json");
   cfg.telemetry.heatmap_csv_path = opts.get("heatmap");
 
+  cfg.obs.collect = opts.get_bool("metrics-collect", false);
+  cfg.obs.metrics_path = opts.get("metrics");
+  const long long metrics_interval =
+      opts.get_int("metrics-interval", cfg.obs.interval);
+  if (metrics_interval < 1) {
+    throw std::invalid_argument("--metrics-interval must be >= 1");
+  }
+  cfg.obs.interval = metrics_interval;
+  cfg.obs.warn_threshold =
+      opts.get_double("warn-threshold", cfg.obs.warn_threshold);
+  if (cfg.obs.warn_threshold <= 0) {
+    throw std::invalid_argument("--warn-threshold must be > 0");
+  }
+  const long long stall_ref = opts.get_int("warn-stall-ref", cfg.obs.stall_ref);
+  if (stall_ref < 1) {
+    throw std::invalid_argument("--warn-stall-ref must be >= 1");
+  }
+  cfg.obs.stall_ref = stall_ref;
+
   const long long checkpoint_every = opts.get_int("checkpoint-every", 0);
   if (checkpoint_every < 0) {
     throw std::invalid_argument("--checkpoint-every must be >= 0");

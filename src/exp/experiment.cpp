@@ -6,6 +6,7 @@
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 #include "telemetry/manifest.hpp"
+#include "util/binio.hpp"
 
 namespace flexnet {
 
@@ -38,10 +39,11 @@ std::ofstream open_trace_file(const std::string& path) {
 
 Simulation::Simulation(const ExperimentConfig& config)
     : config_(config), metrics_(config.run.sample_every) {
+  std::vector<std::uint8_t> resumed_obs_state;
   if (!config_.snapshot.resume_path.empty()) {
     // Resume: the snapshot's configs and run schedule are authoritative (the
     // command line only contributes trace/telemetry/snapshot attachments).
-    const Snapshot snap = read_snapshot_file(config_.snapshot.resume_path);
+    Snapshot snap = read_snapshot_file(config_.snapshot.resume_path);
     RestoredSim restored = restore_snapshot(snap);
     config_.sim = restored.sim;
     config_.traffic = restored.traffic;
@@ -56,6 +58,7 @@ Simulation::Simulation(const ExperimentConfig& config)
     resumed_ = true;
     resumed_measuring_ = snap.meta.measuring;
     resumed_at_cycle_ = snap.meta.cycle;
+    resumed_obs_state = std::move(snap.obs_state);
   } else {
     config_.sim.validate();
     network_ = std::make_unique<Network>(config_.sim, make_routing(config_.sim),
@@ -107,6 +110,19 @@ Simulation::Simulation(const ExperimentConfig& config)
     telemetry_ = std::make_unique<Telemetry>(config_.telemetry, *network_);
     telemetry_->attach(*network_, *detector_);
   }
+
+  if (config_.obs.enabled()) {
+    obs_ = std::make_unique<ObsCollector>(config_.obs, *network_);
+    // Restoring after construction (which re-emits the stream header) makes
+    // the resumed stream = header + the records after the checkpoint: the
+    // cumulative histograms, watermarks and cadence cursor all come back, so
+    // those records are byte-identical to the uninterrupted run's.
+    if (!resumed_obs_state.empty()) {
+      BinReader in(resumed_obs_state.data(), resumed_obs_state.size());
+      obs_->restore_state(in);
+    }
+    obs_->attach(*network_);
+  }
 }
 
 void Simulation::flush_trace() {
@@ -127,8 +143,15 @@ Snapshot Simulation::make_checkpoint() const {
   meta.warmup = config_.run.warmup;
   meta.measure = config_.run.measure;
   meta.sample_every = config_.run.sample_every;
-  return capture_snapshot(meta, config_.sim, config_.traffic, config_.detector,
-                          *network_, *injection_, *detector_, metrics_);
+  Snapshot snap =
+      capture_snapshot(meta, config_.sim, config_.traffic, config_.detector,
+                       *network_, *injection_, *detector_, metrics_);
+  if (obs_) {
+    BinWriter out;
+    obs_->save_state(out);
+    snap.obs_state = out.bytes();
+  }
+  return snap;
 }
 
 void Simulation::save_snapshot(const std::string& path) const {
@@ -146,6 +169,7 @@ void Simulation::run_cycles(Cycle cycles) {
     network_->step();
     detector_->tick(*network_);
     if (telemetry_) telemetry_->tick(*network_, *detector_);
+    if (obs_) obs_->tick(*network_, *detector_);
     if (measuring_) metrics_.sample(*network_);
     if (config_.run.check_invariants &&
         network_->now() % config_.run.check_every == 0) {
@@ -208,6 +232,12 @@ ExperimentResult Simulation::run() {
   result.detector_skipped_passes = detector_->skipped_passes();
 
   flush_trace();
+  if (obs_) {
+    // Finalize before the manifest is written so its "metrics" block carries
+    // the final summary (lead time included).
+    obs_->finalize(*network_, *detector_);
+    result.obs = obs_->artifacts();
+  }
   if (telemetry_) {
     telemetry_->finalize(*network_, *detector_);
     TelemetryArtifacts& artifacts = result.telemetry;
@@ -236,7 +266,8 @@ ExperimentResult Simulation::run() {
         throw std::runtime_error("cannot open telemetry manifest file: " +
                                  config_.telemetry.manifest_path);
       }
-      write_manifest_json(manifest, config_, result, *telemetry_, *network_);
+      write_manifest_json(manifest, config_, result, *telemetry_, *network_,
+                          obs_.get());
       artifacts.manifest_path = config_.telemetry.manifest_path;
     }
   }

@@ -10,6 +10,7 @@
 
 #include "core/detector.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/network.hpp"
 #include "snapshot/corpus.hpp"
 #include "snapshot/snapshot.hpp"
@@ -92,6 +93,7 @@ struct ExperimentConfig {
   RunConfig run;
   TraceConfig trace;
   TelemetryConfig telemetry;
+  ObsConfig obs;
   SnapshotConfig snapshot;
   /// Count recovery-delivered messages in the normalized-deadlock
   /// denominator (Disha delivers its victims).
@@ -118,6 +120,10 @@ struct ExperimentResult {
   /// Telemetry summaries and output paths (all-default unless
   /// TelemetryConfig::enabled() was set).
   TelemetryArtifacts telemetry;
+
+  /// Observability summary — precursor warnings, lead time, stream path
+  /// (all-default unless ObsConfig::enabled() was set).
+  ObsArtifacts obs;
 
   /// Resume lineage (recorded in the telemetry manifest): the snapshot file
   /// this run was resumed from and its cycle, or empty/-1 for fresh runs.
@@ -161,6 +167,8 @@ class Simulation {
   }
   /// Non-null iff TelemetryConfig::enabled().
   [[nodiscard]] Telemetry* telemetry() noexcept { return telemetry_.get(); }
+  /// Non-null iff ObsConfig::enabled().
+  [[nodiscard]] ObsCollector* obs() noexcept { return obs_.get(); }
 
   /// Flushes every attached sink (also done by run() and the destructor).
   void flush_trace();
@@ -208,6 +216,7 @@ class Simulation {
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<DeadlockForensics> forensics_;
   std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<ObsCollector> obs_;
 };
 
 /// One-shot: build, warm up, measure, summarize.

@@ -37,6 +37,7 @@ std::vector<ExperimentResult> sweep_loads(const ExperimentConfig& base,
     if (loads.size() > 1) {
       config.trace = base.trace.with_point_suffix(i);
       config.telemetry = base.telemetry.with_point_suffix(i);
+      config.obs = base.obs.with_point_suffix(i);
       config.snapshot = base.snapshot.with_point_suffix(i);
     }
     results[i] = run_experiment(config);

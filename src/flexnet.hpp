@@ -29,6 +29,8 @@
 #include "exp/report.hpp"        // IWYU pragma: export
 #include "exp/sweep.hpp"         // IWYU pragma: export
 #include "metrics/metrics.hpp"   // IWYU pragma: export
+#include "obs/histogram.hpp"     // IWYU pragma: export
+#include "obs/obs.hpp"           // IWYU pragma: export
 #include "routing/dateline.hpp"  // IWYU pragma: export
 #include "routing/dor.hpp"       // IWYU pragma: export
 #include "routing/duato.hpp"     // IWYU pragma: export

@@ -1,0 +1,47 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/binio.hpp"
+
+namespace flexnet {
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (count_ <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q = 0 means the first sample.
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(q * static_cast<double>(count_) + 0.5));
+  std::int64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::int64_t in_bucket = counts_[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (cum + in_bucket >= rank) {
+      const auto lo = static_cast<double>(bucket_lo(b));
+      // The recorded max tightens the top bucket's upper bound.
+      const auto hi =
+          static_cast<double>(std::min(bucket_hi(b), max_));
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(max_);
+}
+
+void LogHistogram::save_state(BinWriter& out) const {
+  for (const std::int64_t c : counts_) out.i64(c);
+  out.i64(count_);
+  out.i64(sum_);
+  out.i64(max_);
+}
+
+void LogHistogram::restore_state(BinReader& in) {
+  for (std::int64_t& c : counts_) c = in.i64();
+  count_ = in.i64();
+  sum_ = in.i64();
+  max_ = in.i64();
+}
+
+}  // namespace flexnet

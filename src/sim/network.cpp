@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "routing/routing.hpp"
 #include "routing/selection.hpp"
 #include "telemetry/heatmap.hpp"
@@ -324,6 +325,7 @@ void Network::complete_delivery(Message& msg, VcState& eject_vc) {
   ++counters_.delivered;
   counters_.delivered_latency_sum += msg.finished - msg.created;
   counters_.delivered_hops_sum += msg.hops;
+  if (obs_ != nullptr) obs_->on_delivery(msg.finished - msg.created, msg.hops);
   if (tracer_ != nullptr) {
     trace(TraceEventKind::VcFreed, msg.id, eject_vc.id);
     trace(TraceEventKind::MessageDelivered, msg.id, eject_vc.id, kInvalidVc,

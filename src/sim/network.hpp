@@ -34,6 +34,7 @@ namespace flexnet {
 
 class BinReader;
 class BinWriter;
+class ObsCollector;
 class RoutingAlgorithm;
 class SelectionPolicy;
 class SpatialHeatmap;
@@ -151,6 +152,12 @@ class Network {
   void set_profiler(PhaseProfiler* profiler) noexcept { profiler_ = profiler; }
   [[nodiscard]] PhaseProfiler* profiler() const noexcept { return profiler_; }
 
+  /// Attaches (or detaches, with nullptr) the observability collector; its
+  /// delivery hook feeds the streaming latency histogram. Same non-owning,
+  /// null-guarded discipline as the tracer.
+  void set_obs(ObsCollector* obs) noexcept { obs_ = obs; }
+  [[nodiscard]] ObsCollector* obs() const noexcept { return obs_; }
+
   /// Peak normalized injection bandwidth: flits/node/cycle at which average
   /// network-channel utilization reaches 1 (paper Section 3 normalization).
   [[nodiscard]] double capacity_flits_per_node(double avg_distance) const noexcept;
@@ -232,6 +239,7 @@ class Network {
   Tracer* tracer_ = nullptr;
   SpatialHeatmap* heatmap_ = nullptr;
   PhaseProfiler* profiler_ = nullptr;
+  ObsCollector* obs_ = nullptr;
 
   // scratch buffers reused across cycles to avoid per-cycle allocation
   std::vector<ChannelId> scratch_channels_;

@@ -28,6 +28,7 @@ enum Section : std::uint32_t {
   kDetectorState = 7,
   kMetrics = 8,
   kTopology = 9,  // v2
+  kObs = 10,      // ObsCollector::save_state payload; optional
 };
 
 constexpr std::size_t kMagicLen = 12;
@@ -329,6 +330,7 @@ std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap) {
   write_section(out, kInjection, snap.injection_state);
   write_section(out, kDetectorState, snap.detector_state);
   write_section(out, kMetrics, snap.metrics_state);
+  if (!snap.obs_state.empty()) write_section(out, kObs, snap.obs_state);
   return out.bytes();
 }
 
@@ -385,6 +387,9 @@ Snapshot decode_snapshot(const std::uint8_t* data, std::size_t size) {
         break;
       case kTopology:
         snap.topo = load_topo_image(section);
+        break;
+      case kObs:
+        snap.obs_state.assign(begin, begin + len);
         break;
       default:
         break;  // forward compatibility: unknown sections are skipped

@@ -18,6 +18,8 @@
 //   8 metrics    — MetricsCollector::save_state payload
 //   9 topology   — topology identity + link list (v2; restores file-defined
 //                  and generated topologies without touching the filesystem)
+//  10 obs        — ObsCollector::save_state payload (optional; present only
+//                  when the captured run had observability attached)
 //
 // Version history: v1 had no topology section and a shorter sim-config
 // record (torus only); v2 files append the topo_* fields to the sim codec
@@ -99,6 +101,9 @@ struct Snapshot {
   std::vector<std::uint8_t> injection_state;
   std::vector<std::uint8_t> detector_state;
   std::vector<std::uint8_t> metrics_state;
+  /// Section 10: ObsCollector::save_state payload. Optional — empty when the
+  /// captured run had no observability attached; old readers skip it.
+  std::vector<std::uint8_t> obs_state;
 };
 
 /// Live components rebuilt from a snapshot, ready to keep stepping.

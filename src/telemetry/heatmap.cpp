@@ -92,13 +92,7 @@ std::vector<ChannelId> SpatialHeatmap::hottest_channels(
 }
 
 std::string SpatialHeatmap::ascii_grid(const Network& net, Field field) const {
-  // The grid rendering only makes sense for 2-D tori/meshes; other
-  // topologies degrade gracefully (the CSV form covers them).
-  const KAryNCube* torus = net.topology().as_torus();
-  if (torus == nullptr || torus->dimensions() != 2) return {};
-  const KAryNCube& topo = *torus;
-  const int k = topo.radix();
-  const NodeId nodes = topo.num_nodes();
+  const NodeId nodes = net.topology().num_nodes();
 
   std::vector<double> value(static_cast<std::size_t>(nodes), 0.0);
   if (field == Field::InjectionStalls) {
@@ -121,6 +115,51 @@ std::string SpatialHeatmap::ascii_grid(const Network& net, Field field) const {
   for (const double v : value) peak = std::max(peak, v);
 
   static constexpr std::string_view kScale = " .:-=+*#%@";
+
+  // Non-torus (or non-2-D) topologies have no natural grid; render a
+  // degree-ordered per-node table instead — the hubs land at the top, which
+  // is where irregular-network congestion concentrates.
+  const KAryNCube* torus = net.topology().as_torus();
+  if (torus == nullptr || torus->dimensions() != 2) {
+    const auto pad = [](std::string s, std::size_t width) {
+      if (s.size() < width) s.insert(0, width - s.size(), ' ');
+      return s;
+    };
+    std::string out;
+    out += "heatmap ";
+    out += to_string(field);
+    out += " (per-node, degree-ordered, peak=";
+    out += TableWriter::num(peak, 0);
+    out += ")\n";
+    out += "  node  degree       value  bar\n";
+    std::vector<NodeId> order(static_cast<std::size_t>(nodes));
+    for (NodeId n = 0; n < nodes; ++n) order[static_cast<std::size_t>(n)] = n;
+    const Topology& topo = net.topology();
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      const std::size_t da = topo.out_channels(a).size();
+      const std::size_t db = topo.out_channels(b).size();
+      if (da != db) return da > db;
+      return a < b;
+    });
+    for (const NodeId n : order) {
+      const double v = value[static_cast<std::size_t>(n)];
+      out += pad(std::to_string(n), 6);
+      out += pad(std::to_string(topo.out_channels(n).size()), 8);
+      out += pad(TableWriter::num(v, 0), 12);
+      out += "  ";
+      if (peak > 0.0 && v > 0.0) {
+        const int bar = std::max(
+            1, static_cast<int>(v / peak * static_cast<double>(kScale.size())));
+        out.append(static_cast<std::size_t>(
+                       std::min<int>(bar, static_cast<int>(kScale.size()))),
+                   '#');
+      }
+      out += '\n';
+    }
+    return out;
+  }
+
+  const int k = torus->radix();
   std::string out;
   out += "heatmap ";
   out += to_string(field);

@@ -85,9 +85,11 @@ class SpatialHeatmap {
     InjectionStalls,  ///< Source-queue stall cycles per node.
   };
 
-  /// ASCII density grid for 2D topologies (one glyph per node, dimension 0
-  /// horizontal, scale ' .:-=+*#%@' normalized to the hottest node, with a
-  /// legend line). Empty string when the topology is not 2-dimensional.
+  /// ASCII density rendering. 2-D tori/meshes get the grid form (one glyph
+  /// per node, dimension 0 horizontal, scale ' .:-=+*#%@' normalized to the
+  /// hottest node, with a legend line); every other topology gets a
+  /// degree-ordered per-node table (node, degree, value, '#' bar) so
+  /// irregular networks still have a human-readable view.
   [[nodiscard]] std::string ascii_grid(const Network& net, Field field) const;
 
   /// CSV dump: one row per channel, per VC, and per node, discriminated by

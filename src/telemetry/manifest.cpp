@@ -205,7 +205,8 @@ void write_profile(JsonWriter& json, const PhaseProfiler& profiler) {
 
 void write_manifest_json(std::ostream& out, const ExperimentConfig& config,
                          const ExperimentResult& result,
-                         const Telemetry& telemetry, const Network& net) {
+                         const Telemetry& telemetry, const Network& net,
+                         const ObsCollector* obs) {
   JsonWriter json(out);
   json.begin_object();
   json.field("schema", kManifestSchema);
@@ -258,6 +259,20 @@ void write_manifest_json(std::ostream& out, const ExperimentConfig& config,
   write_series(json, telemetry.interval_series());
   write_heatmap_summary(json, telemetry.heatmap(), net);
   write_profile(json, telemetry.profiler());
+
+  // Observability summary: the NDJSON stream's final record, folded into the
+  // manifest so one artifact answers "did this run warn, and how early?".
+  if (obs != nullptr) {
+    json.key("metrics").begin_object();
+    if (!obs->config().metrics_path.empty()) {
+      json.field("path", obs->config().metrics_path);
+    }
+    json.field("interval", obs->config().interval);
+    json.field("warn_threshold", obs->config().warn_threshold);
+    json.field("stall_ref", obs->config().stall_ref);
+    obs->write_summary_fields(json, net);
+    json.end_object();
+  }
 
   json.end_object();
   out << '\n';

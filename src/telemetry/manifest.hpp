@@ -14,6 +14,7 @@ namespace flexnet {
 
 struct ExperimentConfig;
 struct ExperimentResult;
+class ObsCollector;
 class Telemetry;
 class Network;
 
@@ -22,8 +23,12 @@ inline constexpr std::string_view kManifestSchema = "flexnet-telemetry-v1";
 /// Git revision baked in at configure time ("unknown" outside a checkout).
 [[nodiscard]] std::string_view build_git_sha() noexcept;
 
+/// When `obs` is non-null (a finalized ObsCollector), the manifest gains a
+/// "metrics" block carrying the same cumulative summary as the NDJSON
+/// stream's final record.
 void write_manifest_json(std::ostream& out, const ExperimentConfig& config,
                          const ExperimentResult& result,
-                         const Telemetry& telemetry, const Network& net);
+                         const Telemetry& telemetry, const Network& net,
+                         const ObsCollector* obs = nullptr);
 
 }  // namespace flexnet

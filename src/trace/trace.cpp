@@ -10,7 +10,7 @@ constexpr std::array<std::string_view, kNumTraceEventKinds> kKindNames{
     "MessageInjected", "MessageBlocked",  "MessageUnblocked",
     "MessageDelivered", "MessageRemoved", "VcAllocated",
     "VcFreed",        "CwgArcAdded",      "CwgArcRemoved",
-    "DeadlockDetected", "DeadlockRecovered",
+    "DeadlockDetected", "DeadlockRecovered", "DeadlockWarning",
 };
 }  // namespace
 

@@ -32,6 +32,7 @@ enum class TraceEventKind : std::uint8_t {
   CwgArcRemoved,     ///< Request arc disappeared (granted, retargeted, or recovered).
   DeadlockDetected,  ///< Detector confirmed a knot. arg=deadlock set size, vc=a knot VC.
   DeadlockRecovered, ///< Detector removed a victim. message=victim, arg=deadlock set size.
+  DeadlockWarning,   ///< Obs precursor score crossed --warn-threshold. arg=max stall age.
   kCount_,           ///< Sentinel; not a real event.
 };
 

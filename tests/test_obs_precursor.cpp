@@ -1,0 +1,142 @@
+// Precursor-warning validation: on every committed deadlock capture
+// (tests/corpus/*.snap) the composite score crosses the default threshold
+// strictly before a delayed detection pass confirms the knot — the lead time
+// the observability layer exists to provide — and on deadlock-free controls
+// (up*/down* on the irregular 16-node graph, Duato escape VCs on the torus)
+// at the same load it never fires at all.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "obs/obs.hpp"
+#include "snapshot/snapshot.hpp"
+#include "trace/sinks.hpp"
+#include "trace/trace.hpp"
+
+#ifndef FLEXNET_CORPUS_DIR
+#error "FLEXNET_CORPUS_DIR must point at the committed tests/corpus directory"
+#endif
+#ifndef FLEXNET_TOPO_DIR
+#error "FLEXNET_TOPO_DIR must point at examples/topologies"
+#endif
+
+namespace flexnet {
+namespace {
+
+/// Minimum cycles of warning the corpus replays must deliver.
+constexpr Cycle kMinLead = 50;
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(FLEXNET_CORPUS_DIR)) {
+    if (entry.path().extension() == ".snap") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ObsPrecursor, EveryCorpusCaptureWarnsBeforeConfirmation) {
+  const std::vector<std::string> files = corpus_files();
+  ASSERT_GE(files.size(), 4u);
+  for (const std::string& path : files) {
+    SCOPED_TRACE(path);
+    RestoredSim restored = restore_snapshot(read_snapshot_file(path));
+    Network& net = *restored.net;
+    // The capture run's own detection records came back with the snapshot;
+    // drop them so confirmation is pinned to the pass *this* replay runs.
+    restored.detector->reset_statistics();
+
+    // Cheap metrics sampling every 10 cycles while detection is withheld for
+    // 600 — the regime the precursor is for: detector passes are the
+    // expensive operation, stall-age sampling is nearly free.
+    ObsConfig cfg;
+    cfg.collect = true;
+    cfg.interval = 10;
+    ObsCollector obs(cfg, net);
+    obs.attach(net);
+
+    Tracer tracer;
+    RingBufferSink ring(1024);
+    tracer.add_sink(&ring);
+    net.set_tracer(&tracer);
+
+    for (int i = 0; i < 600; ++i) {
+      net.step();
+      obs.tick(net, *restored.detector);
+    }
+    EXPECT_GE(obs.warnings(), 1) << "no warning while the knot aged";
+    EXPECT_GE(obs.first_warning_cycle(), 0);
+    EXPECT_GE(obs.peak_score(), cfg.warn_threshold);
+
+    // The warning also landed in the trace stream.
+    const std::vector<TraceEvent> events = ring.snapshot();
+    const bool traced =
+        std::any_of(events.begin(), events.end(), [](const TraceEvent& e) {
+          return e.kind == TraceEventKind::DeadlockWarning;
+        });
+    EXPECT_TRUE(traced) << "no DeadlockWarning trace event";
+
+    // Now let the (delayed) detection pass confirm the knot.
+    const int knots = restored.detector->run_detection(net);
+    ASSERT_GT(knots, 0) << "restored capture no longer detects as a knot";
+    obs.finalize(net, *restored.detector);
+
+    ASSERT_GE(obs.first_confirmation_cycle(), 0);
+    EXPECT_LT(obs.first_warning_cycle(), obs.first_confirmation_cycle())
+        << "warning did not precede confirmation";
+    EXPECT_GE(obs.lead_cycles(), kMinLead);
+    const ObsArtifacts art = obs.artifacts();
+    EXPECT_EQ(art.lead_cycles, obs.lead_cycles());
+    EXPECT_EQ(art.first_warning_cycle, obs.first_warning_cycle());
+  }
+}
+
+TEST(ObsPrecursor, UpDownOnIrregularGraphNeverWarns) {
+  ExperimentConfig cfg;
+  cfg.sim.topo_kind = TopoKind::File;
+  cfg.sim.topo_file = FLEXNET_TOPO_DIR "/irregular-16.topo";
+  cfg.sim.routing = RoutingKind::TableUpDown;
+  cfg.sim.seed = 7;
+  cfg.traffic.load = 0.8;
+  cfg.run.warmup = 500;
+  cfg.run.measure = 3500;
+  cfg.obs.collect = true;
+  cfg.obs.interval = 50;
+  const ExperimentResult result = run_experiment(cfg);
+
+  EXPECT_EQ(result.window.deadlocks, 0);
+  EXPECT_GT(result.window.delivered, 0);
+  EXPECT_EQ(result.obs.warnings, 0) << "peak score " << result.obs.peak_score;
+  EXPECT_EQ(result.obs.first_warning_cycle, -1);
+  EXPECT_EQ(result.obs.lead_cycles, -1);
+}
+
+TEST(ObsPrecursor, DuatoEscapeVcsOnTorusNeverWarn) {
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 8;
+  cfg.sim.topology.n = 2;
+  cfg.sim.vcs = 3;
+  cfg.sim.routing = RoutingKind::DuatoTFAR;
+  cfg.sim.seed = 7;
+  cfg.traffic.load = 0.8;
+  cfg.run.warmup = 500;
+  cfg.run.measure = 3500;
+  cfg.obs.collect = true;
+  cfg.obs.interval = 50;
+  const ExperimentResult result = run_experiment(cfg);
+
+  EXPECT_EQ(result.window.deadlocks, 0);
+  EXPECT_GT(result.window.delivered, 0);
+  EXPECT_EQ(result.obs.warnings, 0) << "peak score " << result.obs.peak_score;
+  EXPECT_EQ(result.obs.first_warning_cycle, -1);
+}
+
+}  // namespace
+}  // namespace flexnet

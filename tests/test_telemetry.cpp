@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -160,7 +161,7 @@ TEST(SpatialHeatmap, CountsInjectionStalls) {
   EXPECT_EQ(heatmap.injection_stall_cycles(1), 0);
 }
 
-TEST(SpatialHeatmap, AsciiGridOnlyFor2D) {
+TEST(SpatialHeatmap, AsciiGridFor2DAndFallbackTable) {
   auto net2d = make_network(torus_4x4());
   SpatialHeatmap heat2d(*net2d);
   const std::string grid =
@@ -168,12 +169,18 @@ TEST(SpatialHeatmap, AsciiGridOnlyFor2D) {
   ASSERT_FALSE(grid.empty());
   EXPECT_NE(grid.find("4x4"), std::string::npos);
 
+  // Non-2-D topologies get the degree-ordered per-node table instead.
   SimConfig cfg3 = torus_4x4();
   cfg3.topology.n = 3;
   auto net3d = make_network(cfg3);
   SpatialHeatmap heat3d(*net3d);
-  EXPECT_TRUE(
-      heat3d.ascii_grid(*net3d, SpatialHeatmap::Field::Traversals).empty());
+  const std::string table =
+      heat3d.ascii_grid(*net3d, SpatialHeatmap::Field::Traversals);
+  ASSERT_FALSE(table.empty());
+  EXPECT_NE(table.find("degree-ordered"), std::string::npos);
+  EXPECT_NE(table.find("node  degree"), std::string::npos);
+  // 64 nodes -> 64 data rows plus the two header lines.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 66);
 }
 
 TEST(SpatialHeatmap, CsvHasFixedSchemaAndAllRows) {
