@@ -41,6 +41,70 @@ void BM_NetworkStep(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkStep)->Arg(8)->Arg(16);
 
+/// Empty-network cycle rate: the activity-gated scheduler's floor. With no
+/// messages anywhere all three active sets are empty, so a step is three
+/// first()-returns-(-1) probes — cost independent of network size. The dense
+/// capture runs the same empty network under the --step-dense oracle sweep,
+/// which pays O(nodes + channels) per cycle; the pair bounds the win.
+void BM_NetworkStepIdle(benchmark::State& state, bool dense) {
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 16;
+  cfg.sim.topology.n = 2;
+  cfg.sim.routing = RoutingKind::TFAR;
+  Simulation sim(cfg);
+  sim.network().set_step_dense(dense);
+  for (auto _ : state) {
+    sim.network().step();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sim.network().topology().num_nodes());
+}
+BENCHMARK_CAPTURE(BM_NetworkStepIdle, event, false);
+BENCHMARK_CAPTURE(BM_NetworkStepIdle, dense, true);
+
+/// Light-traffic cycle rate (load 0.1, 16-ary 2-cube): most nodes and
+/// channels are quiet most cycles, so the active sets visit a small working
+/// set while the dense oracle still sweeps all 256 nodes and 1088 channels.
+/// This is the paper's common operating regime and the headline number for
+/// the event-driven core.
+void BM_NetworkStepLowLoad(benchmark::State& state, bool dense) {
+  // Unlike saturated_sim, recovery stays on: a light network's steady state
+  // is a handful of in-flight messages, not congestion wedged by
+  // recovery=None during warmup.
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 16;
+  cfg.sim.topology.n = 2;
+  cfg.sim.routing = RoutingKind::TFAR;
+  cfg.sim.vcs = 1;
+  cfg.traffic.load = 0.1;
+  auto sim = std::make_unique<Simulation>(cfg);
+  sim->run_cycles(3000);
+  sim->network().set_step_dense(dense);
+  for (auto _ : state) {
+    sim->injection().tick(sim->network());
+    sim->network().step();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sim->network().topology().num_nodes());
+}
+BENCHMARK_CAPTURE(BM_NetworkStepLowLoad, event, false);
+BENCHMARK_CAPTURE(BM_NetworkStepLowLoad, dense, true);
+
+/// Saturation cycle rate under the dense oracle, against BM_NetworkStep/16
+/// (same configuration, event-driven): the activity gate must cost under 10%
+/// when nearly everything has work every cycle.
+void BM_NetworkStepSaturatedDense(benchmark::State& state) {
+  auto sim = saturated_sim(16, 0.4);
+  sim->network().set_step_dense(true);
+  for (auto _ : state) {
+    sim->injection().tick(sim->network());
+    sim->network().step();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sim->network().topology().num_nodes());
+}
+BENCHMARK(BM_NetworkStepSaturatedDense);
+
 /// Same cycle with full telemetry attached (interval series + heatmap +
 /// phase profiler, default 100-cycle cadence): budget <5% over BM_NetworkStep.
 void BM_NetworkStepTelemetry(benchmark::State& state) {

@@ -25,10 +25,13 @@ import argparse
 import json
 import sys
 
-# Benchmarks the gate enforces: the simulator cycle rate, the worst-case
-# (full-rebuild oracle) detection pass, and one observability sample.
-GATED = ["BM_NetworkStep/8", "BM_NetworkStep/16", "BM_FullDetectionPass",
-         "BM_MetricsSample"]
+# Benchmarks the gate enforces: the simulator cycle rate (saturated, light
+# load, and idle — the activity-gated scheduler's three regimes), the
+# worst-case (full-rebuild oracle) detection pass, and one observability
+# sample.
+GATED = ["BM_NetworkStep/8", "BM_NetworkStep/16",
+         "BM_NetworkStepIdle/event", "BM_NetworkStepLowLoad/event",
+         "BM_FullDetectionPass", "BM_MetricsSample"]
 CALIBRATION = "BM_CycleEnumerationCapped"
 
 

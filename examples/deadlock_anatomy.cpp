@@ -88,7 +88,9 @@ int main(int argc, char** argv) {
     chrome = std::make_unique<ChromeTraceSink>(chrome_file);
     tracer.add_sink(chrome.get());
   }
-  net.set_tracer(&tracer);
+  NetworkHooks hooks = net.hooks();  // keep whatever Simulation installed
+  hooks.tracer = &tracer;
+  net.install_hooks(hooks);
   DeadlockForensics forensics(&ring);
 
   for (Cycle t = 0; t < 300000; ++t) {

@@ -19,6 +19,8 @@
 //       --capture-limit 8                    # dump deduped knot snapshots
 //   ./sweep_cli --routing TFAR --loads 0.5 --interval 1
 //       --detector-full-rebuild              # oracle: rebuild CWG every pass
+//   ./sweep_cli --routing DOR --loads 0.2 --step-dense
+//                                            # oracle: dense per-cycle sweep
 //   ./sweep_cli --topology file:examples/topologies/irregular-16.topo
 //       --loads 0.6 --capture-deadlocks corpus  # irregular network, TableMin
 //   ./sweep_cli --topology dragonfly --df-routers 8 --df-globals 1

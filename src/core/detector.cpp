@@ -141,7 +141,7 @@ int DeadlockDetector::process_knots(Network& net, const Cwg& cwg) {
       record.victim =
           choose_victim(net, knot.deadlock_set, config_.recovery, rng_);
     }
-    if (Tracer* tracer = net.tracer()) {
+    if (Tracer* tracer = net.hooks().tracer) {
       TraceEvent event;
       event.cycle = net.now();
       event.kind = TraceEventKind::DeadlockDetected;

@@ -141,6 +141,7 @@ ExperimentConfig experiment_from_options(const Options& opts) {
   cfg.run.warmup = opts.get_int("warmup", cfg.run.warmup);
   cfg.run.measure = opts.get_int("measure", cfg.run.measure);
   cfg.run.check_invariants = opts.get_bool("check", false);
+  cfg.run.step_dense = opts.get_bool("step-dense", false);
 
   const long long ring = opts.get_int("trace-ring", 0);
   if (ring < 0) throw std::invalid_argument("--trace-ring must be >= 0");

@@ -30,7 +30,7 @@ namespace flexnet {
 ///   --faults --queue-limit --seed
 ///   --traffic --load --hotspots --hotspot-fraction --hybrid --hybrid-fraction
 ///   --interval --recovery --no-quiescence --count-cycles --cycle-cap
-///   --warmup --measure --check
+///   --warmup --measure --check --step-dense
 ///   --trace-ring N --trace-chrome FILE --trace-bin FILE --forensics
 ///   --forensics-dot PREFIX
 ///   --telemetry --telemetry-interval N --telemetry-ring N

@@ -61,8 +61,10 @@ Simulation::Simulation(const ExperimentConfig& config)
     resumed_obs_state = std::move(snap.obs_state);
   } else {
     config_.sim.validate();
-    network_ = std::make_unique<Network>(config_.sim, make_routing(config_.sim),
-                                         make_selection(config_.sim.selection));
+    NetworkDeps deps;
+    deps.routing = make_routing(config_.sim);
+    deps.selection = make_selection(config_.sim.selection);
+    network_ = std::make_unique<Network>(config_.sim, std::move(deps));
     injection_ = std::make_unique<InjectionProcess>(*network_, config_.traffic,
                                                     config_.sim.seed);
     detector_ =
@@ -99,7 +101,6 @@ Simulation::Simulation(const ExperimentConfig& config)
       binary_sink_ = std::make_unique<BinaryTraceSink>(binary_out_);
       tracer_->add_sink(binary_sink_.get());
     }
-    network_->set_tracer(tracer_.get());
     if (trace.forensics) {
       forensics_ = std::make_unique<DeadlockForensics>(ring_.get());
       detector_->set_forensics(forensics_.get());
@@ -108,7 +109,6 @@ Simulation::Simulation(const ExperimentConfig& config)
 
   if (config_.telemetry.enabled()) {
     telemetry_ = std::make_unique<Telemetry>(config_.telemetry, *network_);
-    telemetry_->attach(*network_, *detector_);
   }
 
   if (config_.obs.enabled()) {
@@ -121,8 +121,18 @@ Simulation::Simulation(const ExperimentConfig& config)
       BinReader in(resumed_obs_state.data(), resumed_obs_state.size());
       obs_->restore_state(in);
     }
-    obs_->attach(*network_);
   }
+
+  // Assemble the observer surface once every component exists and install it
+  // in a single call — the event-driven core has exactly one notification
+  // path to keep correct. The step mode honors the (possibly resuming)
+  // command line: it is an execution strategy, not simulation state.
+  NetworkHooks hooks;
+  hooks.tracer = tracer_.get();
+  if (telemetry_) telemetry_->contribute_hooks(hooks, *detector_);
+  if (obs_) obs_->contribute_hooks(hooks);
+  network_->install_hooks(hooks);
+  network_->set_step_dense(config_.run.step_dense);
 }
 
 void Simulation::flush_trace() {

@@ -27,6 +27,11 @@ struct RunConfig {
   int sample_every = 1;   ///< Congestion sampling stride.
   bool check_invariants = false;  ///< Periodic full invariant validation.
   Cycle check_every = 997;
+  /// Run the dense per-cycle sweep instead of the event-driven active-set
+  /// core (--step-dense). An execution-strategy choice, not simulation
+  /// state: both paths produce byte-identical results, so it is never
+  /// serialized and a resumed run honors the resuming command line.
+  bool step_dense = false;
 };
 
 /// Tracing/forensics attachment for a simulation. Everything is off by

@@ -211,7 +211,7 @@ void ObsCollector::sample_now(const Network& net, const DeadlockDetector& detect
     s.warning = true;
     ++warning_count_;
     if (first_warning_cycle_ < 0) first_warning_cycle_ = now;
-    if (Tracer* tracer = net.tracer()) {
+    if (Tracer* tracer = net.hooks().tracer) {
       TraceEvent event;
       event.cycle = now;
       event.kind = TraceEventKind::DeadlockWarning;

@@ -136,9 +136,10 @@ class ObsCollector {
   /// writes its header record. The network fixes the counter shapes.
   ObsCollector(const ObsConfig& config, const Network& net);
 
-  /// Wires the delivery hook into the network. Non-owning; this collector
-  /// must outlive the network's use of it (Simulation guarantees it).
-  void attach(Network& net) { net.set_obs(this); }
+  /// Contributes the delivery hook to the network observer surface being
+  /// assembled. Non-owning; this collector must outlive the network's use of
+  /// it (Simulation guarantees it).
+  void contribute_hooks(NetworkHooks& hooks) noexcept { hooks.obs = this; }
 
   /// Per-cycle driver hook (call after the detector tick, so pressure stats
   /// are current); samples whenever the configured interval elapses.

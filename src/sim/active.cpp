@@ -1,0 +1,51 @@
+#include "sim/active.hpp"
+
+#include <bit>
+
+namespace flexnet {
+
+void ActiveSet::reset(std::size_t capacity) {
+  capacity_ = capacity;
+  level0_.assign((capacity + 63) / 64, 0);
+  level1_.assign((level0_.size() + 63) / 64, 0);
+  count_ = 0;
+}
+
+void ActiveSet::clear() {
+  std::fill(level0_.begin(), level0_.end(), 0);
+  std::fill(level1_.begin(), level1_.end(), 0);
+  count_ = 0;
+}
+
+std::int32_t ActiveSet::next_after(std::int32_t id) const noexcept {
+  if (count_ == 0) return -1;
+  return scan_from(static_cast<std::size_t>(id) + 1);
+}
+
+std::int32_t ActiveSet::scan_from(std::size_t from) const noexcept {
+  if (from >= capacity_) return -1;
+  std::size_t word = from >> 6;
+  if (const std::uint64_t w = level0_[word] & (~0ull << (from & 63)); w != 0) {
+    return static_cast<std::int32_t>((word << 6) |
+                                     static_cast<std::size_t>(std::countr_zero(w)));
+  }
+  // The rest of `word` is clear: continue at the summary level from word+1.
+  ++word;
+  std::size_t sword = word >> 6;
+  if (sword >= level1_.size()) return -1;
+  std::uint64_t s = level1_[sword];
+  if ((word & 63) != 0) s &= ~0ull << (word & 63);
+  while (true) {
+    if (s != 0) {
+      const std::size_t w2 =
+          (sword << 6) | static_cast<std::size_t>(std::countr_zero(s));
+      const std::uint64_t bits = level0_[w2];
+      return static_cast<std::int32_t>(
+          (w2 << 6) | static_cast<std::size_t>(std::countr_zero(bits)));
+    }
+    if (++sword >= level1_.size()) return -1;
+    s = level1_[sword];
+  }
+}
+
+}  // namespace flexnet

@@ -1,0 +1,90 @@
+// Allocation-free active-set scheduler for the event-driven simulation core.
+//
+// An ActiveSet is a fixed-capacity set of component ids (nodes or physical
+// channels) backed by a two-level bitmap: level 0 holds one bit per id,
+// level 1 summarizes each group of 64 level-0 words so a sparse scan skips
+// 4096 ids per summary-word probe. insert/erase/contains are O(1); a full
+// ascending scan costs O(active + capacity/4096).
+//
+// Scan semantics are *live*, chosen to make the event-driven sweep provably
+// equivalent to the dense one (see DESIGN.md §3h):
+//
+//   for (std::int32_t id = set.first(); id != -1; id = set.next_after(id))
+//
+//   - erasing the current id (or any other) mid-scan is allowed;
+//   - an id inserted *ahead* of the cursor is visited later in the same
+//     sweep (matching the dense loop, which would reach it in id order);
+//   - an id inserted *behind* the cursor is not revisited this sweep but
+//     stays in the set for the next one (matching the dense loop, whose
+//     single visit to that id happened before the enabling event and was a
+//     no-op).
+//
+// Wakeups are idempotent and always safe: the sets are maintained as
+// supersets of the components with work, and each visit re-checks the real
+// condition and self-erases when it no longer holds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flexnet {
+
+class ActiveSet {
+ public:
+  ActiveSet() = default;
+  explicit ActiveSet(std::size_t capacity) { reset(capacity); }
+
+  /// Re-sizes to `capacity` ids and clears. The only allocating operation.
+  void reset(std::size_t capacity);
+
+  /// Removes every id but keeps the capacity.
+  void clear();
+
+  void insert(std::int32_t id) noexcept {
+    const auto word = static_cast<std::size_t>(id) >> 6;
+    const std::uint64_t bit = 1ull << (static_cast<std::size_t>(id) & 63);
+    if ((level0_[word] & bit) != 0) return;
+    level0_[word] |= bit;
+    level1_[word >> 6] |= 1ull << (word & 63);
+    ++count_;
+  }
+
+  void erase(std::int32_t id) noexcept {
+    const auto word = static_cast<std::size_t>(id) >> 6;
+    const std::uint64_t bit = 1ull << (static_cast<std::size_t>(id) & 63);
+    if ((level0_[word] & bit) == 0) return;
+    level0_[word] &= ~bit;
+    if (level0_[word] == 0) level1_[word >> 6] &= ~(1ull << (word & 63));
+    --count_;
+  }
+
+  [[nodiscard]] bool contains(std::int32_t id) const noexcept {
+    const auto word = static_cast<std::size_t>(id) >> 6;
+    return (level0_[word] >> (static_cast<std::size_t>(id) & 63)) & 1u;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Smallest id in the set, or -1 when empty.
+  [[nodiscard]] std::int32_t first() const noexcept {
+    return count_ == 0 ? -1 : scan_from(0);
+  }
+
+  /// Smallest id strictly greater than `id`, or -1. `id` need not be in the
+  /// set (it may have been erased by the current visit).
+  [[nodiscard]] std::int32_t next_after(std::int32_t id) const noexcept;
+
+ private:
+  /// Smallest set id >= `from` (callers guarantee one exists past the
+  /// in-word fast path, so the word walk may return -1 only at the end).
+  [[nodiscard]] std::int32_t scan_from(std::size_t from) const noexcept;
+
+  std::vector<std::uint64_t> level0_;
+  std::vector<std::uint64_t> level1_;
+  std::size_t capacity_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace flexnet

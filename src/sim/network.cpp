@@ -66,7 +66,7 @@ void Network::trace(TraceEventKind kind, MessageId msg, VcId vc, VcId vc2,
   event.node = (node != kInvalidNode || vc == kInvalidVc)
                    ? node
                    : phys(vcs_[static_cast<std::size_t>(vc)].channel).dst;
-  tracer_->emit(event);
+  hooks_.tracer->emit(event);
 }
 
 // Diffs the previous request set (stashed in scratch_old_requests_) against
@@ -90,17 +90,21 @@ void Network::trace_request_set_change(const Message& msg, VcId head_vc) {
 Network::Network(const SimConfig& config,
                  std::unique_ptr<RoutingAlgorithm> routing,
                  std::unique_ptr<SelectionPolicy> selection)
-    : Network(config, make_topology(config), std::move(routing),
-              std::move(selection)) {}
+    : Network(config, NetworkDeps{nullptr, std::move(routing),
+                                  std::move(selection)}) {}
 
 Network::Network(const SimConfig& config,
                  std::shared_ptr<const Topology> topology,
                  std::unique_ptr<RoutingAlgorithm> routing,
                  std::unique_ptr<SelectionPolicy> selection)
+    : Network(config, NetworkDeps{std::move(topology), std::move(routing),
+                                  std::move(selection)}) {}
+
+Network::Network(const SimConfig& config, NetworkDeps deps)
     : config_(config),
-      topo_(std::move(topology)),
-      routing_(std::move(routing)),
-      selection_(std::move(selection)),
+      topo_(deps.topology ? std::move(deps.topology) : make_topology(config)),
+      routing_(std::move(deps.routing)),
+      selection_(std::move(deps.selection)),
       rng_(splitmix64(config.seed), 0x6e657477 /* "netw" */) {
   config_.validate();
   if (!topo_) throw std::invalid_argument("Network requires a topology");
@@ -164,6 +168,10 @@ Network::Network(const SimConfig& config,
   }
 
   source_queues_.resize(static_cast<std::size_t>(nodes));
+
+  src_active_.reset(static_cast<std::size_t>(nodes));
+  eject_active_.reset(static_cast<std::size_t>(nodes));
+  chan_active_.reset(phys_.size());
 
   if (config_.link_fault_fraction > 0.0) inject_link_faults();
 
@@ -256,6 +264,7 @@ MessageId Network::enqueue_message(NodeId src, NodeId dst, std::int32_t length) 
   messages_.push_back(std::move(msg));
   active_pos_.push_back(-1);
   source_queues_[static_cast<std::size_t>(src)].push_back(id);
+  src_active_.insert(src);  // schedule the node's next grant pass
   ++counters_.generated;
   return id;
 }
@@ -272,47 +281,71 @@ double Network::capacity_flits_per_node(double avg_distance) const noexcept {
 }
 
 void Network::step() {
-  if (profiler_ == nullptr) {
+  if (hooks_.profiler == nullptr) {
     deliver_phase();
     route_phase();
     transmit_phase();
   } else {
     {
-      ScopedPhase timer(profiler_, SimPhase::Deliver);
+      ScopedPhase timer(hooks_.profiler, SimPhase::Deliver);
       deliver_phase();
     }
     {
-      ScopedPhase timer(profiler_, SimPhase::Route);
+      ScopedPhase timer(hooks_.profiler, SimPhase::Route);
       route_phase();
     }
     {
-      ScopedPhase timer(profiler_, SimPhase::Transmit);
+      ScopedPhase timer(hooks_.profiler, SimPhase::Transmit);
       transmit_phase();
     }
   }
   ++now_;
 }
 
+// Each phase enumerates either every component (dense oracle) or only the
+// scheduled ones (event-driven default); the per-component workers are
+// shared, so the two paths are the same code acting on the same state in the
+// same ascending id order. ActiveSet's live-scan semantics make the orders
+// coincide exactly: a component woken ahead of the cursor is visited this
+// sweep (as the dense loop would), one woken behind the cursor stays
+// scheduled for the next cycle (the dense loop's earlier visit this cycle
+// happened before the enabling event and was a no-op).
 void Network::deliver_phase() {
-  const NodeId nodes = topo_->num_nodes();
-  for (NodeId node = 0; node < nodes; ++node) {
-    PhysChannel& pc = phys_[static_cast<std::size_t>(ejection_channel(node))];
-    for (int j = 0; j < pc.num_vcs; ++j) {
-      const int idx = (pc.rr_cursor + j) % pc.num_vcs;
-      VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
-      if (w.buffer.empty() || w.buffer.front().arrived >= now_) continue;
-      const Flit flit = w.buffer.pop();
-      Message& msg = messages_[static_cast<std::size_t>(flit.message)];
-      ++msg.flits_delivered;
-      ++counters_.flits_delivered;
-      if (tracer_ != nullptr) {
-        trace(TraceEventKind::FlitDelivered, msg.id, w.id, kInvalidVc, flit.seq);
-      }
-      if (flit.is_tail_of(msg.length)) complete_delivery(msg, w);
-      pc.rr_cursor = (idx + 1) % pc.num_vcs;
-      break;  // one flit per reception channel per cycle
+  if (step_dense_) {
+    const NodeId nodes = topo_->num_nodes();
+    for (NodeId node = 0; node < nodes; ++node) deliver_node(node);
+  } else {
+    for (std::int32_t node = eject_active_.first(); node != -1;
+         node = eject_active_.next_after(node)) {
+      deliver_node(node);
     }
   }
+}
+
+void Network::deliver_node(NodeId node) {
+  PhysChannel& pc = phys_[static_cast<std::size_t>(ejection_channel(node))];
+  for (int j = 0; j < pc.num_vcs; ++j) {
+    const int idx = (pc.rr_cursor + j) % pc.num_vcs;
+    VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
+    if (w.buffer.empty() || w.buffer.front().arrived >= now_) continue;
+    const Flit flit = w.buffer.pop();
+    wake_channel(pc.id);  // freed buffer space: the ejector can pull again
+    Message& msg = messages_[static_cast<std::size_t>(flit.message)];
+    ++msg.flits_delivered;
+    ++counters_.flits_delivered;
+    if (hooks_.tracer != nullptr) {
+      trace(TraceEventKind::FlitDelivered, msg.id, w.id, kInvalidVc, flit.seq);
+    }
+    if (flit.is_tail_of(msg.length)) complete_delivery(msg, w);
+    pc.rr_cursor = (idx + 1) % pc.num_vcs;
+    break;  // one flit per reception channel per cycle
+  }
+  // Stay scheduled while any flit is buffered (it may merely be too young
+  // to deliver this cycle); deschedule once the ejection VCs drain.
+  for (int i = 0; i < pc.num_vcs; ++i) {
+    if (!vcs_[static_cast<std::size_t>(pc.first_vc + i)].buffer.empty()) return;
+  }
+  eject_active_.erase(node);
 }
 
 void Network::complete_delivery(Message& msg, VcState& eject_vc) {
@@ -325,8 +358,10 @@ void Network::complete_delivery(Message& msg, VcState& eject_vc) {
   ++counters_.delivered;
   counters_.delivered_latency_sum += msg.finished - msg.created;
   counters_.delivered_hops_sum += msg.hops;
-  if (obs_ != nullptr) obs_->on_delivery(msg.finished - msg.created, msg.hops);
-  if (tracer_ != nullptr) {
+  if (hooks_.obs != nullptr) {
+    hooks_.obs->on_delivery(msg.finished - msg.created, msg.hops);
+  }
+  if (hooks_.tracer != nullptr) {
     trace(TraceEventKind::VcFreed, msg.id, eject_vc.id);
     trace(TraceEventKind::MessageDelivered, msg.id, eject_vc.id, kInvalidVc,
           static_cast<std::int32_t>(msg.finished - msg.created));
@@ -347,16 +382,16 @@ void Network::deactivate(Message& msg) {
 void Network::route_phase() {
   blocked_count_ = 0;
 
-  // Grant injection VCs to source-queue heads.
-  const NodeId nodes = topo_->num_nodes();
-  for (NodeId node = 0; node < nodes; ++node) {
-    if (!source_queues_[static_cast<std::size_t>(node)].empty()) {
-      try_injection_grants(node);
-      // A still-waiting head after the grant pass is an injection stall.
-      if (heatmap_ != nullptr &&
-          !source_queues_[static_cast<std::size_t>(node)].empty()) {
-        heatmap_->on_injection_stall(node);
-      }
+  // Grant injection VCs to source-queue heads. src_active_ is exactly the
+  // nodes with a non-empty queue, so the event path visits the same nodes
+  // the dense path's emptiness check admits.
+  if (step_dense_) {
+    const NodeId nodes = topo_->num_nodes();
+    for (NodeId node = 0; node < nodes; ++node) route_node_grants(node);
+  } else {
+    for (std::int32_t node = src_active_.first(); node != -1;
+         node = src_active_.next_after(node)) {
+      route_node_grants(node);
     }
   }
 
@@ -373,6 +408,18 @@ void Network::route_phase() {
     }
   }
   pending_.swap(scratch_pending_);
+}
+
+void Network::route_node_grants(NodeId node) {
+  const auto& queue = source_queues_[static_cast<std::size_t>(node)];
+  if (queue.empty()) return;
+  try_injection_grants(node);
+  if (queue.empty()) {
+    src_active_.erase(node);
+  } else if (hooks_.heatmap != nullptr) {
+    // A still-waiting head after the grant pass is an injection stall.
+    hooks_.heatmap->on_injection_stall(node);
+  }
 }
 
 void Network::try_injection_grants(NodeId node) {
@@ -394,7 +441,8 @@ void Network::try_injection_grants(NodeId node) {
         static_cast<std::int32_t>(active_.size());
     active_.push_back(msg.id);
     ++counters_.injected;
-    if (tracer_ != nullptr) {
+    wake_channel(pc.id);  // the injection channel now has source flits to push
+    if (hooks_.tracer != nullptr) {
       trace(TraceEventKind::VcAllocated, msg.id, vc.id);
       trace(TraceEventKind::MessageInjected, msg.id, vc.id);
     }
@@ -450,7 +498,7 @@ bool Network::try_route_header(VcId head_vc) {
     msg.blocked = true;
     msg.blocked_since = now_;
   }
-  if (tracer_ != nullptr) {
+  if (hooks_.tracer != nullptr) {
     scratch_old_requests_.assign(msg.request_set.begin(), msg.request_set.end());
     msg.request_set.assign(scratch_vcs_.begin(), scratch_vcs_.end());
     if (newly_blocked) {
@@ -467,7 +515,7 @@ bool Network::try_route_header(VcId head_vc) {
 void Network::acquire_vc(Message& msg, VcState& from, VcState& target) {
   assert(target.is_free() && target.buffer.empty());
   assert(!phys(target.channel).faulted);
-  if (tracer_ != nullptr) {
+  if (hooks_.tracer != nullptr) {
     for (const VcId want : msg.request_set) {
       trace(TraceEventKind::CwgArcRemoved, msg.id, want, from.id);
     }
@@ -482,6 +530,9 @@ void Network::acquire_vc(Message& msg, VcState& from, VcState& target) {
   from.route_out = target.id;
   msg.held.push_back(target.id);
   ++arc_epoch_;  // new solid arc; the unblocked message drops its dashed arcs
+  // The target's channel can start pulling from `from` (which holds at least
+  // the header flit that just routed).
+  wake_channel(target.channel);
 
   const PhysChannel& pc = phys(target.channel);
   if (pc.kind == ChannelKind::Network) {
@@ -493,66 +544,115 @@ void Network::acquire_vc(Message& msg, VcState& from, VcState& target) {
 }
 
 void Network::transmit_phase() {
-  for (PhysChannel& pc : phys_) {
-    if (pc.kind == ChannelKind::Injection) {
-      for (int j = 0; j < pc.num_vcs; ++j) {
-        const int idx = (pc.rr_cursor + j) % pc.num_vcs;
-        VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
-        if (w.is_free() || w.buffer.full()) continue;
-        // w.buffer.full() checked above; also need unsent flits.
-        Message& msg = messages_[static_cast<std::size_t>(w.owner)];
-        if (msg.flits_sent >= msg.length) continue;
-        Flit flit;
-        flit.message = msg.id;
-        flit.seq = msg.flits_sent++;
-        flit.arrived = now_;
-        w.buffer.push(flit);
-        if (flit.is_head()) pending_.push_back(w.id);
-        if (heatmap_ != nullptr) heatmap_->on_traversal(pc.id, w.id);
-        if (tracer_ != nullptr) {
-          trace(TraceEventKind::FlitInjected, msg.id, w.id, kInvalidVc,
-                flit.seq);
-        }
-        pc.rr_cursor = (idx + 1) % pc.num_vcs;
-        break;
-      }
-      continue;
-    }
-
-    // Network and ejection channels pull from the feeding upstream VC.
-    for (int j = 0; j < pc.num_vcs; ++j) {
-      const int idx = (pc.rr_cursor + j) % pc.num_vcs;
-      VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
-      if (w.is_free() || w.route_in == kInvalidVc || w.buffer.full()) continue;
-      VcState& u = vcs_[static_cast<std::size_t>(w.route_in)];
-      if (u.buffer.empty() || u.buffer.front().arrived >= now_) continue;
-      Flit flit = u.buffer.pop();
-      assert(flit.message == w.owner);
-      Message& msg = messages_[static_cast<std::size_t>(flit.message)];
-      const bool tail_left_upstream = flit.is_tail_of(msg.length);
-      if (tail_left_upstream) {
-        assert(!msg.held.empty() && msg.held.front() == u.id);
-        msg.held.erase(msg.held.begin());
-        u.release();
-        w.route_in = kInvalidVc;  // no further flits arrive from upstream
-        ++arc_epoch_;  // oldest solid arc retired, VC ownership vacated
-      }
-      flit.arrived = now_;
-      w.buffer.push(flit);
-      if (heatmap_ != nullptr) heatmap_->on_traversal(pc.id, w.id);
-      if (tracer_ != nullptr) {
-        trace(TraceEventKind::FlitHopped, msg.id, w.id, u.id, flit.seq);
-        if (tail_left_upstream) {
-          trace(TraceEventKind::VcFreed, msg.id, u.id);
-        }
-      }
-      if (flit.is_head() && pc.kind != ChannelKind::Ejection) {
-        pending_.push_back(w.id);
-      }
-      pc.rr_cursor = (idx + 1) % pc.num_vcs;
-      break;  // one flit per physical channel per cycle
+  if (step_dense_) {
+    for (PhysChannel& pc : phys_) transmit_channel(pc);
+  } else {
+    for (std::int32_t ch = chan_active_.first(); ch != -1;
+         ch = chan_active_.next_after(ch)) {
+      transmit_channel(phys_[static_cast<std::size_t>(ch)]);
     }
   }
+}
+
+bool Network::transmit_work_possible(const PhysChannel& pc) const {
+  if (pc.kind == ChannelKind::Injection) {
+    for (int i = 0; i < pc.num_vcs; ++i) {
+      const VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + i)];
+      if (w.is_free() || w.buffer.full()) continue;
+      if (messages_[static_cast<std::size_t>(w.owner)].flits_sent <
+          messages_[static_cast<std::size_t>(w.owner)].length) {
+        return true;
+      }
+    }
+    return false;
+  }
+  for (int i = 0; i < pc.num_vcs; ++i) {
+    const VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + i)];
+    if (w.is_free() || w.route_in == kInvalidVc || w.buffer.full()) continue;
+    if (!vcs_[static_cast<std::size_t>(w.route_in)].buffer.empty()) return true;
+  }
+  return false;
+}
+
+void Network::transmit_channel(PhysChannel& pc) {
+  bool moved = false;
+  if (pc.kind == ChannelKind::Injection) {
+    for (int j = 0; j < pc.num_vcs; ++j) {
+      int idx = pc.rr_cursor + j;
+      if (idx >= pc.num_vcs) idx -= pc.num_vcs;
+      VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
+      if (w.is_free() || w.buffer.full()) continue;
+      // w.buffer.full() checked above; also need unsent flits.
+      Message& msg = messages_[static_cast<std::size_t>(w.owner)];
+      if (msg.flits_sent >= msg.length) continue;
+      Flit flit;
+      flit.message = msg.id;
+      flit.seq = msg.flits_sent++;
+      flit.arrived = now_;
+      w.buffer.push(flit);
+      if (flit.is_head()) pending_.push_back(w.id);
+      if (w.route_out != kInvalidVc) {
+        // A routed head is already downstream; feed its channel.
+        wake_channel(vcs_[static_cast<std::size_t>(w.route_out)].channel);
+      }
+      if (hooks_.heatmap != nullptr) hooks_.heatmap->on_traversal(pc.id, w.id);
+      if (hooks_.tracer != nullptr) {
+        trace(TraceEventKind::FlitInjected, msg.id, w.id, kInvalidVc,
+              flit.seq);
+      }
+      pc.rr_cursor = idx + 1 == pc.num_vcs ? 0 : idx + 1;
+      moved = true;
+      break;
+    }
+    // A channel that just moved a flit stays scheduled (it is revisited and
+    // re-checked next cycle anyway); only a fruitless visit pays the full
+    // work scan to decide whether to deschedule.
+    if (!moved && !transmit_work_possible(pc)) chan_active_.erase(pc.id);
+    return;
+  }
+
+  // Network and ejection channels pull from the feeding upstream VC.
+  for (int j = 0; j < pc.num_vcs; ++j) {
+    int idx = pc.rr_cursor + j;
+    if (idx >= pc.num_vcs) idx -= pc.num_vcs;
+    VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
+    if (w.is_free() || w.route_in == kInvalidVc || w.buffer.full()) continue;
+    VcState& u = vcs_[static_cast<std::size_t>(w.route_in)];
+    if (u.buffer.empty() || u.buffer.front().arrived >= now_) continue;
+    Flit flit = u.buffer.pop();
+    assert(flit.message == w.owner);
+    wake_channel(u.channel);  // freed buffer space upstream
+    Message& msg = messages_[static_cast<std::size_t>(flit.message)];
+    const bool tail_left_upstream = flit.is_tail_of(msg.length);
+    if (tail_left_upstream) {
+      assert(!msg.held.empty() && msg.held.front() == u.id);
+      msg.held.erase(msg.held.begin());
+      u.release();
+      w.route_in = kInvalidVc;  // no further flits arrive from upstream
+      ++arc_epoch_;  // oldest solid arc retired, VC ownership vacated
+    }
+    flit.arrived = now_;
+    w.buffer.push(flit);
+    if (pc.kind == ChannelKind::Ejection) {
+      eject_active_.insert(pc.dst);  // the reception interface has work
+    } else if (w.route_out != kInvalidVc) {
+      wake_channel(vcs_[static_cast<std::size_t>(w.route_out)].channel);
+    }
+    if (hooks_.heatmap != nullptr) hooks_.heatmap->on_traversal(pc.id, w.id);
+    if (hooks_.tracer != nullptr) {
+      trace(TraceEventKind::FlitHopped, msg.id, w.id, u.id, flit.seq);
+      if (tail_left_upstream) {
+        trace(TraceEventKind::VcFreed, msg.id, u.id);
+      }
+    }
+    if (flit.is_head() && pc.kind != ChannelKind::Ejection) {
+      pending_.push_back(w.id);
+    }
+    pc.rr_cursor = idx + 1 == pc.num_vcs ? 0 : idx + 1;
+    moved = true;
+    break;  // one flit per physical channel per cycle
+  }
+  if (!moved && !transmit_work_possible(pc)) chan_active_.erase(pc.id);
 }
 
 void Network::remove_message(MessageId id) {
@@ -560,7 +660,7 @@ void Network::remove_message(MessageId id) {
   if (msg.status != MessageStatus::InFlight) {
     throw std::invalid_argument("remove_message: message is not in flight");
   }
-  if (tracer_ != nullptr) {
+  if (hooks_.tracer != nullptr) {
     for (const VcId want : msg.request_set) {
       trace(TraceEventKind::CwgArcRemoved, msg.id, want,
             msg.held.empty() ? kInvalidVc : msg.held.back());
@@ -575,6 +675,11 @@ void Network::remove_message(MessageId id) {
   for (const VcId held : msg.held) {
     VcState& vc = vcs_[static_cast<std::size_t>(held)];
     assert(vc.owner == msg.id);
+    // Wake the freed VC's channel so the event-driven sweep revisits it once
+    // another message claims the slot: recovery happens between steps, and a
+    // wedged (descheduled) channel must not stay silent while survivors
+    // drain through it.
+    wake_channel(vc.channel);
     vc.buffer.clear();
     vc.release();
   }
@@ -668,6 +773,53 @@ void Network::check_invariants() const {
     if (vc.buffer.empty() || !vc.buffer.front().is_head()) {
       invariant_failure("pending VC front is not a header flit");
     }
+  }
+
+  // Active-set coverage: the event-driven core must never deschedule a
+  // component that still has work. src_active_ is exact; the other two are
+  // supersets (stale entries self-erase on their next visit).
+  const NodeId nodes = topo_->num_nodes();
+  for (NodeId node = 0; node < nodes; ++node) {
+    if (!source_queues_[static_cast<std::size_t>(node)].empty() !=
+        src_active_.contains(node)) {
+      invariant_failure("source active set out of sync with queue state");
+    }
+    const PhysChannel& ej =
+        phys_[static_cast<std::size_t>(ejection_channel(node))];
+    for (int i = 0; i < ej.num_vcs; ++i) {
+      if (!vcs_[static_cast<std::size_t>(ej.first_vc + i)].buffer.empty() &&
+          !eject_active_.contains(node)) {
+        invariant_failure("buffered ejection flit on a descheduled node");
+      }
+    }
+  }
+  for (const PhysChannel& pc : phys_) {
+    if (transmit_work_possible(pc) && !chan_active_.contains(pc.id)) {
+      invariant_failure("transmittable work on a descheduled channel");
+    }
+  }
+}
+
+void Network::rebuild_active_sets() {
+  src_active_.clear();
+  eject_active_.clear();
+  chan_active_.clear();
+  const NodeId nodes = topo_->num_nodes();
+  for (NodeId node = 0; node < nodes; ++node) {
+    if (!source_queues_[static_cast<std::size_t>(node)].empty()) {
+      src_active_.insert(node);
+    }
+    const PhysChannel& ej =
+        phys_[static_cast<std::size_t>(ejection_channel(node))];
+    for (int i = 0; i < ej.num_vcs; ++i) {
+      if (!vcs_[static_cast<std::size_t>(ej.first_vc + i)].buffer.empty()) {
+        eject_active_.insert(node);
+        break;
+      }
+    }
+  }
+  for (const PhysChannel& pc : phys_) {
+    if (transmit_work_possible(pc)) chan_active_.insert(pc.id);
   }
 }
 
@@ -815,8 +967,11 @@ void Network::restore_state(BinReader& in) {
 
   // The epoch is deliberately NOT serialized (it is a process-local cache
   // key, not simulation state); bumping it here invalidates any detector
-  // verdict cached against the pre-restore graph.
+  // verdict cached against the pre-restore graph. The active sets are
+  // likewise process-local scheduling state: recompute them from the
+  // restored buffers and queues (the snapshot format is unchanged).
   ++arc_epoch_;
+  rebuild_active_sets();
 
   check_invariants();
 }

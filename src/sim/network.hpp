@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/active.hpp"
 #include "sim/channel.hpp"
 #include "sim/config.hpp"
 #include "sim/message.hpp"
@@ -40,6 +41,29 @@ class SelectionPolicy;
 class SpatialHeatmap;
 class PhaseProfiler;
 
+/// The single observer-registration surface on Network. Every subsystem that
+/// watches the step loop — tracer, telemetry heatmap, phase profiler, obs
+/// collector — is a non-owning, null-guarded pointer in this aggregate,
+/// installed in one call instead of through per-subsystem setters. Each hook
+/// costs one predictable branch per instrumentation point when absent.
+struct NetworkHooks {
+  Tracer* tracer = nullptr;            ///< Event tracing (src/trace).
+  SpatialHeatmap* heatmap = nullptr;   ///< Traversal/stall counters.
+  PhaseProfiler* profiler = nullptr;   ///< Per-phase wall-clock accounting.
+  ObsCollector* obs = nullptr;         ///< Delivery-latency hook.
+};
+
+/// Construction-time dependencies, aggregated so the constructor stops
+/// growing positional unique_ptr parameters. `topology` may be null, in
+/// which case the network builds one from the SimConfig (make_topology);
+/// snapshot restore passes a pre-built topology rebuilt from the embedded
+/// section rather than the filesystem.
+struct NetworkDeps {
+  std::shared_ptr<const Topology> topology;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  std::unique_ptr<SelectionPolicy> selection;
+};
+
 class Network {
  public:
   /// Monotonic event counters; windowed metrics diff snapshots of these.
@@ -53,11 +77,12 @@ class Network {
     std::int64_t delivered_hops_sum = 0;
   };
 
-  /// Builds the topology described by `config` (make_topology).
+  Network(const SimConfig& config, NetworkDeps deps);
+  /// Deprecated (remove next PR): forwards to the NetworkDeps constructor
+  /// with a config-built topology.
   Network(const SimConfig& config, std::unique_ptr<RoutingAlgorithm> routing,
           std::unique_ptr<SelectionPolicy> selection);
-  /// Uses a pre-built topology (snapshot restore rebuilds file-defined
-  /// topologies from the embedded section rather than the filesystem).
+  /// Deprecated (remove next PR): forwards to the NetworkDeps constructor.
   Network(const SimConfig& config, std::shared_ptr<const Topology> topology,
           std::unique_ptr<RoutingAlgorithm> routing,
           std::unique_ptr<SelectionPolicy> selection);
@@ -135,28 +160,33 @@ class Network {
   /// Channels disabled by fault injection.
   [[nodiscard]] int faulted_channel_count() const noexcept { return faulted_; }
 
-  /// Attaches (or detaches, with nullptr) an event tracer. Non-owning; the
-  /// tracer must outlive its use. With no tracer the hot paths pay a single
-  /// predictable branch per instrumentation point.
-  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
-  [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
+  /// Installs the observer surface wholesale (replacing whatever was
+  /// installed before; a default-constructed NetworkHooks detaches
+  /// everything). All pointers are non-owning and must outlive their use.
+  void install_hooks(const NetworkHooks& hooks) noexcept { hooks_ = hooks; }
+  [[nodiscard]] const NetworkHooks& hooks() const noexcept { return hooks_; }
 
-  /// Attaches (or detaches, with nullptr) the telemetry heatmap probe.
-  /// Non-owning, same null-guard discipline as the tracer: traversal and
-  /// injection-stall counters are bumped inline on the hot path.
-  void set_heatmap(SpatialHeatmap* heatmap) noexcept { heatmap_ = heatmap; }
-  [[nodiscard]] SpatialHeatmap* heatmap() const noexcept { return heatmap_; }
+  /// Selects the dense per-cycle sweep (every node and channel visited every
+  /// cycle) instead of the default event-driven active-set core. The dense
+  /// loop is the lockstep oracle — both paths produce byte-identical state,
+  /// traces, and counters (tests/test_step_equivalence.cpp) — kept behind
+  /// --step-dense the same way --detector-full-rebuild keeps the detection
+  /// oracle. Safe to flip between steps: the active sets are maintained in
+  /// both modes.
+  void set_step_dense(bool dense) noexcept { step_dense_ = dense; }
+  [[nodiscard]] bool step_dense() const noexcept { return step_dense_; }
 
-  /// Attaches (or detaches, with nullptr) the phase profiler; when attached,
-  /// step() wall-clocks each of its three phases.
-  void set_profiler(PhaseProfiler* profiler) noexcept { profiler_ = profiler; }
-  [[nodiscard]] PhaseProfiler* profiler() const noexcept { return profiler_; }
-
-  /// Attaches (or detaches, with nullptr) the observability collector; its
-  /// delivery hook feeds the streaming latency histogram. Same non-owning,
-  /// null-guarded discipline as the tracer.
-  void set_obs(ObsCollector* obs) noexcept { obs_ = obs; }
-  [[nodiscard]] ObsCollector* obs() const noexcept { return obs_; }
+  /// Scheduler introspection: how many components the event-driven core will
+  /// visit next cycle. All zero on an idle network.
+  [[nodiscard]] std::size_t active_source_nodes() const noexcept {
+    return src_active_.count();
+  }
+  [[nodiscard]] std::size_t active_eject_nodes() const noexcept {
+    return eject_active_.count();
+  }
+  [[nodiscard]] std::size_t active_channels() const noexcept {
+    return chan_active_.count();
+  }
 
   /// Peak normalized injection bandwidth: flits/node/cycle at which average
   /// network-channel utilization reaches 1 (paper Section 3 normalization).
@@ -199,6 +229,23 @@ class Network {
   void route_phase();
   void transmit_phase();
 
+  // Per-component workers shared by the dense and event-driven sweeps (the
+  // two paths differ only in which components they enumerate). Each worker
+  // also maintains the active sets, so dense-mode runs keep them valid and
+  // the step mode can be flipped at any cycle boundary.
+  void deliver_node(NodeId node);
+  void route_node_grants(NodeId node);
+  void transmit_channel(PhysChannel& pc);
+  /// Superset condition keeping a channel in chan_active_: some owned VC
+  /// could move a flit now or next cycle (flit age is deliberately ignored —
+  /// a flit that arrived this cycle becomes movable on the next one).
+  [[nodiscard]] bool transmit_work_possible(const PhysChannel& pc) const;
+  /// Schedules a physical channel's wakeup (idempotent).
+  void wake_channel(ChannelId ch) noexcept { chan_active_.insert(ch); }
+  /// Recomputes all three active sets from current state (constructor and
+  /// snapshot restore; the sets are never serialized).
+  void rebuild_active_sets();
+
   /// Emits a trace event when a tracer is attached. `vc`'s downstream router
   /// is the event's location unless `node` overrides it.
   void trace(TraceEventKind kind, MessageId msg, VcId vc,
@@ -236,10 +283,17 @@ class Network {
   int blocked_count_ = 0;
   int faulted_ = 0;
   Counters counters_;
-  Tracer* tracer_ = nullptr;
-  SpatialHeatmap* heatmap_ = nullptr;
-  PhaseProfiler* profiler_ = nullptr;
-  ObsCollector* obs_ = nullptr;
+  NetworkHooks hooks_;
+  bool step_dense_ = false;
+
+  // Event-driven scheduling state (never serialized; rebuilt on restore).
+  // Invariants, maintained in both step modes:
+  //   src_active_   == nodes with a non-empty source queue (exact);
+  //   eject_active_ ⊇ nodes with any buffered flit in an ejection VC;
+  //   chan_active_  ⊇ channels with transmit_work_possible().
+  ActiveSet src_active_;
+  ActiveSet eject_active_;
+  ActiveSet chan_active_;
 
   // scratch buffers reused across cycles to avoid per-cycle allocation
   std::vector<ChannelId> scratch_channels_;

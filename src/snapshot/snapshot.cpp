@@ -431,9 +431,9 @@ RestoredSim restore_snapshot(const Snapshot& snap) {
                  ", rebuilt " + topo->name() + ")");
   }
 
-  out.net = std::make_unique<Network>(snap.sim, std::move(topo),
-                                      make_routing(snap.sim),
-                                      make_selection(snap.sim.selection));
+  out.net = std::make_unique<Network>(
+      snap.sim, NetworkDeps{std::move(topo), make_routing(snap.sim),
+                            make_selection(snap.sim.selection)});
   {
     BinReader in(snap.network_state.data(), snap.network_state.size());
     out.net->restore_state(in);

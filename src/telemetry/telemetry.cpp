@@ -21,9 +21,10 @@ Telemetry::Telemetry(const TelemetryConfig& config, const Network& net)
   last_sample_ = net.now();
 }
 
-void Telemetry::attach(Network& net, DeadlockDetector& detector) {
-  net.set_heatmap(&heatmap_);
-  net.set_profiler(&profiler_);
+void Telemetry::contribute_hooks(NetworkHooks& hooks,
+                                 DeadlockDetector& detector) {
+  hooks.heatmap = &heatmap_;
+  hooks.profiler = &profiler_;
   detector.set_profiler(&profiler_);
 }
 

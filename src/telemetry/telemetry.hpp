@@ -59,10 +59,11 @@ class Telemetry {
   /// `config.interval` < 1 throws; the network fixes the counter shapes.
   Telemetry(const TelemetryConfig& config, const Network& net);
 
-  /// Wires the hot-path probes: heatmap + profiler into the network, the
-  /// profiler into the detector. Pointers are non-owning; this Telemetry
-  /// must outlive both (Simulation guarantees it).
-  void attach(Network& net, DeadlockDetector& detector);
+  /// Contributes the hot-path probes — heatmap + profiler — to the network
+  /// observer surface being assembled, and wires the profiler into the
+  /// detector. Pointers are non-owning; this Telemetry must outlive every
+  /// consumer (Simulation guarantees it).
+  void contribute_hooks(NetworkHooks& hooks, DeadlockDetector& detector);
 
   /// Per-cycle driver hook (call after Network::step() + detector tick);
   /// samples the collectors whenever the configured interval elapses.

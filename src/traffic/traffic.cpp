@@ -1,5 +1,6 @@
 #include "traffic/traffic.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -148,22 +149,48 @@ class HotSpotTraffic final : public TrafficPattern {
 
 class TornadoTraffic final : public TrafficPattern {
  public:
-  explicit TornadoTraffic(const Topology& topo)
-      : topo_(&torus_topology(topo)) {}
+  explicit TornadoTraffic(const Topology& topo) : torus_(topo.as_torus()) {
+    if (torus_ != nullptr) return;
+    // Any topology: tornado's "nearly half-way around the ring" generalizes
+    // to a fixed destination one hop short of the farthest node (on a k-ary
+    // ring both give hop (k+1)/2 - 1 of eccentricity k/2... close enough in
+    // spirit: long, fixed, non-uniform paths). Precompute the smallest-id
+    // node at distance max(1, eccentricity(src) - 1) per source; BFS layers
+    // are contiguous on a connected graph, so one always exists.
+    const NodeId nodes = topo.num_nodes();
+    dst_.resize(static_cast<std::size_t>(nodes), kInvalidNode);
+    for (NodeId src = 0; src < nodes; ++src) {
+      int ecc = 0;
+      for (NodeId n = 0; n < nodes; ++n) {
+        ecc = std::max(ecc, topo.min_distance(src, n));
+      }
+      const int target = std::max(1, ecc - 1);
+      for (NodeId n = 0; n < nodes; ++n) {
+        if (topo.min_distance(src, n) == target) {
+          dst_[static_cast<std::size_t>(src)] = n;
+          break;
+        }
+      }
+    }
+  }
   [[nodiscard]] std::string_view name() const noexcept override { return "Tornado"; }
 
   [[nodiscard]] NodeId destination(NodeId src, Pcg32& /*rng*/) const override {
-    // Nearly half-way around every dimension — the classic adversarial
-    // pattern for rings.
-    const int hop = (topo_->radix() + 1) / 2 - 1;
-    if (hop == 0) return kInvalidNode;
-    std::vector<int> coords = topo_->coordinates().unpack(src);
-    for (int& c : coords) c = (c + hop) % topo_->radix();
-    return topo_->coordinates().pack(coords);
+    if (torus_ != nullptr) {
+      // Nearly half-way around every dimension — the classic adversarial
+      // pattern for rings (bit-identical to the historical torus-only path).
+      const int hop = (torus_->radix() + 1) / 2 - 1;
+      if (hop == 0) return kInvalidNode;
+      std::vector<int> coords = torus_->coordinates().unpack(src);
+      for (int& c : coords) c = (c + hop) % torus_->radix();
+      return torus_->coordinates().pack(coords);
+    }
+    return dst_[static_cast<std::size_t>(src)];
   }
 
  private:
-  const KAryNCube* topo_;
+  const KAryNCube* torus_;
+  std::vector<NodeId> dst_;  ///< Per-source fixed destination (non-torus).
 };
 
 class NearestNeighborTraffic final : public TrafficPattern {

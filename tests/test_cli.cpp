@@ -96,6 +96,11 @@ TEST(Cli, QuiescenceAndCycleFlags) {
   EXPECT_EQ(cfg.detector.total_cycle_cap, 777);
 }
 
+TEST(Cli, StepDenseFlag) {
+  EXPECT_FALSE(experiment_from_options(parse({})).run.step_dense);
+  EXPECT_TRUE(experiment_from_options(parse({"--step-dense"})).run.step_dense);
+}
+
 TEST(Cli, LoadsListParsing) {
   const std::vector<double> loads =
       loads_from_options(parse({"--loads", "0.1,0.25,0.7"}));

@@ -60,12 +60,14 @@ TEST(ObsPrecursor, EveryCorpusCaptureWarnsBeforeConfirmation) {
     cfg.collect = true;
     cfg.interval = 10;
     ObsCollector obs(cfg, net);
-    obs.attach(net);
 
     Tracer tracer;
     RingBufferSink ring(1024);
     tracer.add_sink(&ring);
-    net.set_tracer(&tracer);
+    NetworkHooks hooks;
+    hooks.tracer = &tracer;
+    obs.contribute_hooks(hooks);
+    net.install_hooks(hooks);
 
     for (int i = 0; i < 600; ++i) {
       net.step();

@@ -94,7 +94,9 @@ TEST(IntervalRecorder, SamplesCountIntervalFlow) {
 TEST(SpatialHeatmap, CountsTraversalsForSingleMessage) {
   auto net = make_network(torus_4x4());
   SpatialHeatmap heatmap(*net);
-  net->set_heatmap(&heatmap);
+  NetworkHooks hooks;
+  hooks.heatmap = &heatmap;
+  net->install_hooks(hooks);
 
   const int length = 4;
   const MessageId id = net->enqueue_message(0, 5, length);
@@ -125,7 +127,9 @@ TEST(SpatialHeatmap, CountsTraversalsForSingleMessage) {
 TEST(SpatialHeatmap, OccupancySamplingChargesOwnedVcs) {
   auto net = make_network(torus_4x4());
   SpatialHeatmap heatmap(*net);
-  net->set_heatmap(&heatmap);
+  NetworkHooks hooks;
+  hooks.heatmap = &heatmap;
+  net->install_hooks(hooks);
 
   net->enqueue_message(0, 5, 4);
   net->step();
@@ -150,7 +154,9 @@ TEST(SpatialHeatmap, CountsInjectionStalls) {
   cfg.injection_vcs = 1;
   auto net = make_network(cfg);
   SpatialHeatmap heatmap(*net);
-  net->set_heatmap(&heatmap);
+  NetworkHooks hooks;
+  hooks.heatmap = &heatmap;
+  net->install_hooks(hooks);
 
   // Two messages at the same node: the second waits for the injection VC.
   net->enqueue_message(0, 5, 4);
@@ -249,8 +255,8 @@ TEST(Telemetry, DisabledByDefaultEnabledByAnyPath) {
 TEST(Telemetry, SimulationCollectsSeriesAndProfile) {
   Simulation sim(telemetry_config());
   ASSERT_NE(sim.telemetry(), nullptr);
-  EXPECT_EQ(sim.network().heatmap(), &sim.telemetry()->heatmap());
-  EXPECT_EQ(sim.network().profiler(), &sim.telemetry()->profiler());
+  EXPECT_EQ(sim.network().hooks().heatmap, &sim.telemetry()->heatmap());
+  EXPECT_EQ(sim.network().hooks().profiler, &sim.telemetry()->profiler());
 
   const ExperimentResult result = sim.run();
   EXPECT_TRUE(result.telemetry.enabled);
@@ -278,8 +284,8 @@ TEST(Telemetry, DisabledSimulationHasNoProbes) {
   cfg.telemetry = TelemetryConfig{};
   Simulation sim(cfg);
   EXPECT_EQ(sim.telemetry(), nullptr);
-  EXPECT_EQ(sim.network().heatmap(), nullptr);
-  EXPECT_EQ(sim.network().profiler(), nullptr);
+  EXPECT_EQ(sim.network().hooks().heatmap, nullptr);
+  EXPECT_EQ(sim.network().hooks().profiler, nullptr);
   const ExperimentResult result = sim.run();
   EXPECT_FALSE(result.telemetry.enabled);
 }

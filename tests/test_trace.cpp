@@ -145,7 +145,9 @@ TEST(LiveTracing, EventCountsMatchNetworkCounters) {
   RingBufferSink ring(1 << 20);
   Tracer tracer;
   tracer.add_sink(&ring);
-  sim.network().set_tracer(&tracer);
+  NetworkHooks hooks = sim.network().hooks();
+  hooks.tracer = &tracer;
+  sim.network().install_hooks(hooks);
   sim.run_cycles(1500);
 
   std::array<std::int64_t, kNumTraceEventKinds> counts{};
