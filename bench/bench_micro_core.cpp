@@ -4,7 +4,10 @@
 // detection every 50 cycles.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "flexnet.hpp"
 
@@ -136,6 +139,95 @@ void BM_NetworkStepMetrics(benchmark::State& state) {
                           sim->network().topology().num_nodes());
 }
 BENCHMARK(BM_NetworkStepMetrics)->Arg(8)->Arg(16);
+
+/// The BM_NetworkStep/16 harness re-run from a recorded arrival stream:
+/// bounds the trace-replay tick overhead against the Bernoulli baseline
+/// (budget <5%). The capture — the identical configuration driven far enough
+/// to cover warmup plus every measured iteration — happens once per process
+/// and goes through a real temp file, exactly as production replay does.
+/// Iterations are pinned so the measured loop never outruns the trace.
+constexpr Cycle kReplayWarmCycles = 3000;
+constexpr int kReplayIterations = 4000;
+
+SimConfig replay_sim_config() {
+  SimConfig cfg;
+  cfg.topology.k = 16;
+  cfg.topology.n = 2;
+  cfg.routing = RoutingKind::TFAR;
+  cfg.vcs = 1;
+  return cfg;
+}
+
+const std::string& replay_trace_path() {
+  static const std::string path = [] {
+    const std::string out =
+        (std::filesystem::temp_directory_path() / "flexnet_bench_replay.trace")
+            .string();
+    const SimConfig cfg = replay_sim_config();
+    Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
+    TrafficConfig traffic;
+    traffic.load = 0.4;
+    InjectionProcess inj(net, traffic, cfg.seed);
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    TraceHeader header;
+    header.nodes = net.topology().num_nodes();
+    header.traffic = traffic;
+    header.avg_distance = inj.average_distance();
+    header.capacity = inj.capacity_flits_per_node();
+    header.offered = inj.offered_flit_rate();
+    TraceCaptureWriter writer(file, header);
+    inj.set_capture(&writer);
+    for (Cycle c = 0; c < kReplayWarmCycles + kReplayIterations + 1000; ++c) {
+      inj.tick(net);
+      net.step();
+    }
+    inj.set_capture(nullptr);
+    writer.finish();
+    return out;
+  }();
+  return path;
+}
+
+void BM_NetworkStepTraceReplay(benchmark::State& state) {
+  const SimConfig cfg = replay_sim_config();
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                               make_selection(cfg.selection)});
+  TraceReplayInjection inj(net, replay_trace_path(), cfg.seed);
+  while (net.now() < kReplayWarmCycles) {
+    inj.tick(net);
+    net.step();
+  }
+  for (auto _ : state) {
+    inj.tick(net);
+    net.step();
+  }
+  state.SetItemsProcessed(state.iterations() * net.topology().num_nodes());
+}
+BENCHMARK(BM_NetworkStepTraceReplay)->Iterations(kReplayIterations);
+
+/// Same harness under a mean-normalized burst pace profile: the per-cycle
+/// multiplier lookup plus the usual Bernoulli draws. Budget <5% over
+/// BM_NetworkStep/16.
+void BM_NetworkStepPaced(benchmark::State& state) {
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 16;
+  cfg.sim.topology.n = 2;
+  cfg.sim.routing = RoutingKind::TFAR;
+  cfg.sim.vcs = 1;
+  cfg.traffic.load = 0.4;
+  cfg.detector.recovery = RecoveryKind::None;
+  cfg.workload = parse_workload_spec("pace:burst(100,0.2,4)");
+  auto sim = std::make_unique<Simulation>(cfg);
+  sim->run_cycles(3000);
+  for (auto _ : state) {
+    sim->injection().tick(sim->network());
+    sim->network().step();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sim->network().topology().num_nodes());
+}
+BENCHMARK(BM_NetworkStepPaced);
 
 /// One forced metrics sample on the frozen saturated network: the full
 /// stall-age scan, union-find component pass, census and score. This is the

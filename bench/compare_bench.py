@@ -26,11 +26,13 @@ import json
 import sys
 
 # Benchmarks the gate enforces: the simulator cycle rate (saturated, light
-# load, and idle — the activity-gated scheduler's three regimes), the
-# worst-case (full-rebuild oracle) detection pass, and one observability
-# sample.
+# load, and idle — the activity-gated scheduler's three regimes), the same
+# cycle under trace replay and a pace profile (the workload subsystem's
+# overhead budget), the worst-case (full-rebuild oracle) detection pass, and
+# one observability sample.
 GATED = ["BM_NetworkStep/8", "BM_NetworkStep/16",
          "BM_NetworkStepIdle/event", "BM_NetworkStepLowLoad/event",
+         "BM_NetworkStepTraceReplay/iterations:4000", "BM_NetworkStepPaced",
          "BM_FullDetectionPass", "BM_MetricsSample"]
 CALIBRATION = "BM_CycleEnumerationCapped"
 

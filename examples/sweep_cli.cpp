@@ -27,6 +27,12 @@
 //       --routing TableUpDown --loads 0.4    # deadlock-free any-topology
 //   ./sweep_cli --topology random --nodes 24 --degree 3 --topo-seed 7
 //       --route-table-dump tables.rt --loads 0.3  # dump the routing tables
+//   ./sweep_cli --routing DOR --loads 0.3 --capture-trace run.trace
+//                                            # record the arrival stream
+//   ./sweep_cli --workload trace:run.trace --routing DOR --loads 0.3
+//                                            # replay it byte-identically
+//   ./sweep_cli --routing DOR --uni --vcs 1 --length 8 --loads 0.08
+//       --workload 'pace:burst(200,0.2,4)' --forensics  # bursty workload
 #include <fstream>
 #include <iostream>
 

@@ -117,6 +117,9 @@ int DeadlockDetector::process_knots(Network& net, const Cwg& cwg) {
     }
     ++confirmed;
     ++total_deadlocks_;
+    for (const MessageId id : knot.deadlock_set) {
+      ++class_participation_[class_index(net.message(id).cls)];
+    }
     DeadlockRecord record;
     record.detected_at = net.now();
     record.deadlock_set_size = static_cast<int>(knot.deadlock_set.size());
@@ -199,9 +202,10 @@ void DeadlockDetector::save_state(BinWriter& out) const {
     out.i32(s2.blocked_messages);
     out.i32(s2.in_network_messages);
   }
+  for (const std::int64_t n : class_participation_) out.i64(n);
 }
 
-void DeadlockDetector::restore_state(BinReader& in) {
+void DeadlockDetector::restore_state(BinReader& in, std::uint32_t version) {
   // Scratch/cache state is intentionally not part of the snapshot format;
   // a restored detector simply pays one full pass to repopulate it.
   cache_valid_ = false;
@@ -245,6 +249,10 @@ void DeadlockDetector::restore_state(BinReader& in) {
     s2.in_network_messages = in.i32();
     cycle_samples_.push_back(s2);
   }
+  class_participation_.fill(0);
+  if (version >= 3) {
+    for (std::int64_t& n : class_participation_) n = in.i64();
+  }
 }
 
 void DeadlockDetector::reset_statistics() {
@@ -253,6 +261,7 @@ void DeadlockDetector::reset_statistics() {
   total_deadlocks_ = 0;
   transient_knots_ = 0;
   livelocks_ = 0;
+  class_participation_.fill(0);
 }
 
 }  // namespace flexnet

@@ -8,12 +8,14 @@
 // up at the next invocation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "core/incremental.hpp"
 #include "core/knot.hpp"
 #include "sim/config.hpp"
+#include "sim/message_class.hpp"
 #include "util/rng.hpp"
 
 namespace flexnet {
@@ -179,14 +181,25 @@ class DeadlockDetector {
     return pressure_;
   }
 
+  /// Per-class deadlock participation: how many confirmed deadlock-set
+  /// members carried each MessageClass, accumulated across every confirmed
+  /// knot since the last reset_statistics(). The workload question "which
+  /// traffic classes end up inside the knots?" reads straight off this.
+  [[nodiscard]] const std::array<std::int64_t, kNumMessageClasses>&
+  class_participation() const noexcept {
+    return class_participation_;
+  }
+
   /// Drops accumulated records/samples (e.g. at the end of warmup) while
   /// keeping detector state.
   void reset_statistics();
 
   /// Snapshot hooks: RNG position, tallies, and the retained record/sample
   /// vectors (so a resumed run reports identical detector statistics).
+  /// Pre-v3 payloads carry no class-participation array (restores zeroed).
   void save_state(BinWriter& out) const;
-  void restore_state(BinReader& in);
+  void restore_state(BinReader& in,
+                     std::uint32_t version = kStateFormatVersion);
 
  private:
   /// Quiescence-checks, characterizes, records, and recovers every knot in
@@ -204,6 +217,7 @@ class DeadlockDetector {
   std::int64_t transient_knots_ = 0;
   std::int64_t livelocks_ = 0;
   std::int64_t invocations_ = 0;
+  std::array<std::int64_t, kNumMessageClasses> class_participation_{};
 
   // --- incremental pipeline state (never serialized: save_state/restore_state
   // deliberately exclude everything below so snapshots stay format-stable and

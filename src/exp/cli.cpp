@@ -128,6 +128,14 @@ ExperimentConfig experiment_from_options(const Options& opts) {
     cfg.traffic.hybrid_with = parse_traffic(opts.get("hybrid"));
   }
 
+  // Arrival process: bernoulli (default) | trace:<path> | pace:<spec>, plus
+  // an optional capture tap mirroring every generated message into a
+  // replayable flexnet-trace-v1 file.
+  if (opts.has("workload")) {
+    cfg.workload = parse_workload_spec(opts.get("workload"));
+  }
+  cfg.workload.capture_path = opts.get("capture-trace");
+
   cfg.detector.interval = opts.get_int("interval", cfg.detector.interval);
   cfg.detector.recovery = parse_recovery(opts.get("recovery", "RemoveOldest"));
   cfg.detector.require_quiescence = !opts.get_bool("no-quiescence", false);

@@ -7,6 +7,7 @@
 #include "routing/selection.hpp"
 #include "telemetry/manifest.hpp"
 #include "util/binio.hpp"
+#include "workload/replay.hpp"
 
 namespace flexnet {
 
@@ -40,13 +41,18 @@ std::ofstream open_trace_file(const std::string& path) {
 Simulation::Simulation(const ExperimentConfig& config)
     : config_(config), metrics_(config.run.sample_every) {
   std::vector<std::uint8_t> resumed_obs_state;
+  std::uint32_t resumed_version = kSnapshotVersion;
   if (!config_.snapshot.resume_path.empty()) {
     // Resume: the snapshot's configs and run schedule are authoritative (the
-    // command line only contributes trace/telemetry/snapshot attachments).
+    // command line only contributes trace/telemetry/snapshot attachments and
+    // the capture tap, which is a run-local attachment like the others).
+    const std::string cli_capture = config_.workload.capture_path;
     Snapshot snap = read_snapshot_file(config_.snapshot.resume_path);
     RestoredSim restored = restore_snapshot(snap);
     config_.sim = restored.sim;
     config_.traffic = restored.traffic;
+    config_.workload = restored.workload;
+    config_.workload.capture_path = cli_capture;
     config_.detector = restored.detector_config;
     config_.run.warmup = snap.meta.warmup;
     config_.run.measure = snap.meta.measure;
@@ -59,23 +65,48 @@ Simulation::Simulation(const ExperimentConfig& config)
     resumed_measuring_ = snap.meta.measuring;
     resumed_at_cycle_ = snap.meta.cycle;
     resumed_obs_state = std::move(snap.obs_state);
+    resumed_version = snap.version;
   } else {
     config_.sim.validate();
     NetworkDeps deps;
     deps.routing = make_routing(config_.sim);
     deps.selection = make_selection(config_.sim.selection);
     network_ = std::make_unique<Network>(config_.sim, std::move(deps));
-    injection_ = std::make_unique<InjectionProcess>(*network_, config_.traffic,
-                                                    config_.sim.seed);
+    injection_ = make_injection(*network_, config_.traffic, config_.workload,
+                                config_.sim.seed);
+    if (config_.workload.kind == WorkloadKind::Trace) {
+      // The trace header carries the capture run's traffic config and
+      // normalization; adopt it so manifests and derived rates reproduce the
+      // capture byte-for-byte (only the workload block differs).
+      config_.traffic =
+          static_cast<const TraceReplayInjection&>(*injection_).header().traffic;
+    }
     detector_ =
         std::make_unique<DeadlockDetector>(config_.detector, config_.sim.seed);
+  }
+
+  if (!config_.workload.capture_path.empty()) {
+    capture_out_.open(config_.workload.capture_path,
+                      std::ios::binary | std::ios::trunc);
+    if (!capture_out_) {
+      throw std::runtime_error("cannot open capture trace file: " +
+                               config_.workload.capture_path);
+    }
+    TraceHeader header;
+    header.nodes = network_->topology().num_nodes();
+    header.traffic = config_.traffic;
+    header.avg_distance = injection_->average_distance();
+    header.capacity = injection_->capacity_flits_per_node();
+    header.offered = injection_->offered_flit_rate();
+    capture_writer_ = std::make_unique<TraceCaptureWriter>(capture_out_, header);
+    injection_->set_capture(capture_writer_.get());
   }
 
   if (!config_.snapshot.capture_dir.empty()) {
     corpus_ = std::make_unique<DeadlockCorpus>(
         config_.snapshot.capture_dir, config_.snapshot.capture_limit,
-        config_.sim, config_.traffic, config_.detector, injection_.get(),
-        detector_.get(), &metrics_);
+        config_.sim, config_.traffic, config_.workload, config_.detector,
+        injection_.get(), detector_.get(), &metrics_);
     sync_corpus_run_state();
     detector_->set_capture(corpus_.get());
   }
@@ -119,7 +150,7 @@ Simulation::Simulation(const ExperimentConfig& config)
     // those records are byte-identical to the uninterrupted run's.
     if (!resumed_obs_state.empty()) {
       BinReader in(resumed_obs_state.data(), resumed_obs_state.size());
-      obs_->restore_state(in);
+      obs_->restore_state(in, resumed_version);
     }
   }
 
@@ -155,7 +186,8 @@ Snapshot Simulation::make_checkpoint() const {
   meta.sample_every = config_.run.sample_every;
   Snapshot snap =
       capture_snapshot(meta, config_.sim, config_.traffic, config_.detector,
-                       *network_, *injection_, *detector_, metrics_);
+                       config_.workload, *network_, *injection_, *detector_,
+                       metrics_);
   if (obs_) {
     BinWriter out;
     obs_->save_state(out);
@@ -240,6 +272,13 @@ ExperimentResult Simulation::run() {
   }
   result.detector_invocations = detector_->invocations();
   result.detector_skipped_passes = detector_->skipped_passes();
+
+  if (capture_writer_) {
+    // Seal the captured trace (writes the `end <count>` trailer readers use
+    // to detect truncation) before anything else can throw.
+    injection_->set_capture(nullptr);
+    capture_writer_->finish();
+  }
 
   flush_trace();
   if (obs_) {

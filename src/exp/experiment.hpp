@@ -18,6 +18,8 @@
 #include "trace/forensics.hpp"
 #include "trace/sinks.hpp"
 #include "traffic/injection.hpp"
+#include "workload/trace_file.hpp"
+#include "workload/workload.hpp"
 
 namespace flexnet {
 
@@ -94,6 +96,9 @@ struct SnapshotConfig {
 struct ExperimentConfig {
   SimConfig sim;
   TrafficConfig traffic;
+  /// Arrival process (--workload) + optional capture tap (--capture-trace).
+  /// A trace workload's header overrides `traffic` at construction.
+  WorkloadConfig workload;
   DetectorConfig detector;
   RunConfig run;
   TraceConfig trace;
@@ -222,6 +227,10 @@ class Simulation {
   std::unique_ptr<DeadlockForensics> forensics_;
   std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<ObsCollector> obs_;
+
+  // Workload capture tap (--capture-trace): stream before writer.
+  std::ofstream capture_out_;
+  std::unique_ptr<TraceCaptureWriter> capture_writer_;
 };
 
 /// One-shot: build, warm up, measure, summarize.

@@ -39,6 +39,7 @@ std::vector<ExperimentResult> sweep_loads(const ExperimentConfig& base,
       config.telemetry = base.telemetry.with_point_suffix(i);
       config.obs = base.obs.with_point_suffix(i);
       config.snapshot = base.snapshot.with_point_suffix(i);
+      config.workload = base.workload.with_point_suffix(i);
     }
     results[i] = run_experiment(config);
   };

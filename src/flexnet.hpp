@@ -65,3 +65,7 @@
 #include "util/parallel.hpp"     // IWYU pragma: export
 #include "util/rng.hpp"          // IWYU pragma: export
 #include "util/stats.hpp"        // IWYU pragma: export
+#include "workload/pace.hpp"       // IWYU pragma: export
+#include "workload/replay.hpp"     // IWYU pragma: export
+#include "workload/trace_file.hpp" // IWYU pragma: export
+#include "workload/workload.hpp"   // IWYU pragma: export

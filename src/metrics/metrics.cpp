@@ -15,9 +15,9 @@ void MetricsCollector::save_state(BinWriter& out) const {
   queued_.save_state(out);
 }
 
-void MetricsCollector::restore_state(BinReader& in) {
+void MetricsCollector::restore_state(BinReader& in, std::uint32_t version) {
   start_cycle_ = in.i64();
-  Network::restore_counters(in, start_);
+  Network::restore_counters(in, start_, version);
   blocked_.restore_state(in);
   blocked_fraction_.restore_state(in);
   in_network_.restore_state(in);
@@ -100,6 +100,22 @@ WindowMetrics MetricsCollector::finish(const Network& net,
     if (sample.at < start_cycle_) continue;
     m.cwg_cycles.add(static_cast<double>(sample.cycles));
     m.cycle_count_capped = m.cycle_count_capped || sample.capped;
+  }
+
+  for (std::size_t k = 0; k < kNumMessageClasses; ++k) {
+    WindowMetrics::ClassMetrics& cm = m.classes[k];
+    cm.generated = end.class_generated[k] - start_.class_generated[k];
+    cm.delivered = end.class_delivered[k] - start_.class_delivered[k];
+    cm.recovered = end.class_recovered[k] - start_.class_recovered[k];
+    if (cm.delivered > 0) {
+      cm.avg_latency =
+          static_cast<double>(end.class_latency_sum[k] -
+                              start_.class_latency_sum[k]) /
+          static_cast<double>(cm.delivered);
+    }
+    // The detector tallies are reset at the window start alongside its
+    // records, so they are already window-scoped.
+    cm.deadlock_participants = detector.class_participation()[k];
   }
   return m;
 }

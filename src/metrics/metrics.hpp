@@ -6,6 +6,8 @@
 // the network).
 #pragma once
 
+#include <array>
+
 #include "core/detector.hpp"
 #include "sim/network.hpp"
 #include "util/stats.hpp"
@@ -51,6 +53,19 @@ struct WindowMetrics {
   RunningStat cwg_cycles;
   bool cycle_count_capped = false;
 
+  /// Per-message-class breakdown (index = class_index). Scalar flow fields
+  /// above equal the sums over these; deadlock_participants counts the
+  /// confirmed deadlock-set members of each class (a deadlock of k messages
+  /// contributes k across the classes, so the sum exceeds `deadlocks`).
+  struct ClassMetrics {
+    std::int64_t generated = 0;
+    std::int64_t delivered = 0;
+    std::int64_t recovered = 0;
+    double avg_latency = 0.0;
+    std::int64_t deadlock_participants = 0;
+  };
+  std::array<ClassMetrics, kNumMessageClasses> classes{};
+
   /// Messages completed (the normalized-deadlock denominator).
   [[nodiscard]] std::int64_t completed(bool count_recovered) const noexcept {
     return delivered + (count_recovered ? recovered : 0);
@@ -76,9 +91,11 @@ class MetricsCollector {
 
   /// Snapshot hooks: window start marker plus the four congestion
   /// accumulators, so a resumed run finishes the window with the exact
-  /// RunningStat state (bit-identical WindowMetrics).
+  /// RunningStat state (bit-identical WindowMetrics). Pre-v3 payloads carry
+  /// no per-class counters in the window-start marker (restored as zeros).
   void save_state(BinWriter& out) const;
-  void restore_state(BinReader& in);
+  void restore_state(BinReader& in,
+                     std::uint32_t version = kStateFormatVersion);
 
  private:
   int sample_every_;

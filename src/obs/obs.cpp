@@ -86,6 +86,10 @@ void ObsCollector::sample_now(const Network& net, const DeadlockDetector& detect
   s.recovered = c.recovered - prev_recovered_;
   prev_delivered_ = c.delivered;
   prev_recovered_ = c.recovered;
+  for (std::size_t k = 0; k < kNumMessageClasses; ++k) {
+    s.class_delivered[k] = c.class_delivered[k] - prev_class_delivered_[k];
+    prev_class_delivered_[k] = c.class_delivered[k];
+  }
   s.latency_p50 = latency_hist_.p50();
   s.latency_p99 = latency_hist_.p99();
   s.latency_p999 = latency_hist_.p999();
@@ -261,6 +265,9 @@ void ObsCollector::emit_record(const ObsSample& s) {
   json.field("active_sources", s.active_sources);
   json.field("in_network", s.in_network);
   json.field("queued", s.queued);
+  json.key("class_delivered").begin_array();
+  for (const std::int64_t n : s.class_delivered) json.value(n);
+  json.end_array();
   json.end_object();
   out_ << '\n';
   out_.flush();
@@ -312,6 +319,17 @@ void ObsCollector::write_summary_fields(JsonWriter& json,
   json.field("p99", stall_hist_.p99());
   json.field("max", stall_hist_.max());
   json.end_object();
+  json.key("classes").begin_object();
+  for (const MessageClass cls : all_message_classes()) {
+    const LogHistogram& h = class_latency_hist_[class_index(cls)];
+    json.key(to_string(cls)).begin_object();
+    json.field("delivered", net.counters().class_delivered[class_index(cls)]);
+    json.field("latency_p50", h.p50());
+    json.field("latency_p99", h.p99());
+    json.field("latency_max", h.max());
+    json.end_object();
+  }
+  json.end_object();
 }
 
 ObsArtifacts ObsCollector::artifacts() const {
@@ -350,9 +368,11 @@ void ObsCollector::save_state(BinWriter& out) const {
   out.i64(last_pressure_.largest_scc);
   out.i64(last_pressure_.knots);
   out.u8(last_pressure_.valid ? 1 : 0);
+  for (const LogHistogram& h : class_latency_hist_) h.save_state(out);
+  for (const std::int64_t n : prev_class_delivered_) out.i64(n);
 }
 
-void ObsCollector::restore_state(BinReader& in) {
+void ObsCollector::restore_state(BinReader& in, std::uint32_t version) {
   const std::uint32_t nvcs = in.u32();
   const std::uint32_t nchannels = in.u32();
   if (nvcs != vc_stall_hwm_.size() || nchannels != channel_stall_hwm_.size()) {
@@ -380,6 +400,12 @@ void ObsCollector::restore_state(BinReader& in) {
   last_pressure_.largest_scc = in.i64();
   last_pressure_.knots = in.i64();
   last_pressure_.valid = in.u8() != 0;
+  class_latency_hist_.fill(LogHistogram{});
+  prev_class_delivered_.fill(0);
+  if (version >= 3) {
+    for (LogHistogram& h : class_latency_hist_) h.restore_state(in);
+    for (std::int64_t& n : prev_class_delivered_) n = in.i64();
+  }
 }
 
 }  // namespace flexnet

@@ -36,6 +36,7 @@
 // at the delivery hook, nothing else.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -43,6 +44,7 @@
 
 #include "core/detector.hpp"
 #include "obs/histogram.hpp"
+#include "sim/message_class.hpp"
 #include "sim/network.hpp"
 #include "sim/types.hpp"
 
@@ -115,6 +117,11 @@ struct ObsSample {
   std::int32_t active_sources = 0;
   std::int64_t in_network = 0;
   std::int64_t queued = 0;
+
+  /// Deliveries over the interval broken down by message class (index =
+  /// class_index; sums to `delivered`). All-Bulk until a workload tags
+  /// classes, so pre-workload streams stay byte-meaningful.
+  std::array<std::int64_t, kNumMessageClasses> class_delivered{};
 };
 
 /// What an obs-enabled run leaves behind in its ExperimentResult.
@@ -161,9 +168,10 @@ class ObsCollector {
   void finalize(const Network& net, const DeadlockDetector& detector);
 
   // --- hot-path hook (call site in Network is null-guarded) ----------------
-  void on_delivery(Cycle latency, std::int32_t hops) noexcept {
+  void on_delivery(Cycle latency, std::int32_t hops, MessageClass cls) noexcept {
     (void)hops;
     latency_hist_.record(latency);
+    class_latency_hist_[class_index(cls)].record(latency);
   }
 
   // --- observers -----------------------------------------------------------
@@ -174,6 +182,10 @@ class ObsCollector {
   }
   [[nodiscard]] const LogHistogram& latency_histogram() const noexcept {
     return latency_hist_;
+  }
+  [[nodiscard]] const LogHistogram& class_latency_histogram(
+      MessageClass cls) const noexcept {
+    return class_latency_hist_[class_index(cls)];
   }
   [[nodiscard]] const LogHistogram& stall_histogram() const noexcept {
     return stall_hist_;
@@ -210,9 +222,11 @@ class ObsCollector {
 
   /// Snapshot codec (section 10): every cumulative histogram, watermark,
   /// latch and cadence cursor, so a resumed run's stream continues
-  /// bit-exactly where the checkpoint left off.
+  /// bit-exactly where the checkpoint left off. Pre-v3 payloads carry no
+  /// per-class histograms/cursors (restored empty/zeroed).
   void save_state(BinWriter& out) const;
-  void restore_state(BinReader& in);
+  void restore_state(BinReader& in,
+                     std::uint32_t version = kStateFormatVersion);
 
  private:
   void sample_now(const Network& net, const DeadlockDetector& detector);
@@ -226,6 +240,8 @@ class ObsCollector {
 
   // Cumulative state (serialized).
   LogHistogram latency_hist_;
+  std::array<LogHistogram, kNumMessageClasses> class_latency_hist_;
+  std::array<std::int64_t, kNumMessageClasses> prev_class_delivered_{};
   LogHistogram stall_hist_;
   std::vector<std::int64_t> vc_stall_hwm_;
   std::vector<std::int64_t> channel_stall_hwm_;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "sim/message_class.hpp"
 #include "sim/types.hpp"
 
 namespace flexnet {
@@ -23,6 +24,7 @@ struct Message {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   std::int32_t length = 0;
+  MessageClass cls = MessageClass::Bulk;  ///< Workload class tag.
 
   Cycle created = -1;   ///< Cycle the message entered the source queue.
   Cycle injected = -1;  ///< Cycle its head flit entered the injection VC.

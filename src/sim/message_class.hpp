@@ -1,0 +1,61 @@
+// Message classes tag every message end-to-end (generation -> injection ->
+// delivery/recovery -> telemetry/obs/forensics) so workloads can mix traffic
+// types and every report breaks down per class — including deadlock
+// participation. The enum is append-only: class indices are serialized in
+// snapshots and trace files.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace flexnet {
+
+enum class MessageClass : std::uint8_t {
+  Bulk = 0,         ///< Default background transfers (Bernoulli, pace OFF).
+  Burst = 1,        ///< Pace-profile ON-phase / burst traffic.
+  Interactive = 2,  ///< Latency-sensitive requests.
+  Control = 3,      ///< Small control-plane messages.
+};
+
+inline constexpr std::size_t kNumMessageClasses = 4;
+
+[[nodiscard]] constexpr std::array<MessageClass, kNumMessageClasses>
+all_message_classes() noexcept {
+  return {MessageClass::Bulk, MessageClass::Burst, MessageClass::Interactive,
+          MessageClass::Control};
+}
+
+[[nodiscard]] constexpr std::string_view to_string(MessageClass cls) noexcept {
+  switch (cls) {
+    case MessageClass::Bulk: return "bulk";
+    case MessageClass::Burst: return "burst";
+    case MessageClass::Interactive: return "interactive";
+    case MessageClass::Control: return "control";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline MessageClass parse_message_class(std::string_view name) {
+  for (const MessageClass cls : all_message_classes()) {
+    if (name == to_string(cls)) return cls;
+  }
+  throw std::invalid_argument("unknown message class: " + std::string(name));
+}
+
+/// Bounds-checked index -> class conversion for deserialization paths.
+[[nodiscard]] inline MessageClass message_class_from_index(std::uint32_t idx) {
+  if (idx >= kNumMessageClasses) {
+    throw std::runtime_error("message class index out of range: " +
+                             std::to_string(idx));
+  }
+  return static_cast<MessageClass>(idx);
+}
+
+[[nodiscard]] constexpr std::size_t class_index(MessageClass cls) noexcept {
+  return static_cast<std::size_t>(cls);
+}
+
+}  // namespace flexnet

@@ -87,19 +87,6 @@ void Network::trace_request_set_change(const Message& msg, VcId head_vc) {
   }
 }
 
-Network::Network(const SimConfig& config,
-                 std::unique_ptr<RoutingAlgorithm> routing,
-                 std::unique_ptr<SelectionPolicy> selection)
-    : Network(config, NetworkDeps{nullptr, std::move(routing),
-                                  std::move(selection)}) {}
-
-Network::Network(const SimConfig& config,
-                 std::shared_ptr<const Topology> topology,
-                 std::unique_ptr<RoutingAlgorithm> routing,
-                 std::unique_ptr<SelectionPolicy> selection)
-    : Network(config, NetworkDeps{std::move(topology), std::move(routing),
-                                  std::move(selection)}) {}
-
 Network::Network(const SimConfig& config, NetworkDeps deps)
     : config_(config),
       topo_(deps.topology ? std::move(deps.topology) : make_topology(config)),
@@ -251,7 +238,8 @@ ChannelId Network::ejection_channel(NodeId node) const noexcept {
   return first_ejection_ + node;
 }
 
-MessageId Network::enqueue_message(NodeId src, NodeId dst, std::int32_t length) {
+MessageId Network::enqueue_message(NodeId src, NodeId dst, std::int32_t length,
+                                   MessageClass cls) {
   if (src == dst) throw std::invalid_argument("messages must leave their source");
   if (length < 1) throw std::invalid_argument("message length must be >= 1");
   const auto id = static_cast<MessageId>(messages_.size());
@@ -260,12 +248,14 @@ MessageId Network::enqueue_message(NodeId src, NodeId dst, std::int32_t length) 
   msg.src = src;
   msg.dst = dst;
   msg.length = length;
+  msg.cls = cls;
   msg.created = now_;
   messages_.push_back(std::move(msg));
   active_pos_.push_back(-1);
   source_queues_[static_cast<std::size_t>(src)].push_back(id);
   src_active_.insert(src);  // schedule the node's next grant pass
   ++counters_.generated;
+  ++counters_.class_generated[class_index(cls)];
   return id;
 }
 
@@ -358,8 +348,10 @@ void Network::complete_delivery(Message& msg, VcState& eject_vc) {
   ++counters_.delivered;
   counters_.delivered_latency_sum += msg.finished - msg.created;
   counters_.delivered_hops_sum += msg.hops;
+  ++counters_.class_delivered[class_index(msg.cls)];
+  counters_.class_latency_sum[class_index(msg.cls)] += msg.finished - msg.created;
   if (hooks_.obs != nullptr) {
-    hooks_.obs->on_delivery(msg.finished - msg.created, msg.hops);
+    hooks_.obs->on_delivery(msg.finished - msg.created, msg.hops, msg.cls);
   }
   if (hooks_.tracer != nullptr) {
     trace(TraceEventKind::VcFreed, msg.id, eject_vc.id);
@@ -444,7 +436,8 @@ void Network::try_injection_grants(NodeId node) {
     wake_channel(pc.id);  // the injection channel now has source flits to push
     if (hooks_.tracer != nullptr) {
       trace(TraceEventKind::VcAllocated, msg.id, vc.id);
-      trace(TraceEventKind::MessageInjected, msg.id, vc.id);
+      trace(TraceEventKind::MessageInjected, msg.id, vc.id, kInvalidVc,
+            static_cast<std::int32_t>(class_index(msg.cls)));
     }
   }
 }
@@ -693,6 +686,7 @@ void Network::remove_message(MessageId id) {
   msg.status = MessageStatus::Recovered;
   msg.finished = now_;
   ++counters_.recovered;
+  ++counters_.class_recovered[class_index(msg.cls)];
   deactivate(msg);
 }
 
@@ -831,9 +825,16 @@ void Network::save_counters(BinWriter& out, const Counters& c) {
   out.i64(c.flits_delivered);
   out.i64(c.delivered_latency_sum);
   out.i64(c.delivered_hops_sum);
+  for (std::size_t k = 0; k < kNumMessageClasses; ++k) {
+    out.i64(c.class_generated[k]);
+    out.i64(c.class_delivered[k]);
+    out.i64(c.class_recovered[k]);
+    out.i64(c.class_latency_sum[k]);
+  }
 }
 
-void Network::restore_counters(BinReader& in, Counters& c) {
+void Network::restore_counters(BinReader& in, Counters& c,
+                               std::uint32_t version) {
   c.generated = in.i64();
   c.injected = in.i64();
   c.delivered = in.i64();
@@ -841,6 +842,18 @@ void Network::restore_counters(BinReader& in, Counters& c) {
   c.flits_delivered = in.i64();
   c.delivered_latency_sum = in.i64();
   c.delivered_hops_sum = in.i64();
+  c.class_generated.fill(0);
+  c.class_delivered.fill(0);
+  c.class_recovered.fill(0);
+  c.class_latency_sum.fill(0);
+  if (version >= 3) {
+    for (std::size_t k = 0; k < kNumMessageClasses; ++k) {
+      c.class_generated[k] = in.i64();
+      c.class_delivered[k] = in.i64();
+      c.class_recovered[k] = in.i64();
+      c.class_latency_sum[k] = in.i64();
+    }
+  }
 }
 
 void Network::save_state(BinWriter& out) const {
@@ -879,6 +892,7 @@ void Network::save_state(BinWriter& out) const {
     out.i32(msg.misroutes);
     out.u8(msg.blocked ? 1 : 0);
     out.i64(msg.blocked_since);
+    out.u8(static_cast<std::uint8_t>(msg.cls));
     save_id_vector(out, msg.held);
     save_id_vector(out, msg.request_set);
   }
@@ -896,11 +910,11 @@ void Network::save_state(BinWriter& out) const {
   for (const VcId id : pending_) out.i32(id);
 }
 
-void Network::restore_state(BinReader& in) {
+void Network::restore_state(BinReader& in, std::uint32_t version) {
   now_ = in.i64();
   blocked_count_ = in.i32();
   faulted_ = in.i32();
-  restore_counters(in, counters_);
+  restore_counters(in, counters_, version);
   restore_rng(in, rng_);
 
   if (in.u64() != phys_.size()) snapshot_mismatch("physical channel count");
@@ -936,6 +950,8 @@ void Network::restore_state(BinReader& in) {
     msg.misroutes = in.i32();
     msg.blocked = in.u8() != 0;
     msg.blocked_since = in.i64();
+    msg.cls = version >= 3 ? message_class_from_index(in.u8())
+                           : MessageClass::Bulk;
     restore_id_vector(in, msg.held, vcs_.size());
     restore_id_vector(in, msg.request_set, vcs_.size());
     messages_.push_back(std::move(msg));

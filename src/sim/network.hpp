@@ -18,6 +18,7 @@
 // remove_message().
 #pragma once
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -67,6 +68,9 @@ struct NetworkDeps {
 class Network {
  public:
   /// Monotonic event counters; windowed metrics diff snapshots of these.
+  /// The per-class arrays partition the corresponding scalar by MessageClass
+  /// (scalar == sum over classes), so windowed diffs break down per class
+  /// without a second accounting pass.
   struct Counters {
     std::int64_t generated = 0;
     std::int64_t injected = 0;          ///< Messages whose head left the source.
@@ -75,17 +79,13 @@ class Network {
     std::int64_t flits_delivered = 0;
     std::int64_t delivered_latency_sum = 0;
     std::int64_t delivered_hops_sum = 0;
+    std::array<std::int64_t, kNumMessageClasses> class_generated{};
+    std::array<std::int64_t, kNumMessageClasses> class_delivered{};
+    std::array<std::int64_t, kNumMessageClasses> class_recovered{};
+    std::array<std::int64_t, kNumMessageClasses> class_latency_sum{};
   };
 
   Network(const SimConfig& config, NetworkDeps deps);
-  /// Deprecated (remove next PR): forwards to the NetworkDeps constructor
-  /// with a config-built topology.
-  Network(const SimConfig& config, std::unique_ptr<RoutingAlgorithm> routing,
-          std::unique_ptr<SelectionPolicy> selection);
-  /// Deprecated (remove next PR): forwards to the NetworkDeps constructor.
-  Network(const SimConfig& config, std::shared_ptr<const Topology> topology,
-          std::unique_ptr<RoutingAlgorithm> routing,
-          std::unique_ptr<SelectionPolicy> selection);
   ~Network();
 
   Network(const Network&) = delete;
@@ -95,7 +95,8 @@ class Network {
   void step();
 
   /// Creates a message in `src`'s source queue. Returns its id.
-  MessageId enqueue_message(NodeId src, NodeId dst, std::int32_t length);
+  MessageId enqueue_message(NodeId src, NodeId dst, std::int32_t length,
+                            MessageClass cls = MessageClass::Bulk);
 
   /// Deadlock recovery: removes an in-flight message flit-by-flit, freeing
   /// every VC it owns (synthesizes Disha-style recovery delivery).
@@ -216,11 +217,15 @@ class Network {
   /// Restores state saved by save_state. The network must have been
   /// constructed from the same SimConfig (same topology/VC shape); throws
   /// std::runtime_error on any structural mismatch or corrupt encoding.
-  void restore_state(BinReader& in);
+  /// `version` is the snapshot container version the payload was written
+  /// under; pre-v3 payloads carry no message classes (all restore as Bulk).
+  void restore_state(BinReader& in,
+                     std::uint32_t version = kStateFormatVersion);
 
   /// Counters codec, shared with MetricsCollector's window snapshot.
   static void save_counters(BinWriter& out, const Counters& c);
-  static void restore_counters(BinReader& in, Counters& c);
+  static void restore_counters(BinReader& in, Counters& c,
+                               std::uint32_t version = kStateFormatVersion);
 
  private:
   void inject_link_faults();

@@ -15,6 +15,12 @@ using VcId = std::int32_t;       ///< Global virtual channel index.
 using MessageId = std::int64_t;  ///< Monotonically increasing message index.
 using Cycle = std::int64_t;      ///< Simulation time in cycles.
 
+/// Binary state-format version shared by every component codec (snapshot
+/// container, Network message/counter layout, detector tallies, obs
+/// histograms). Bump together with kSnapshotVersion; component restore
+/// functions take the container's version so old snapshots keep loading.
+inline constexpr std::uint32_t kStateFormatVersion = 3;
+
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr ChannelId kInvalidChannel = -1;
 inline constexpr VcId kInvalidVc = -1;

@@ -14,6 +14,7 @@ namespace flexnet {
 
 DeadlockCorpus::DeadlockCorpus(std::string dir, int limit, const SimConfig& sim,
                                const TrafficConfig& traffic,
+                               const WorkloadConfig& workload,
                                const DetectorConfig& detector,
                                const InjectionProcess* injection,
                                const DeadlockDetector* det,
@@ -22,6 +23,7 @@ DeadlockCorpus::DeadlockCorpus(std::string dir, int limit, const SimConfig& sim,
       limit_(limit),
       sim_(sim),
       traffic_(traffic),
+      workload_(workload),
       detector_config_(detector),
       injection_(injection),
       detector_(det),
@@ -53,7 +55,7 @@ void DeadlockCorpus::on_knot(const Network& net, const Cwg& cwg,
   meta.cwg_hash = hash;
 
   const Snapshot snap =
-      capture_snapshot(meta, sim_, traffic_, detector_config_, net,
+      capture_snapshot(meta, sim_, traffic_, detector_config_, workload_, net,
                        *injection_, *detector_, *metrics_);
 
   char name[64];

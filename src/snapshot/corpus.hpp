@@ -31,7 +31,8 @@ class DeadlockCorpus final : public KnotCaptureHook {
   /// disables the cap). The component pointers are non-owning and must stay
   /// valid while the corpus is attached.
   DeadlockCorpus(std::string dir, int limit, const SimConfig& sim,
-                 const TrafficConfig& traffic, const DetectorConfig& detector,
+                 const TrafficConfig& traffic, const WorkloadConfig& workload,
+                 const DetectorConfig& detector,
                  const InjectionProcess* injection,
                  const DeadlockDetector* det, const MetricsCollector* metrics);
 
@@ -58,6 +59,7 @@ class DeadlockCorpus final : public KnotCaptureHook {
   int limit_;
   SimConfig sim_;
   TrafficConfig traffic_;
+  WorkloadConfig workload_;
   DetectorConfig detector_config_;
   const InjectionProcess* injection_;
   const DeadlockDetector* detector_;

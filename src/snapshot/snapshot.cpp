@@ -29,6 +29,7 @@ enum Section : std::uint32_t {
   kMetrics = 8,
   kTopology = 9,  // v2
   kObs = 10,      // ObsCollector::save_state payload; optional
+  kWorkload = 11,  // v3: WorkloadConfig codec
 };
 
 constexpr std::size_t kMagicLen = 12;
@@ -213,6 +214,54 @@ DetectorConfig load_detector_config(BinReader& in) {
   return c;
 }
 
+void save_workload_config(BinWriter& out, const WorkloadConfig& c) {
+  out.u8(static_cast<std::uint8_t>(c.kind));
+  out.str(c.trace_path);
+  out.str(c.pace_spec);
+  out.u8(c.pace.repeat() ? 1 : 0);
+  out.u64(c.pace.phases().size());
+  for (const PacePhase& p : c.pace.phases()) {
+    out.i64(p.cycles);
+    out.f64(p.rate0);
+    out.f64(p.rate1);
+    out.u8(static_cast<std::uint8_t>(p.cls));
+  }
+  // capture_path is a run-local attachment, deliberately not serialized: a
+  // resume decides afresh whether (and where) to record.
+}
+
+WorkloadConfig load_workload_config(BinReader& in) {
+  WorkloadConfig c;
+  const std::uint8_t kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(WorkloadKind::Paced)) {
+    bad_snapshot("unknown workload kind " + std::to_string(kind));
+  }
+  c.kind = static_cast<WorkloadKind>(kind);
+  c.trace_path = in.str();
+  c.pace_spec = in.str();
+  const bool repeat = in.u8() != 0;
+  const std::uint64_t count = in.u64();
+  if (count > in.remaining()) bad_snapshot("pace phase list truncated");
+  std::vector<PacePhase> phases;
+  phases.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PacePhase p;
+    p.cycles = in.i64();
+    p.rate0 = in.f64();
+    p.rate1 = in.f64();
+    p.cls = message_class_from_index(in.u8());
+    phases.push_back(p);
+  }
+  // The profile is rebuilt from the serialized phases (not re-parsed from
+  // pace_spec): the snapshot stays self-contained even if a referenced pace
+  // file changed or vanished.
+  if (!phases.empty()) c.pace = PaceProfile(std::move(phases), repeat);
+  if (c.kind == WorkloadKind::Paced && c.pace.empty()) {
+    bad_snapshot("paced workload without phases");
+  }
+  return c;
+}
+
 void save_meta(BinWriter& out, const SnapshotMeta& m) {
   out.u8(static_cast<std::uint8_t>(m.kind));
   out.i64(m.cycle);
@@ -251,7 +300,8 @@ SnapshotMeta load_meta(BinReader& in) {
 
 Snapshot capture_snapshot(const SnapshotMeta& meta, const SimConfig& sim,
                           const TrafficConfig& traffic,
-                          const DetectorConfig& detector, const Network& net,
+                          const DetectorConfig& detector,
+                          const WorkloadConfig& workload, const Network& net,
                           const InjectionProcess& injection,
                           const DeadlockDetector& det,
                           const MetricsCollector& metrics) {
@@ -261,6 +311,8 @@ Snapshot capture_snapshot(const SnapshotMeta& meta, const SimConfig& sim,
   snap.sim = sim;
   snap.traffic = traffic;
   snap.detector = detector;
+  snap.workload = workload;
+  snap.workload.capture_path.clear();
 
   const Topology& topo = net.topology();
   snap.topo.present = true;
@@ -319,6 +371,11 @@ std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap) {
   save_detector_config(out, snap.detector);
   out.patch_u64(len_at, out.size() - det_start);
 
+  begin_section(out, kWorkload, len_at);
+  const std::size_t wl_start = out.size();
+  save_workload_config(out, snap.workload);
+  out.patch_u64(len_at, out.size() - wl_start);
+
   if (snap.topo.present) {
     begin_section(out, kTopology, len_at);
     const std::size_t topo_start = out.size();
@@ -347,6 +404,7 @@ Snapshot decode_snapshot(const std::uint8_t* data, std::size_t size) {
   }
 
   Snapshot snap;
+  snap.version = version;
   bool have_meta = false, have_sim = false, have_traffic = false,
        have_detector = false, have_network = false;
   while (!in.done()) {
@@ -390,6 +448,9 @@ Snapshot decode_snapshot(const std::uint8_t* data, std::size_t size) {
         break;
       case kObs:
         snap.obs_state.assign(begin, begin + len);
+        break;
+      case kWorkload:
+        snap.workload = load_workload_config(section);
         break;
       default:
         break;  // forward compatibility: unknown sections are skipped
@@ -436,18 +497,23 @@ RestoredSim restore_snapshot(const Snapshot& snap) {
                             make_selection(snap.sim.selection)});
   {
     BinReader in(snap.network_state.data(), snap.network_state.size());
-    out.net->restore_state(in);
+    out.net->restore_state(in, snap.version);
     if (!in.done()) bad_snapshot("trailing bytes in network section");
   }
 
   // The injection process derives its rate constants from config + seed
   // (Monte Carlo distance sampling uses the seed directly), so constructing
-  // it with the stored seed and replaying its RNG position is exact.
-  out.injection = std::make_unique<InjectionProcess>(*out.net, snap.traffic,
-                                                     snap.sim.seed);
+  // the stored workload's subclass with the stored seed and replaying its
+  // RNG position (plus trace cursor / profile hash) is exact.
+  out.workload = snap.workload;
+  out.injection =
+      make_injection(*out.net, snap.traffic, snap.workload, snap.sim.seed);
+  if (out.injection->kind() != snap.workload.kind) {
+    bad_snapshot("workload kind mismatch after restore");
+  }
   if (!snap.injection_state.empty()) {
     BinReader in(snap.injection_state.data(), snap.injection_state.size());
-    out.injection->restore_state(in);
+    out.injection->restore_state(in, snap.version);
     if (!in.done()) bad_snapshot("trailing bytes in injection section");
   }
 
@@ -455,13 +521,13 @@ RestoredSim restore_snapshot(const Snapshot& snap) {
       std::make_unique<DeadlockDetector>(snap.detector, snap.sim.seed);
   if (!snap.detector_state.empty()) {
     BinReader in(snap.detector_state.data(), snap.detector_state.size());
-    out.detector->restore_state(in);
+    out.detector->restore_state(in, snap.version);
     if (!in.done()) bad_snapshot("trailing bytes in detector section");
   }
 
   if (!snap.metrics_state.empty()) {
     BinReader in(snap.metrics_state.data(), snap.metrics_state.size());
-    out.metrics.restore_state(in);
+    out.metrics.restore_state(in, snap.version);
     if (!in.done()) bad_snapshot("trailing bytes in metrics section");
   }
   return out;

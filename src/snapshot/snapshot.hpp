@@ -2,7 +2,7 @@
 //
 // A snapshot file is
 //
-//   magic "flexnet-snap" (12 bytes) | u32 version (=2) | sections...
+//   magic "flexnet-snap" (12 bytes) | u32 version (=3) | sections...
 //
 // where each section is framed as `u32 id | u64 length | payload`, so readers
 // can skip sections they do not understand and inspectors can decode the meta
@@ -20,11 +20,17 @@
 //                  and generated topologies without touching the filesystem)
 //  10 obs        — ObsCollector::save_state payload (optional; present only
 //                  when the captured run had observability attached)
+//  11 workload   — WorkloadConfig codec (v3; trace path + cursor validation
+//                  hash live in the injection payload, pace phases here)
 //
 // Version history: v1 had no topology section and a shorter sim-config
 // record (torus only); v2 files append the topo_* fields to the sim codec
-// and embed the topology. Readers accept both; v1 decodes with Torus
-// defaults, so every pre-existing capture keeps restoring bit-identically.
+// and embed the topology; v3 adds the workload section, a per-message class
+// byte and per-class counters to the network payload, per-class deadlock
+// participation to the detector payload, and per-class latency histograms
+// to the obs payload. Readers accept all three; older files decode with
+// Bernoulli/Bulk defaults, so every pre-existing capture keeps restoring
+// bit-identically.
 //
 // The round-trip guarantee: restore_snapshot() on a capture of a live
 // simulation produces components whose subsequent evolution is flit-for-flit
@@ -41,6 +47,7 @@
 #include "metrics/metrics.hpp"
 #include "sim/config.hpp"
 #include "traffic/traffic.hpp"
+#include "workload/workload.hpp"
 
 namespace flexnet {
 
@@ -48,7 +55,9 @@ class InjectionProcess;
 class Network;
 
 inline constexpr char kSnapshotMagic[] = "flexnet-snap";  // 12 chars + NUL
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
+static_assert(kSnapshotVersion == kStateFormatVersion,
+              "container and component codecs version together");
 /// Oldest version decode_snapshot still reads.
 inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
@@ -92,10 +101,16 @@ struct TopoImage {
 /// A decoded snapshot: meta + configs, plus the opaque component-state
 /// sections kept as raw bytes until restore_snapshot() replays them.
 struct Snapshot {
+  /// Container version the bytes were decoded from (kSnapshotVersion when
+  /// built by capture_snapshot); component restores gate on it.
+  std::uint32_t version = kSnapshotVersion;
   SnapshotMeta meta;
   SimConfig sim;
   TrafficConfig traffic;
   DetectorConfig detector;
+  /// Section 11: arrival process selection (v3; Bernoulli for older files).
+  /// The capture path is a run-local attachment and is not serialized.
+  WorkloadConfig workload;
   TopoImage topo;
   std::vector<std::uint8_t> network_state;
   std::vector<std::uint8_t> injection_state;
@@ -112,17 +127,20 @@ struct RestoredSim {
   SimConfig sim;
   TrafficConfig traffic;
   DetectorConfig detector_config;
+  WorkloadConfig workload;
   std::unique_ptr<Network> net;
   std::unique_ptr<InjectionProcess> injection;
   std::unique_ptr<DeadlockDetector> detector;
   MetricsCollector metrics;
 };
 
-/// Captures the full dynamic state of a live simulation.
+/// Captures the full dynamic state of a live simulation. `workload`
+/// identifies the arrival process so restore rebuilds the same subclass.
 [[nodiscard]] Snapshot capture_snapshot(const SnapshotMeta& meta,
                                         const SimConfig& sim,
                                         const TrafficConfig& traffic,
                                         const DetectorConfig& detector,
+                                        const WorkloadConfig& workload,
                                         const Network& net,
                                         const InjectionProcess& injection,
                                         const DeadlockDetector& det,
@@ -158,6 +176,8 @@ void save_traffic_config(BinWriter& out, const TrafficConfig& c);
 [[nodiscard]] TrafficConfig load_traffic_config(BinReader& in);
 void save_detector_config(BinWriter& out, const DetectorConfig& c);
 [[nodiscard]] DetectorConfig load_detector_config(BinReader& in);
+void save_workload_config(BinWriter& out, const WorkloadConfig& c);
+[[nodiscard]] WorkloadConfig load_workload_config(BinReader& in);
 void save_meta(BinWriter& out, const SnapshotMeta& m);
 [[nodiscard]] SnapshotMeta load_meta(BinReader& in);
 

@@ -26,6 +26,9 @@ void IntervalRecorder::sample(const Network& net,
   s.delivered = c.delivered - prev_.delivered;
   s.recovered = c.recovered - prev_.recovered;
   s.flits_delivered = c.flits_delivered - prev_.flits_delivered;
+  for (std::size_t k = 0; k < kNumMessageClasses; ++k) {
+    s.class_delivered[k] = c.class_delivered[k] - prev_.class_delivered[k];
+  }
 
   const Cycle span = std::max<Cycle>(net.now() - prev_cycle_, 1);
   s.throughput_flits_per_node =
@@ -81,6 +84,7 @@ void IntervalRecorder::sample(const Network& net,
   prev_.recovered = c.recovered;
   prev_.flits_delivered = c.flits_delivered;
   prev_.delivered_latency_sum = c.delivered_latency_sum;
+  prev_.class_delivered = c.class_delivered;
   prev_.invocations = detector.invocations();
   prev_.skipped = detector.skipped_passes();
   prev_.deadlocks = detector.total_deadlocks();

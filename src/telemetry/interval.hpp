@@ -12,9 +12,11 @@
 // length. `total_samples()` still counts everything ever recorded.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "sim/message_class.hpp"
 #include "sim/types.hpp"
 
 namespace flexnet {
@@ -34,6 +36,9 @@ struct IntervalSample {
   double throughput_flits_per_node = 0.0;
   /// Mean latency of messages delivered during this interval; 0 when none.
   double avg_latency = 0.0;
+  /// Interval deliveries per message class (index = class_index; sums to
+  /// `delivered`). All-Bulk for Bernoulli workloads.
+  std::array<std::int64_t, kNumMessageClasses> class_delivered{};
 
   // Instantaneous state at the sample cycle.
   std::int32_t blocked = 0;
@@ -92,6 +97,7 @@ class IntervalRecorder {
     std::int64_t recovered = 0;
     std::int64_t flits_delivered = 0;
     std::int64_t delivered_latency_sum = 0;
+    std::array<std::int64_t, kNumMessageClasses> class_delivered{};
     std::int64_t invocations = 0;
     std::int64_t skipped = 0;
     std::int64_t deadlocks = 0;

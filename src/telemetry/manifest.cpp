@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "exp/experiment.hpp"
+#include "sim/message_class.hpp"
 #include "sim/network.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/json.hpp"
@@ -67,6 +68,21 @@ void write_config(JsonWriter& json, const ExperimentConfig& cfg) {
   json.field("hybrid_with", to_string(cfg.traffic.hybrid_with));
   json.end_object();
 
+  // The arrival process. This block is the one place a capture run and its
+  // replay legitimately differ; the CI replay check strips it before diffing.
+  json.key("workload").begin_object();
+  json.field("kind", to_string(cfg.workload.kind));
+  if (!cfg.workload.trace_path.empty()) {
+    json.field("trace", cfg.workload.trace_path);
+  }
+  if (!cfg.workload.pace_spec.empty()) {
+    json.field("pace", cfg.workload.pace_spec);
+  }
+  if (!cfg.workload.capture_path.empty()) {
+    json.field("capture", cfg.workload.capture_path);
+  }
+  json.end_object();
+
   json.key("detector").begin_object();
   json.field("interval", cfg.detector.interval);
   json.field("recovery", to_string(cfg.detector.recovery));
@@ -117,6 +133,18 @@ void write_window(JsonWriter& json, const WindowMetrics& w) {
   json.field("multi_cycle_deadlocks", w.multi_cycle_deadlocks);
   write_stat(json, "cwg_cycles", w.cwg_cycles);
   json.field("cycle_count_capped", w.cycle_count_capped);
+  json.key("classes").begin_object();
+  for (const MessageClass cls : all_message_classes()) {
+    const WindowMetrics::ClassMetrics& cm = w.classes[class_index(cls)];
+    json.key(to_string(cls)).begin_object();
+    json.field("generated", cm.generated);
+    json.field("delivered", cm.delivered);
+    json.field("recovered", cm.recovered);
+    json.field("avg_latency", cm.avg_latency);
+    json.field("deadlock_participants", cm.deadlock_participants);
+    json.end_object();
+  }
+  json.end_object();
   json.end_object();
 }
 
@@ -149,6 +177,9 @@ void write_series(JsonWriter& json, const IntervalRecorder& series) {
     json.field("deadlocks", s.deadlocks);
     json.field("transient_knots", s.transient_knots);
     json.field("livelocks", s.livelocks);
+    json.key("class_delivered").begin_array();
+    for (const std::int64_t n : s.class_delivered) json.value(n);
+    json.end_array();
     json.end_object();
   }
   json.end_array();

@@ -1,6 +1,7 @@
 #include "trace/forensics.hpp"
 
 #include <algorithm>
+#include <array>
 #include <sstream>
 #include <unordered_set>
 
@@ -29,6 +30,7 @@ const ForensicsReport& DeadlockForensics::on_deadlock(
     member.src = msg.src;
     member.dst = msg.dst;
     member.length = msg.length;
+    member.cls = msg.cls;
     member.hops = msg.hops;
     member.blocked_since = msg.blocked_since;
     member.last_progress = ring_ != nullptr ? ring_->last_progress_cycle(id) : -1;
@@ -116,12 +118,23 @@ std::string format_forensics_report(const ForensicsReport& report,
   }
   out << '\n';
 
+  std::array<int, kNumMessageClasses> by_class{};
+  for (const ForensicsMember& m : report.members) {
+    ++by_class[class_index(m.cls)];
+  }
+  out << "deadlock set by class:";
+  for (const MessageClass cls : all_message_classes()) {
+    if (by_class[class_index(cls)] == 0) continue;
+    out << ' ' << to_string(cls) << '=' << by_class[class_index(cls)];
+  }
+  out << '\n';
+
   out << "\nknot closure order (blocked_since ascending; the last line is the "
          "arc that closed the knot):\n";
   for (const ForensicsMember& m : report.members) {
     out << "  m" << m.id << ' ' << node_label(net, m.src) << "->"
-        << node_label(net, m.dst) << " len " << m.length << ", "
-        << m.hops << " hops"
+        << node_label(net, m.dst) << " len " << m.length << ' '
+        << to_string(m.cls) << ", " << m.hops << " hops"
         << " | blocked since " << m.blocked_since << " | last progress ";
     if (m.last_progress >= 0) {
       out << "cycle " << m.last_progress;

@@ -12,6 +12,7 @@
 
 #include "core/cwg.hpp"
 #include "core/knot.hpp"
+#include "sim/message_class.hpp"
 #include "trace/sinks.hpp"
 
 namespace flexnet {
@@ -24,6 +25,7 @@ struct ForensicsMember {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   std::int32_t length = 0;
+  MessageClass cls = MessageClass::Bulk;
   std::int32_t hops = 0;
   Cycle blocked_since = -1;    ///< Start of the blocked episode that closed its arc.
   Cycle last_progress = -1;    ///< Newest progress event in the ring; -1 = beyond horizon.

@@ -34,6 +34,12 @@ std::int32_t InjectionProcess::draw_length(Pcg32& rng) const {
   return length_;
 }
 
+MessageId InjectionProcess::emit(Network& net, NodeId src, NodeId dst,
+                                 std::int32_t length, MessageClass cls) {
+  if (capture_ != nullptr) capture_->record(net.now(), src, dst, length, cls);
+  return net.enqueue_message(src, dst, length, cls);
+}
+
 void InjectionProcess::save_state(BinWriter& out) const {
   const Pcg32::State s = rng_.save();
   out.u64(s.state);
@@ -42,7 +48,8 @@ void InjectionProcess::save_state(BinWriter& out) const {
   out.i64(stalled_);
 }
 
-void InjectionProcess::restore_state(BinReader& in) {
+void InjectionProcess::restore_state(BinReader& in, std::uint32_t version) {
+  (void)version;  // the base layout is unchanged across snapshot versions
   Pcg32::State s;
   s.state = in.u64();
   s.inc = in.u64();
@@ -63,7 +70,7 @@ void InjectionProcess::tick(Network& net) {
     }
     const NodeId dst = pattern_->destination(src, rng_);
     if (dst == kInvalidNode) continue;
-    net.enqueue_message(src, dst, draw_length(rng_));
+    emit(net, src, dst, draw_length(rng_), MessageClass::Bulk);
   }
 }
 

@@ -1,12 +1,18 @@
-// Bernoulli injection process with the paper's load normalization: a
-// normalized load of 1.0 offers exactly the flit rate at which average
-// network-channel utilization reaches one flit/cycle, computed from total
-// link bandwidth and the traffic pattern's average internode distance. This
-// is why uni- and bidirectional tori (different channel counts and average
-// distances) are compared on the same normalized axis (paper Section 3.1).
+// Injection processes: the arrival side of a workload. The base class is the
+// paper's Bernoulli process with load normalization — a normalized load of
+// 1.0 offers exactly the flit rate at which average network-channel
+// utilization reaches one flit/cycle, computed from total link bandwidth and
+// the traffic pattern's average internode distance (paper Section 3.1).
+//
+// src/workload/ derives the production arrival processes from this base:
+// PacedInjection (phased rate schedules) and TraceReplayInjection (recorded
+// streams). Every generated message funnels through emit(), which tags the
+// message class and mirrors the tuple into an attached trace-capture sink, so
+// any live run is replayable.
 #pragma once
 
 #include <memory>
+#include <string_view>
 
 #include "sim/network.hpp"
 #include "traffic/traffic.hpp"
@@ -17,14 +23,49 @@ namespace flexnet {
 class BinReader;
 class BinWriter;
 
+/// Which arrival process drives a run. Serialized (u8) in snapshots and used
+/// as the `--workload` discriminator; append-only.
+enum class WorkloadKind : std::uint8_t {
+  Bernoulli = 0,  ///< Memoryless per-node coin flips (the default).
+  Trace = 1,      ///< Replay of a recorded flexnet-trace-v1 file.
+  Paced = 2,      ///< Bernoulli modulated by a phased pace profile.
+};
+
+[[nodiscard]] constexpr std::string_view to_string(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::Bernoulli: return "bernoulli";
+    case WorkloadKind::Trace: return "trace";
+    case WorkloadKind::Paced: return "pace";
+  }
+  return "?";
+}
+
+/// Where emit() mirrors each generated message. TraceCaptureWriter
+/// (workload/trace_file.hpp) implements this over an output stream.
+class TraceCaptureSink {
+ public:
+  virtual ~TraceCaptureSink() = default;
+  virtual void record(Cycle cycle, NodeId src, NodeId dst, std::int32_t length,
+                      MessageClass cls) = 0;
+};
+
 class InjectionProcess {
  public:
   InjectionProcess(const Network& net, const TrafficConfig& traffic,
                    std::uint64_t seed);
+  virtual ~InjectionProcess() = default;
+
+  InjectionProcess(const InjectionProcess&) = delete;
+  InjectionProcess& operator=(const InjectionProcess&) = delete;
 
   /// Generates this cycle's new messages into the network's source queues.
   /// Call once per cycle before Network::step().
-  void tick(Network& net);
+  virtual void tick(Network& net);
+
+  /// Which arrival process this is (snapshot tag; checked on restore).
+  [[nodiscard]] virtual WorkloadKind kind() const noexcept {
+    return WorkloadKind::Bernoulli;
+  }
 
   [[nodiscard]] const TrafficPattern& pattern() const noexcept { return *pattern_; }
   /// Mean minimal distance under the pattern.
@@ -38,12 +79,24 @@ class InjectionProcess {
   /// Generation attempts suppressed by a full source queue.
   [[nodiscard]] std::int64_t stalled_generations() const noexcept { return stalled_; }
 
-  /// Snapshot hooks: the RNG position and the stall counter are the only
-  /// dynamic state (patterns and rates are pure functions of the config).
-  void save_state(BinWriter& out) const;
-  void restore_state(BinReader& in);
+  /// Attaches (or detaches, with nullptr) a capture sink; every subsequent
+  /// emit() mirrors its tuple there. Non-owning.
+  void set_capture(TraceCaptureSink* capture) noexcept { capture_ = capture; }
 
- private:
+  /// Snapshot hooks. The base serializes the RNG position and the stall
+  /// counter; subclasses append their own dynamic state (trace cursor, pace
+  /// profile hash) after calling the base. `version` is the snapshot
+  /// container version the payload was written under.
+  virtual void save_state(BinWriter& out) const;
+  virtual void restore_state(BinReader& in,
+                             std::uint32_t version = kStateFormatVersion);
+
+ protected:
+  /// The single funnel for message creation: tags the class, mirrors the
+  /// tuple into the capture sink, and enqueues. Returns the new message id.
+  MessageId emit(Network& net, NodeId src, NodeId dst, std::int32_t length,
+                 MessageClass cls);
+
   [[nodiscard]] std::int32_t draw_length(Pcg32& rng) const;
 
   std::unique_ptr<TrafficPattern> pattern_;
@@ -58,6 +111,9 @@ class InjectionProcess {
   std::int32_t length_;
   std::int32_t short_length_;
   double short_fraction_;
+
+ private:
+  TraceCaptureSink* capture_ = nullptr;
 };
 
 }  // namespace flexnet

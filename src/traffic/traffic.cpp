@@ -21,6 +21,16 @@ std::string_view to_string(TrafficKind kind) noexcept {
   return "?";
 }
 
+TrafficKind parse_traffic_kind(std::string_view name) {
+  for (const TrafficKind kind :
+       {TrafficKind::Uniform, TrafficKind::BitReversal, TrafficKind::Transpose,
+        TrafficKind::PerfectShuffle, TrafficKind::HotSpot, TrafficKind::Tornado,
+        TrafficKind::NearestNeighbor}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown traffic kind: " + std::string(name));
+}
+
 namespace {
 
 class UniformTraffic final : public TrafficPattern {
@@ -282,12 +292,28 @@ std::unique_ptr<TrafficPattern> make_single(TrafficKind kind,
 std::unique_ptr<TrafficPattern> make_traffic(TrafficKind kind,
                                              const Topology& topo,
                                              const TrafficConfig& config) {
-  auto primary = make_single(kind, topo, config);
-  if (config.hybrid_fraction <= 0.0) return primary;
-  if (config.hybrid_fraction > 1.0) {
+  if (config.hybrid_fraction < 0.0 || config.hybrid_fraction > 1.0) {
     throw std::invalid_argument("hybrid_fraction must be within [0, 1]");
   }
+  auto primary = make_single(kind, topo, config);
+  if (config.hybrid_fraction == 0.0) return primary;
   auto secondary = make_single(config.hybrid_with, topo, config);
+  // Fail at construction if the secondary cannot generate any traffic on
+  // this topology (e.g. Tornado on a radix-2 torus maps every source to
+  // itself): a hybrid that silently never mixes is a misconfiguration.
+  if (secondary->deterministic()) {
+    bool any = false;
+    Pcg32 probe(0, 0);
+    for (NodeId src = 0; src < topo.num_nodes() && !any; ++src) {
+      any = secondary->destination(src, probe) != kInvalidNode;
+    }
+    if (!any) {
+      throw std::invalid_argument(
+          std::string("hybrid_with pattern ") +
+          std::string(to_string(config.hybrid_with)) +
+          " generates no traffic on this topology");
+    }
+  }
   return std::make_unique<HybridTraffic>(std::move(primary),
                                          std::move(secondary),
                                          config.hybrid_fraction);

@@ -26,6 +26,9 @@ enum class TrafficKind : std::uint8_t {
 };
 
 [[nodiscard]] std::string_view to_string(TrafficKind kind) noexcept;
+/// Inverse of to_string; throws std::invalid_argument on an unknown name.
+/// Used by the CLI and the flexnet-trace-v1 header codec.
+[[nodiscard]] TrafficKind parse_traffic_kind(std::string_view name);
 
 struct TrafficConfig {
   TrafficKind pattern = TrafficKind::Uniform;
@@ -56,9 +59,12 @@ class TrafficPattern {
   [[nodiscard]] virtual bool deterministic() const noexcept { return true; }
 };
 
-/// Builds the pattern over any topology. Tornado is torus-only (it needs
-/// coordinates) and throws on other topologies; the rest only need the node
-/// count or the adjacency.
+/// Builds the pattern over any topology (Tornado and NearestNeighbor keep
+/// bit-identical fast paths on tori and generalize via BFS elsewhere; the
+/// bit-permutations require power-of-two node counts). Hybrid mixing is
+/// validated eagerly: a negative or >1 hybrid_fraction, or a hybrid
+/// secondary that generates no traffic on this topology, throws here — at
+/// construction — never mid-run.
 [[nodiscard]] std::unique_ptr<TrafficPattern> make_traffic(
     TrafficKind kind, const Topology& topo, const TrafficConfig& config);
 

@@ -1,0 +1,120 @@
+// Phased pace profiles: piecewise-linear rate schedules that modulate the
+// Bernoulli injection probability cycle by cycle — ramps, bursts, ON/OFF
+// phases — modeled on garnet-standalone's PaceTrafficGenerator/PaceProfile.
+// A profile is a list of phases, each lasting `cycles` cycles and sweeping
+// the rate multiplier linearly from rate0 to rate1 while tagging generated
+// messages with a MessageClass; repeating profiles wrap, non-repeating ones
+// clamp at the final rate. The built-in generators (burst/onoff/ramp) are
+// mean-normalized to 1.0 so a paced run offers the same average load as the
+// smooth Bernoulli run it is compared against. Profiles are pure functions
+// of the cycle: the only dynamic injection state remains the RNG position,
+// so snapshots stay small and resumes stay bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/message_class.hpp"
+#include "sim/types.hpp"
+#include "traffic/injection.hpp"
+
+namespace flexnet {
+
+inline constexpr std::string_view kPaceMagic = "flexnet-pace-v1";
+
+struct PacePhase {
+  Cycle cycles = 0;      ///< Phase duration; must be >= 1.
+  double rate0 = 1.0;    ///< Multiplier at the phase's first cycle.
+  double rate1 = 1.0;    ///< Multiplier approached at the phase's end.
+  MessageClass cls = MessageClass::Bulk;  ///< Class tag for messages generated
+                                          ///< during this phase.
+
+  friend bool operator==(const PacePhase&, const PacePhase&) = default;
+};
+
+class PaceProfile {
+ public:
+  /// Empty profile: flat multiplier 1.0, class Bulk.
+  PaceProfile() = default;
+  /// Validates every phase (cycles >= 1, rates >= 0) and precomputes the
+  /// period; throws std::invalid_argument on a bad phase list.
+  PaceProfile(std::vector<PacePhase> phases, bool repeat);
+
+  /// Rate multiplier at `cycle`; also reports the phase's message class via
+  /// `cls` when non-null. Pure function of the cycle.
+  [[nodiscard]] double multiplier_at(Cycle cycle,
+                                     MessageClass* cls = nullptr) const;
+
+  /// Largest multiplier any cycle can see (phase endpoints suffice: the
+  /// interpolation is linear).
+  [[nodiscard]] double max_multiplier() const noexcept;
+  /// Cycle-averaged multiplier over one period (repeat) or the phase list
+  /// (non-repeat; the trailing clamp is excluded).
+  [[nodiscard]] double mean_multiplier() const noexcept;
+
+  [[nodiscard]] const std::vector<PacePhase>& phases() const noexcept {
+    return phases_;
+  }
+  [[nodiscard]] bool repeat() const noexcept { return repeat_; }
+  [[nodiscard]] bool empty() const noexcept { return phases_.empty(); }
+
+  /// FNV-1a over phases + repeat flag; serialized in snapshots so a resume
+  /// validates it is continuing under the same schedule.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept;
+
+  friend bool operator==(const PaceProfile&, const PaceProfile&) = default;
+
+ private:
+  std::vector<PacePhase> phases_;
+  bool repeat_ = true;
+  Cycle period_ = 0;
+};
+
+/// Builds a profile from a `--workload pace:<spec>` spec:
+///   burst(period,duty,peak)  duty*period ON cycles at rate peak (class
+///                            burst), the rest OFF at the mean-preserving
+///                            baseline (class bulk); requires 0 < duty < 1
+///                            and 1 <= peak <= 1/duty.
+///   onoff(period,duty)       burst with peak = 1/duty (OFF rate exactly 0).
+///   ramp(period)             sawtooth 0 -> 2 (mean 1.0).
+///   file:<path>              a flexnet-pace-v1 file (see load_pace_file).
+/// Throws std::invalid_argument on an unknown or malformed spec.
+[[nodiscard]] PaceProfile parse_pace_spec(const std::string& spec);
+
+/// flexnet-pace-v1 text format: magic line, optional `repeat on|off`
+/// directive (default on), then `phase <cycles> <rate0> <rate1> <class>`
+/// lines. Strict origin:line errors, like the trace parser.
+[[nodiscard]] PaceProfile read_pace(std::istream& in,
+                                    const std::string& origin);
+[[nodiscard]] PaceProfile load_pace_file(const std::string& path);
+void write_pace(std::ostream& out, const PaceProfile& profile);
+
+/// Bernoulli injection modulated by a pace profile. Construction validates
+/// that probability * max_multiplier stays <= 1 (a burst may not demand more
+/// than one message per node per cycle). Draw structure matches the base
+/// process — one chance() per node per cycle — so per-cycle determinism and
+/// snapshot semantics are unchanged.
+class PacedInjection final : public InjectionProcess {
+ public:
+  PacedInjection(const Network& net, const TrafficConfig& traffic,
+                 std::uint64_t seed, PaceProfile profile);
+
+  void tick(Network& net) override;
+  [[nodiscard]] WorkloadKind kind() const noexcept override {
+    return WorkloadKind::Paced;
+  }
+  [[nodiscard]] const PaceProfile& profile() const noexcept { return profile_; }
+
+  /// Base state plus the profile hash (validated on restore: resuming under
+  /// a different schedule would silently diverge).
+  void save_state(BinWriter& out) const override;
+  void restore_state(BinReader& in,
+                     std::uint32_t version = kStateFormatVersion) override;
+
+ private:
+  PaceProfile profile_;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,70 @@
+#include "workload/replay.hpp"
+
+#include <stdexcept>
+
+#include "util/binio.hpp"
+
+namespace flexnet {
+
+TraceReplayInjection::TraceReplayInjection(const Network& net, std::string path,
+                                           std::uint64_t seed)
+    : TraceReplayInjection(net, read_trace_file(path), path, seed) {}
+
+TraceReplayInjection::TraceReplayInjection(const Network& net, TraceData data,
+                                           std::string path,
+                                           std::uint64_t seed)
+    : InjectionProcess(net, data.header.traffic, seed),
+      path_(std::move(path)),
+      data_(std::move(data)) {
+  if (data_.header.nodes != net.topology().num_nodes()) {
+    throw std::runtime_error(
+        path_ + ": trace was recorded on " +
+        std::to_string(data_.header.nodes) + " nodes, network has " +
+        std::to_string(net.topology().num_nodes()));
+  }
+  // Adopt the capture run's normalization constants verbatim: the Monte
+  // Carlo average distance depends on the sampling seed, and byte-identical
+  // replay manifests require the original values, not a re-estimate.
+  avg_distance_ = data_.header.avg_distance;
+  capacity_ = data_.header.capacity;
+  offered_ = data_.header.offered;
+  probability_ = 0.0;  // arrivals come from the records, not coin flips
+}
+
+void TraceReplayInjection::tick(Network& net) {
+  const Cycle now = net.now();
+  if (cursor_ < data_.records.size() &&
+      data_.records[cursor_].cycle < now) {
+    // Can only happen on a corrupted resume: the cursor must never trail
+    // the network clock.
+    throw std::logic_error(path_ + ": trace cursor behind network cycle");
+  }
+  while (cursor_ < data_.records.size() &&
+         data_.records[cursor_].cycle == now) {
+    const TraceRecord& r = data_.records[cursor_++];
+    emit(net, r.src, r.dst, r.length, r.cls);
+  }
+}
+
+void TraceReplayInjection::save_state(BinWriter& out) const {
+  InjectionProcess::save_state(out);
+  out.u64(cursor_);
+  out.u64(data_.content_hash());
+}
+
+void TraceReplayInjection::restore_state(BinReader& in,
+                                         std::uint32_t version) {
+  InjectionProcess::restore_state(in, version);
+  const std::uint64_t cursor = in.u64();
+  if (cursor > data_.records.size()) {
+    throw std::runtime_error(path_ + ": snapshot trace cursor out of range");
+  }
+  cursor_ = static_cast<std::size_t>(cursor);
+  const std::uint64_t hash = in.u64();
+  if (hash != data_.content_hash()) {
+    throw std::runtime_error(
+        path_ + ": trace content differs from the snapshot's workload");
+  }
+}
+
+}  // namespace flexnet

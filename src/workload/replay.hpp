@@ -1,0 +1,60 @@
+// Trace-driven replay: injects the exact (cycle, src, dst, len, class)
+// stream recorded in a flexnet-trace-v1 file. The trace header's traffic
+// configuration and normalization constants are adopted verbatim, so a
+// replay of a captured run — under the same sim flags and seed — reproduces
+// its manifests and metrics byte-for-byte (only the config's workload block
+// differs). Replay bypasses the source-queue limit: the recorded stream is
+// the post-admission stream, so every record is enqueued unconditionally.
+#pragma once
+
+#include <string>
+
+#include "traffic/injection.hpp"
+#include "workload/trace_file.hpp"
+
+namespace flexnet {
+
+class TraceReplayInjection final : public InjectionProcess {
+ public:
+  /// Parses `path` eagerly (fail-loud before any cycle runs) and validates
+  /// the header's node count against the network.
+  TraceReplayInjection(const Network& net, std::string path,
+                       std::uint64_t seed);
+
+  void tick(Network& net) override;
+  [[nodiscard]] WorkloadKind kind() const noexcept override {
+    return WorkloadKind::Trace;
+  }
+
+  [[nodiscard]] const TraceHeader& header() const noexcept {
+    return data_.header;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Records injected so far.
+  [[nodiscard]] std::size_t cursor() const noexcept { return cursor_; }
+  [[nodiscard]] std::size_t num_records() const noexcept {
+    return data_.records.size();
+  }
+  /// True once every record has been injected (the run may still be
+  /// draining).
+  [[nodiscard]] bool exhausted() const noexcept {
+    return cursor_ == data_.records.size();
+  }
+
+  /// Base state plus the cursor and the trace content hash; restore
+  /// validates the hash so a resume cannot silently continue a different
+  /// trace under the same path.
+  void save_state(BinWriter& out) const override;
+  void restore_state(BinReader& in,
+                     std::uint32_t version = kStateFormatVersion) override;
+
+ private:
+  TraceReplayInjection(const Network& net, TraceData data, std::string path,
+                       std::uint64_t seed);
+
+  std::string path_;
+  TraceData data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace flexnet

@@ -1,0 +1,296 @@
+#include "workload/trace_file.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace flexnet {
+
+namespace {
+
+[[noreturn]] void parse_error(const std::string& origin, std::size_t line,
+                              const std::string& what) {
+  throw std::runtime_error(origin + ":" + std::to_string(line) + ": " + what);
+}
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+    if (end > pos) out.push_back(line.substr(pos, end - pos));
+    pos = end;
+  }
+  return out;
+}
+
+template <typename T>
+T parse_int(std::string_view tok, const std::string& origin, std::size_t line) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    parse_error(origin, line, "malformed integer: " + std::string(tok));
+  }
+  return value;
+}
+
+double parse_double(std::string_view tok, const std::string& origin,
+                    std::size_t line) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    parse_error(origin, line, "malformed number: " + std::string(tok));
+  }
+  return value;
+}
+
+/// Shortest round-trip decimal for a double (same policy as util/json).
+std::string format_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) throw std::logic_error("double format failed");
+  return std::string(buf, ptr);
+}
+
+void hash_mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  // FNV-1a over the value's 8 bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+std::uint64_t double_bits(double v) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t TraceData::content_hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  hash_mix(h, static_cast<std::uint64_t>(header.nodes));
+  hash_mix(h, static_cast<std::uint64_t>(header.traffic.pattern));
+  hash_mix(h, double_bits(header.traffic.load));
+  hash_mix(h, static_cast<std::uint64_t>(header.traffic.hotspot_nodes));
+  hash_mix(h, double_bits(header.traffic.hotspot_fraction));
+  hash_mix(h, double_bits(header.traffic.hybrid_fraction));
+  hash_mix(h, static_cast<std::uint64_t>(header.traffic.hybrid_with));
+  hash_mix(h, double_bits(header.avg_distance));
+  hash_mix(h, double_bits(header.capacity));
+  hash_mix(h, double_bits(header.offered));
+  for (const TraceRecord& r : records) {
+    hash_mix(h, static_cast<std::uint64_t>(r.cycle));
+    hash_mix(h, static_cast<std::uint64_t>(r.src));
+    hash_mix(h, static_cast<std::uint64_t>(r.dst));
+    hash_mix(h, static_cast<std::uint64_t>(r.length));
+    hash_mix(h, static_cast<std::uint64_t>(r.cls));
+  }
+  return h;
+}
+
+TraceData read_trace(std::istream& in, const std::string& origin) {
+  TraceData data;
+  std::string line;
+  std::size_t lineno = 0;
+
+  if (!std::getline(in, line)) parse_error(origin, 1, "empty trace");
+  ++lineno;
+  if (line != kTraceMagic) {
+    parse_error(origin, lineno,
+                "bad magic (expected \"" + std::string(kTraceMagic) + "\")");
+  }
+
+  bool have_nodes = false, have_pattern = false, have_load = false;
+  bool have_avg = false, have_cap = false, have_off = false;
+  bool saw_end = false;
+  Cycle last_cycle = -1;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;  // blank lines are allowed
+    const std::string_view kw = toks[0];
+    if (kw == "#") continue;  // comment line
+
+    if (saw_end) parse_error(origin, lineno, "content after end trailer");
+
+    if (kw == "msg") {
+      if (toks.size() != 6) {
+        parse_error(origin, lineno, "msg needs: cycle src dst len class");
+      }
+      if (!(have_nodes && have_pattern && have_load && have_avg && have_cap &&
+            have_off)) {
+        parse_error(origin, lineno, "msg before complete header");
+      }
+      TraceRecord r;
+      r.cycle = parse_int<Cycle>(toks[1], origin, lineno);
+      r.src = parse_int<NodeId>(toks[2], origin, lineno);
+      r.dst = parse_int<NodeId>(toks[3], origin, lineno);
+      r.length = parse_int<std::int32_t>(toks[4], origin, lineno);
+      try {
+        r.cls = parse_message_class(toks[5]);
+      } catch (const std::invalid_argument& e) {
+        parse_error(origin, lineno, e.what());
+      }
+      if (r.cycle < 0) parse_error(origin, lineno, "negative cycle");
+      if (r.cycle < last_cycle) {
+        parse_error(origin, lineno, "cycles must be nondecreasing");
+      }
+      if (r.src < 0 || r.src >= data.header.nodes || r.dst < 0 ||
+          r.dst >= data.header.nodes) {
+        parse_error(origin, lineno, "node id out of range");
+      }
+      if (r.src == r.dst) parse_error(origin, lineno, "src == dst");
+      if (r.length < 1) parse_error(origin, lineno, "length must be >= 1");
+      last_cycle = r.cycle;
+      data.records.push_back(r);
+      continue;
+    }
+    if (kw == "end") {
+      if (toks.size() != 2) parse_error(origin, lineno, "end needs a count");
+      const auto count = parse_int<std::uint64_t>(toks[1], origin, lineno);
+      if (count != data.records.size()) {
+        parse_error(origin, lineno,
+                    "trailer count " + std::to_string(count) + " != " +
+                        std::to_string(data.records.size()) + " records");
+      }
+      saw_end = true;
+      continue;
+    }
+
+    // Header directives: keyword value.
+    if (toks.size() != 2) {
+      parse_error(origin, lineno,
+                  "directive needs one value: " + std::string(kw));
+    }
+    const std::string_view val = toks[1];
+    if (kw == "nodes") {
+      data.header.nodes = parse_int<NodeId>(val, origin, lineno);
+      if (data.header.nodes < 2) parse_error(origin, lineno, "nodes must be >= 2");
+      have_nodes = true;
+    } else if (kw == "pattern") {
+      try {
+        data.header.traffic.pattern = parse_traffic_kind(val);
+      } catch (const std::invalid_argument& e) {
+        parse_error(origin, lineno, e.what());
+      }
+      have_pattern = true;
+    } else if (kw == "load") {
+      data.header.traffic.load = parse_double(val, origin, lineno);
+      have_load = true;
+    } else if (kw == "hotspots") {
+      data.header.traffic.hotspot_nodes =
+          parse_int<int>(val, origin, lineno);
+    } else if (kw == "hotspot_fraction") {
+      data.header.traffic.hotspot_fraction = parse_double(val, origin, lineno);
+    } else if (kw == "hybrid_fraction") {
+      data.header.traffic.hybrid_fraction = parse_double(val, origin, lineno);
+    } else if (kw == "hybrid_with") {
+      try {
+        data.header.traffic.hybrid_with = parse_traffic_kind(val);
+      } catch (const std::invalid_argument& e) {
+        parse_error(origin, lineno, e.what());
+      }
+    } else if (kw == "avg_distance") {
+      data.header.avg_distance = parse_double(val, origin, lineno);
+      have_avg = true;
+    } else if (kw == "capacity") {
+      data.header.capacity = parse_double(val, origin, lineno);
+      have_cap = true;
+    } else if (kw == "offered") {
+      data.header.offered = parse_double(val, origin, lineno);
+      have_off = true;
+    } else {
+      parse_error(origin, lineno, "unknown directive: " + std::string(kw));
+    }
+  }
+
+  if (!saw_end) {
+    parse_error(origin, lineno,
+                "missing end trailer (truncated trace?)");
+  }
+  if (!(have_nodes && have_pattern && have_load && have_avg && have_cap &&
+        have_off)) {
+    parse_error(origin, lineno, "incomplete header");
+  }
+  return data;
+}
+
+TraceData read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in, path);
+}
+
+namespace {
+
+void write_trace_header(std::ostream& out, const TraceHeader& h) {
+  out << kTraceMagic << '\n';
+  out << "nodes " << h.nodes << '\n';
+  out << "pattern " << to_string(h.traffic.pattern) << '\n';
+  out << "load " << format_double(h.traffic.load) << '\n';
+  out << "hotspots " << h.traffic.hotspot_nodes << '\n';
+  out << "hotspot_fraction " << format_double(h.traffic.hotspot_fraction)
+      << '\n';
+  out << "hybrid_fraction " << format_double(h.traffic.hybrid_fraction) << '\n';
+  out << "hybrid_with " << to_string(h.traffic.hybrid_with) << '\n';
+  out << "avg_distance " << format_double(h.avg_distance) << '\n';
+  out << "capacity " << format_double(h.capacity) << '\n';
+  out << "offered " << format_double(h.offered) << '\n';
+}
+
+void write_trace_record(std::ostream& out, Cycle cycle, NodeId src, NodeId dst,
+                        std::int32_t length, MessageClass cls) {
+  out << "msg " << cycle << ' ' << src << ' ' << dst << ' ' << length << ' '
+      << to_string(cls) << '\n';
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const TraceData& data) {
+  write_trace_header(out, data.header);
+  for (const TraceRecord& r : data.records) {
+    write_trace_record(out, r.cycle, r.src, r.dst, r.length, r.cls);
+  }
+  out << "end " << data.records.size() << '\n';
+}
+
+TraceCaptureWriter::TraceCaptureWriter(std::ostream& out,
+                                       const TraceHeader& header)
+    : out_(&out) {
+  write_trace_header(*out_, header);
+}
+
+void TraceCaptureWriter::record(Cycle cycle, NodeId src, NodeId dst,
+                                std::int32_t length, MessageClass cls) {
+  if (finished_) throw std::logic_error("trace capture already finished");
+  if (cycle < last_cycle_) {
+    throw std::logic_error("trace capture cycles must be nondecreasing");
+  }
+  last_cycle_ = cycle;
+  write_trace_record(*out_, cycle, src, dst, length, cls);
+  ++count_;
+}
+
+void TraceCaptureWriter::finish() {
+  if (finished_) throw std::logic_error("trace capture already finished");
+  finished_ = true;
+  *out_ << "end " << count_ << '\n';
+  out_->flush();
+  if (!*out_) throw std::runtime_error("trace capture write failed");
+}
+
+}  // namespace flexnet

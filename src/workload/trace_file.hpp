@@ -1,0 +1,92 @@
+// flexnet-trace-v1: the recorded-workload interchange format. A trace is the
+// exact stream of accepted message generations from a run — one
+// `msg <cycle> <src> <dst> <len> <class>` line per message, cycles
+// nondecreasing — preceded by a header that captures the traffic
+// configuration and its derived normalization constants (average distance,
+// capacity, offered rate) so a replay reproduces the original run's
+// manifests byte-for-byte, and terminated by an `end <count>` trailer so
+// truncation fails loudly. Parsing is strict: unknown directives, malformed
+// numbers, out-of-range ids, or a missing/miscounted trailer all throw with
+// an origin:line position.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/message_class.hpp"
+#include "sim/types.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/traffic.hpp"
+
+namespace flexnet {
+
+inline constexpr std::string_view kTraceMagic = "flexnet-trace-v1";
+
+/// One recorded message generation.
+struct TraceRecord {
+  Cycle cycle = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::int32_t length = 0;
+  MessageClass cls = MessageClass::Bulk;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// The capture run's traffic configuration and normalization constants.
+/// Replay adopts these verbatim (instead of recomputing the Monte Carlo
+/// average distance under its own seed) so result rows and manifests match
+/// the original run exactly.
+struct TraceHeader {
+  NodeId nodes = 0;
+  TrafficConfig traffic;
+  double avg_distance = 0.0;
+  double capacity = 0.0;
+  double offered = 0.0;
+};
+
+struct TraceData {
+  TraceHeader header;
+  std::vector<TraceRecord> records;
+
+  /// FNV-1a over the header fields and every record; stored in snapshots so
+  /// a mid-trace resume validates it is replaying the same workload.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept;
+};
+
+/// Parses a complete trace from `in`; `origin` labels error positions
+/// (typically the file path). Throws std::runtime_error on any malformation.
+[[nodiscard]] TraceData read_trace(std::istream& in, const std::string& origin);
+/// Opens and parses `path`; throws std::runtime_error if unreadable.
+[[nodiscard]] TraceData read_trace_file(const std::string& path);
+
+/// Writes a complete trace (header, records, trailer) to `out`.
+void write_trace(std::ostream& out, const TraceData& data);
+
+/// Streaming capture: writes the header on construction, one `msg` line per
+/// record(), and the `end <count>` trailer on finish(). Attach to an
+/// InjectionProcess via set_capture() to record any live run.
+class TraceCaptureWriter final : public TraceCaptureSink {
+ public:
+  /// `out` must outlive the writer; the header is written immediately.
+  TraceCaptureWriter(std::ostream& out, const TraceHeader& header);
+
+  void record(Cycle cycle, NodeId src, NodeId dst, std::int32_t length,
+              MessageClass cls) override;
+
+  /// Writes the trailer. Must be called exactly once; record() afterwards
+  /// throws.
+  void finish();
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::ostream* out_;
+  std::uint64_t count_ = 0;
+  Cycle last_cycle_ = -1;
+  bool finished_ = false;
+};
+
+}  // namespace flexnet

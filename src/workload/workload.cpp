@@ -1,0 +1,59 @@
+#include "workload/workload.hpp"
+
+#include <stdexcept>
+
+#include "workload/replay.hpp"
+
+namespace flexnet {
+
+WorkloadConfig WorkloadConfig::with_point_suffix(std::size_t point) const {
+  WorkloadConfig out = *this;
+  if (!out.capture_path.empty()) {
+    out.capture_path += ".p" + std::to_string(point);
+  }
+  return out;
+}
+
+WorkloadConfig parse_workload_spec(const std::string& spec) {
+  WorkloadConfig config;
+  if (spec == "bernoulli") {
+    config.kind = WorkloadKind::Bernoulli;
+    return config;
+  }
+  if (spec.rfind("trace:", 0) == 0) {
+    config.kind = WorkloadKind::Trace;
+    config.trace_path = spec.substr(6);
+    if (config.trace_path.empty()) {
+      throw std::invalid_argument("trace workload needs a path: " + spec);
+    }
+    return config;
+  }
+  if (spec.rfind("pace:", 0) == 0) {
+    config.kind = WorkloadKind::Paced;
+    config.pace_spec = spec.substr(5);
+    config.pace = parse_pace_spec(config.pace_spec);
+    return config;
+  }
+  throw std::invalid_argument(
+      "unknown workload spec (want bernoulli | trace:<path> | pace:<spec>): " +
+      spec);
+}
+
+std::unique_ptr<InjectionProcess> make_injection(const Network& net,
+                                                 const TrafficConfig& traffic,
+                                                 const WorkloadConfig& workload,
+                                                 std::uint64_t seed) {
+  switch (workload.kind) {
+    case WorkloadKind::Bernoulli:
+      return std::make_unique<InjectionProcess>(net, traffic, seed);
+    case WorkloadKind::Trace:
+      return std::make_unique<TraceReplayInjection>(net, workload.trace_path,
+                                                    seed);
+    case WorkloadKind::Paced:
+      return std::make_unique<PacedInjection>(net, traffic, seed,
+                                              workload.pace);
+  }
+  throw std::invalid_argument("unknown workload kind");
+}
+
+}  // namespace flexnet

@@ -1,0 +1,54 @@
+// Workload configuration and the injection factory: the single place that
+// maps a `--workload` spec to an arrival process. A WorkloadConfig selects
+// Bernoulli (default), trace replay, or a pace profile, and optionally
+// attaches a `--capture-trace` output so any run becomes a replayable
+// workload. Simulation and snapshot restore both build their injection
+// through make_injection(), so live runs and resumes construct identical
+// processes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "traffic/injection.hpp"
+#include "workload/pace.hpp"
+
+namespace flexnet {
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::Bernoulli;
+  /// Trace kind: the flexnet-trace-v1 file to replay.
+  std::string trace_path;
+  /// Paced kind: the original spec string (recorded in manifests/snapshots)
+  /// and the parsed profile.
+  std::string pace_spec;
+  PaceProfile pace;
+  /// When non-empty, the run records its accepted generation stream here
+  /// (any kind; --capture-trace).
+  std::string capture_path;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return kind != WorkloadKind::Bernoulli || !capture_path.empty();
+  }
+
+  /// Per-point file names for sweeps: only the capture output gets the
+  /// ".p<i>" suffix (same convention as TraceConfig); trace inputs and pace
+  /// specs are shared read-only across points.
+  [[nodiscard]] WorkloadConfig with_point_suffix(std::size_t point) const;
+};
+
+/// Parses a `--workload` value: "bernoulli", "trace:<path>", or
+/// "pace:<spec>" (see parse_pace_spec for specs). Throws
+/// std::invalid_argument on anything else. The returned config carries no
+/// capture path.
+[[nodiscard]] WorkloadConfig parse_workload_spec(const std::string& spec);
+
+/// Builds the configured arrival process. For trace workloads the `traffic`
+/// argument is ignored — the replay adopts the trace header's traffic
+/// configuration (callers should mirror it into their own config via
+/// TraceReplayInjection::header()).
+[[nodiscard]] std::unique_ptr<InjectionProcess> make_injection(
+    const Network& net, const TrafficConfig& traffic,
+    const WorkloadConfig& workload, std::uint64_t seed);
+
+}  // namespace flexnet

@@ -251,8 +251,8 @@ TEST(DetectorEquivalence, ArcEpochIsStableInASettledDeadlock) {
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = 8;
   cfg.buffer_depth = 2;
-  auto net = std::make_unique<Network>(cfg, make_routing(cfg),
-                                       make_selection(cfg.selection));
+  auto net = std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   for (NodeId n = 0; n < 4; ++n) net->enqueue_message(n, (n + 2) % 4, 8);
   for (int i = 0; i < 100; ++i) net->step();
 
@@ -278,8 +278,8 @@ TEST(DetectorEquivalence, IdleNetworkSkipsEveryPass) {
   SimConfig cfg;
   cfg.topology.k = 4;
   cfg.topology.n = 2;
-  auto net = std::make_unique<Network>(cfg, make_routing(cfg),
-                                       make_selection(cfg.selection));
+  auto net = std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   DeadlockDetector det(DetectorConfig{.interval = 1}, 1);
   for (int i = 0; i < 25; ++i) {
     net->step();

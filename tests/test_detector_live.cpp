@@ -30,8 +30,8 @@ SimConfig ring_config() {
 /// four messages always close the ring into a genuine deadlock.
 std::unique_ptr<Network> deadlocked_ring() {
   const SimConfig cfg = ring_config();
-  auto net = std::make_unique<Network>(cfg, make_routing(cfg),
-                                       make_selection(cfg.selection));
+  auto net = std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   for (NodeId n = 0; n < 4; ++n) {
     net->enqueue_message(n, (n + 2) % 4, 8);
   }
@@ -158,7 +158,8 @@ TEST(DetectorLive, TwoIndependentDeadlocksHandledInOnePass) {
   cfg.topology.bidirectional = false;
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = 8;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   const auto node = [&](int x, int y) {
     return torus_topology(net.topology()).coordinates().pack({x, y});
   };

@@ -28,8 +28,8 @@ SimConfig faulty_config(double fraction, int k = 8) {
 }
 
 std::unique_ptr<Network> make_net(const SimConfig& cfg) {
-  return std::make_unique<Network>(cfg, make_routing(cfg),
-                                   make_selection(cfg.selection));
+  return std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
 }
 
 TEST(Faults, CountMatchesRequestedFraction) {

@@ -12,8 +12,8 @@ namespace flexnet {
 namespace {
 
 std::unique_ptr<Network> make_net(SimConfig cfg) {
-  return std::make_unique<Network>(cfg, make_routing(cfg),
-                                   make_selection(cfg.selection));
+  return std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
 }
 
 TEST(Injection, PaperCapacityNumbers) {

@@ -27,7 +27,8 @@ TEST_P(LengthSweep, DeliversAndConservesAcrossTheSwitchingSpectrum) {
   cfg.message_length = length;
   cfg.buffer_depth = buffer;
   cfg.seed = 21;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
 
   TrafficConfig traffic;
   traffic.load = 0.2;
@@ -80,7 +81,8 @@ TEST(LengthFootprint, HeldChainBoundedByCompaction) {
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = 8;
   cfg.buffer_depth = 4;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
 
   // A blocker occupies the ejection path at node 4 so the probe compacts.
   net.enqueue_message(3, 4, 8);

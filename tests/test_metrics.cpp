@@ -19,8 +19,8 @@ struct Rig {
     cfg.topology.bidirectional = !unidirectional;
     cfg.routing = routing;
     cfg.message_length = 8;
-    net = std::make_unique<Network>(cfg, make_routing(cfg),
-                                    make_selection(cfg.selection));
+    net = std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
     TrafficConfig traffic;
     traffic.load = load;
     injection = std::make_unique<InjectionProcess>(*net, traffic, 9);

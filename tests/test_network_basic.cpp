@@ -13,8 +13,8 @@ namespace flexnet {
 namespace {
 
 std::unique_ptr<Network> make_network(SimConfig cfg) {
-  return std::make_unique<Network>(cfg, make_routing(cfg),
-                                   make_selection(cfg.selection));
+  return std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
 }
 
 SimConfig small_config() {
@@ -160,9 +160,10 @@ TEST(NetworkBasic, RemoveMessageFreesEverything) {
 
 TEST(NetworkBasic, RequiresPolicies) {
   SimConfig cfg = small_config();
-  EXPECT_THROW(Network(cfg, nullptr, make_selection(cfg.selection)),
-               std::invalid_argument);
-  EXPECT_THROW(Network(cfg, make_routing(cfg), nullptr),
+  EXPECT_THROW(
+      Network(cfg, NetworkDeps{nullptr, nullptr, make_selection(cfg.selection)}),
+      std::invalid_argument);
+  EXPECT_THROW(Network(cfg, NetworkDeps{nullptr, make_routing(cfg), nullptr}),
                std::invalid_argument);
 }
 

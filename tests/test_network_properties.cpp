@@ -36,7 +36,8 @@ TEST_P(NetworkProperties, InvariantsHoldAndNetworkDrains) {
   cfg.buffer_depth = shape.buffer_depth;
   cfg.message_length = 8;
   cfg.seed = 7;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
 
   TrafficConfig traffic;
   traffic.load = 0.25;  // busy; rare deadlocks possible on a 4x4 torus
@@ -111,7 +112,8 @@ TEST(NetworkVct, MessagesCompactIntoSingleBuffers) {
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = 4;
   cfg.buffer_depth = 4;  // VCT
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
 
   // Fill channel 1->2 with a long-lived message, then send another behind it.
   net.enqueue_message(1, 2, 4);
@@ -137,7 +139,8 @@ TEST(NetworkHybridLengths, ShortAndLongMessagesCoexist) {
   cfg.message_length = 16;
   cfg.short_message_length = 2;
   cfg.short_message_fraction = 0.5;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   TrafficConfig traffic;
   traffic.load = 0.2;
   InjectionProcess injection(net, traffic, 3);

@@ -19,8 +19,8 @@ std::unique_ptr<Network> uni_ring(int k, int length, int buffer) {
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = length;
   cfg.buffer_depth = buffer;
-  return std::make_unique<Network>(cfg, make_routing(cfg),
-                                   make_selection(cfg.selection));
+  return std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
 }
 
 TEST(Quiescence, MovingMessagesAreNeverImmobile) {

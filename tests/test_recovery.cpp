@@ -24,8 +24,8 @@ class RecoveryTest : public ::testing::Test {
     cfg_.topology.n = 2;
     cfg_.routing = RoutingKind::DOR;
     cfg_.message_length = 16;
-    net_ = std::make_unique<Network>(cfg_, make_routing(cfg_),
-                                     make_selection(cfg_.selection));
+    net_ = std::make_unique<Network>(cfg_, NetworkDeps{nullptr, make_routing(cfg_),
+                                 make_selection(cfg_.selection)});
     // Three messages created at different cycles with different path
     // lengths, so every victim policy has a distinct answer.
     ids_.push_back(net_->enqueue_message(0, 7, 16));   // oldest, 7 hops
@@ -104,7 +104,8 @@ TEST(MultiKnotRecovery, OnePassResolvesTwoDisjointKnots) {
   cfg.topology.bidirectional = false;
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = 8;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   const auto node = [&](int x, int y) {
     return torus_topology(net.topology()).coordinates().pack({x, y});
   };
@@ -159,7 +160,8 @@ TEST_F(RecoveryTest, RemovalUnblocksWaitingMessages) {
   cfg.topology.bidirectional = false;
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = 32;  // long: holds its channels for a while
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   const MessageId holder = net.enqueue_message(1, 3, 32);
   const MessageId waiter = net.enqueue_message(0, 2, 32);
   for (int i = 0; i < 10; ++i) net.step();

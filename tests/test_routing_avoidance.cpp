@@ -36,7 +36,8 @@ TEST_P(AvoidanceNeverDeadlocks, NoKnotEverForms) {
   cfg.vcs = param.vcs;
   cfg.message_length = 8;
   cfg.seed = 11;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   EXPECT_TRUE(net.routing_algorithm().deadlock_free());
 
   TrafficConfig traffic;
@@ -83,8 +84,8 @@ class DatelineTest : public ::testing::Test {
     cfg_.topology.n = 1;
     cfg_.routing = RoutingKind::DatelineDOR;
     cfg_.vcs = 2;
-    net_ = std::make_unique<Network>(cfg_, make_routing(cfg_),
-                                     make_selection(cfg_.selection));
+    net_ = std::make_unique<Network>(cfg_, NetworkDeps{nullptr, make_routing(cfg_),
+                                 make_selection(cfg_.selection)});
   }
 
   Message msg(NodeId src, NodeId dst) const {
@@ -154,7 +155,8 @@ TEST(DuatoTest, AdaptiveVcsFreeEscapeVcsRestricted) {
   cfg.topology.n = 2;
   cfg.routing = RoutingKind::DuatoTFAR;
   cfg.vcs = 3;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   DuatoTfarRouting duato;
   EXPECT_TRUE(duato.prefer_high_vc_indices());
 

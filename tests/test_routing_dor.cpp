@@ -18,8 +18,8 @@ class DorTest : public ::testing::Test {
     cfg_.topology.k = 8;
     cfg_.topology.n = 2;
     cfg_.routing = RoutingKind::DOR;
-    net_ = std::make_unique<Network>(cfg_, make_routing(cfg_),
-                                     make_selection(cfg_.selection));
+    net_ = std::make_unique<Network>(cfg_, NetworkDeps{nullptr, make_routing(cfg_),
+                                 make_selection(cfg_.selection)});
   }
 
   Message msg_to(NodeId src, NodeId dst) const {
@@ -116,7 +116,8 @@ TEST_F(DorTest, DeliveredPathsFollowDimensionOrder) {
 TEST_F(DorTest, UnidirectionalTorusAlwaysRoutesPositive) {
   SimConfig cfg = cfg_;
   cfg.topology.bidirectional = false;
-  Network uni(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network uni(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   const NodeId src = torus_topology(uni.topology()).coordinates().pack({5, 0});
   const NodeId dst = torus_topology(uni.topology()).coordinates().pack({2, 0});
   std::vector<ChannelId> out;

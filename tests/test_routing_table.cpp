@@ -30,7 +30,8 @@ SimConfig graph_cfg(TopoKind kind, RoutingKind routing) {
 }
 
 Network make_net(const SimConfig& cfg) {
-  return Network(cfg, make_routing(cfg), make_selection(cfg.selection));
+  return Network(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
 }
 
 const TableRouting& tables_of(const Network& net) {

@@ -19,8 +19,8 @@ class TfarTest : public ::testing::Test {
     cfg_.topology.k = 8;
     cfg_.topology.n = 2;
     cfg_.routing = RoutingKind::TFAR;
-    net_ = std::make_unique<Network>(cfg_, make_routing(cfg_),
-                                     make_selection(cfg_.selection));
+    net_ = std::make_unique<Network>(cfg_, NetworkDeps{nullptr, make_routing(cfg_),
+                                 make_selection(cfg_.selection)});
   }
 
   Message msg_to(NodeId src, NodeId dst, int misroutes = 0) const {
@@ -122,7 +122,8 @@ TEST_F(TfarTest, MisrouteExcludesImmediateUturn) {
 TEST_F(TfarTest, MisroutedMessagesStillDeliver) {
   SimConfig cfg = cfg_;
   cfg.max_misroutes = 3;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   for (NodeId n = 0; n < 16; ++n) {
     net.enqueue_message(n, (n + 21) % 64, 8);
   }

@@ -19,8 +19,8 @@ class SelectionTest : public ::testing::Test {
     cfg_.topology.k = 8;
     cfg_.topology.n = 2;
     cfg_.routing = RoutingKind::TFAR;
-    net_ = std::make_unique<Network>(cfg_, make_routing(cfg_),
-                                     make_selection(cfg_.selection));
+    net_ = std::make_unique<Network>(cfg_, NetworkDeps{nullptr, make_routing(cfg_),
+                                 make_selection(cfg_.selection)});
   }
 
   SimConfig cfg_;

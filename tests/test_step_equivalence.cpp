@@ -208,8 +208,8 @@ TEST(StepEquivalence, RecoveryWakeupsDrainTheNetwork) {
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = 8;
   cfg.buffer_depth = 2;
-  auto net = std::make_unique<Network>(cfg, make_routing(cfg),
-                                       make_selection(cfg.selection));
+  auto net = std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   ASSERT_FALSE(net->step_dense());
   std::vector<MessageId> ids;
   for (NodeId n = 0; n < 4; ++n) {

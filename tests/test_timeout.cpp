@@ -22,8 +22,8 @@ std::unique_ptr<Network> deadlocked_ring() {
   cfg.topology.bidirectional = false;
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = 8;
-  auto net = std::make_unique<Network>(cfg, make_routing(cfg),
-                                       make_selection(cfg.selection));
+  auto net = std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   for (NodeId n = 0; n < 4; ++n) net->enqueue_message(n, (n + 2) % 4, 8);
   for (int i = 0; i < 300; ++i) net->step();
   return net;
@@ -70,7 +70,8 @@ TEST(Timeout, CongestionWithoutDeadlockIsAllFalsePositives) {
   cfg.topology.wrap = true;
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = 32;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   net.enqueue_message(2, 3, 32);  // slow drain occupies 2->3
   net.enqueue_message(1, 3, 32);  // blocked behind it
   net.enqueue_message(0, 3, 32);  // blocked further back
@@ -96,8 +97,8 @@ TEST(Timeout, DependentMessagesAreClassifiedSeparately) {
   cfg.routing = RoutingKind::DOR;
   cfg.message_length = 4;
   cfg.buffer_depth = 4;
-  auto net = std::make_unique<Network>(cfg, make_routing(cfg),
-                                       make_selection(cfg.selection));
+  auto net = std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   for (NodeId n = 0; n < 4; ++n) net->enqueue_message(n, (n + 2) % 4, 4);
   for (int i = 0; i < 300; ++i) net->step();
   // A message from node 0 wanting node 1 needs channel 0->1, which a

@@ -21,8 +21,8 @@ std::unique_ptr<Network> ring_net(int k, int length, int buffer = 4,
   cfg.message_length = length;
   cfg.buffer_depth = buffer;
   cfg.vcs = vcs;
-  return std::make_unique<Network>(cfg, make_routing(cfg),
-                                   make_selection(cfg.selection));
+  return std::make_unique<Network>(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
 }
 
 TEST(Timing, WormholeLatencyScalesWithHopsPlusLength) {
@@ -72,7 +72,8 @@ TEST(Timing, ReceptionSerializesConcurrentArrivals) {
   cfg.message_length = 16;
   cfg.buffer_depth = 4;
   cfg.ejection_vcs = 2;  // both can own an ejection VC; bandwidth still 1/cycle
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   const Cycle start = net.now();
   net.enqueue_message(3, 4, 16);  // arrives from the left
   net.enqueue_message(5, 4, 16);  // arrives from the right
@@ -94,7 +95,8 @@ TEST(Timing, RoundRobinSharesAChannelFairly) {
   cfg.message_length = 4;
   cfg.vcs = 2;  // flows can hold separate VCs on the shared link
   cfg.source_queue_limit = 0;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   for (int i = 0; i < 40; ++i) {
     net.enqueue_message(0, 3, 4);
     net.enqueue_message(1, 3, 4);

@@ -1,5 +1,7 @@
 #include "traffic/traffic.hpp"
 
+#include "topo/generators.hpp"
+#include "topo/graph_topology.hpp"
 #include "topo/torus.hpp"
 
 #include <gtest/gtest.h>
@@ -207,6 +209,41 @@ TEST(Traffic, HybridRejectsBadFraction) {
   cfg.hybrid_fraction = 1.5;
   EXPECT_THROW(make_traffic(TrafficKind::Uniform, topo, cfg),
                std::invalid_argument);
+  cfg.hybrid_fraction = -0.1;
+  EXPECT_THROW(make_traffic(TrafficKind::Uniform, topo, cfg),
+               std::invalid_argument);
+}
+
+TEST(Traffic, HybridRejectsSecondaryThatGeneratesNoTraffic) {
+  // Tornado's "nearly half-way around" hop is zero on a radix-2 torus, so
+  // every source maps to itself; the hybrid must fail at construction, not
+  // silently never mix.
+  TopologyConfig tc;
+  tc.k = 2;
+  tc.n = 2;
+  const KAryNCube topo(tc);
+  TrafficConfig cfg = traffic_cfg(TrafficKind::Uniform);
+  cfg.hybrid_fraction = 0.5;
+  cfg.hybrid_with = TrafficKind::Tornado;
+  EXPECT_THROW(make_traffic(TrafficKind::Uniform, topo, cfg),
+               std::invalid_argument);
+}
+
+TEST(Traffic, HybridTornadoSecondaryWorksOffTorus) {
+  // Tornado generalizes to arbitrary graphs (fixed far destination), so the
+  // eager no-traffic probe must pass on a full mesh.
+  const GraphTopology topo(full_mesh_spec(8));
+  TrafficConfig cfg = traffic_cfg(TrafficKind::Uniform);
+  cfg.hybrid_fraction = 0.5;
+  cfg.hybrid_with = TrafficKind::Tornado;
+  const auto pattern = make_traffic(TrafficKind::Uniform, topo, cfg);
+  EXPECT_EQ(pattern->name(), "Hybrid");
+  Pcg32 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId dst = pattern->destination(2, rng);
+    ASSERT_NE(dst, kInvalidNode);
+    ASSERT_NE(dst, 2);
+  }
 }
 
 TEST(Traffic, NamesAreStable) {

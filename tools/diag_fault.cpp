@@ -5,7 +5,8 @@ int main() {
   SimConfig cfg; cfg.topology.k = 8; cfg.topology.n = 2;
   cfg.routing = RoutingKind::TFAR; cfg.message_length = 8;
   cfg.link_fault_fraction = 0.2; cfg.seed = 13;
-  Network net(cfg, make_routing(cfg), make_selection(cfg.selection));
+  Network net(cfg, NetworkDeps{nullptr, make_routing(cfg),
+                                 make_selection(cfg.selection)});
   for (NodeId src = 0; src < net.topology().num_nodes(); src += 7)
     net.enqueue_message(src, (src + 31) % net.topology().num_nodes(), 8);
   for (int i = 0; i < 20000; ++i) net.step();

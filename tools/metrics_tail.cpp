@@ -45,20 +45,42 @@ void print_header_line(const JsonValue& header) {
               integer(header, "interval"), num(header, "warn_threshold"),
               integer(header, "stall_ref"), integer(header, "nodes"),
               integer(header, "vcs"));
-  std::printf("%10s %9s %5s %9s %9s %7s %7s %7s %9s %9s %6s %s\n", "cycle",
-              "score", "warn", "stall_max", "stall_hwm", "blocked", "reqarc",
-              "comp", "delivered", "lat_p99", "active", "knots");
+  std::printf("%10s %9s %5s %9s %9s %7s %7s %7s %9s %9s %6s %5s  %s\n",
+              "cycle", "score", "warn", "stall_max", "stall_hwm", "blocked",
+              "reqarc", "comp", "delivered", "lat_p99", "active", "knots",
+              "classes");
+}
+
+// Message-class names in class_delivered index order (sim/message_class.hpp).
+constexpr const char* kClassNames[] = {"bulk", "burst", "interactive",
+                                       "control"};
+
+// Compact nonzero per-class delivery summary, e.g. "bulk=41 burst=9".
+std::string class_summary(const JsonValue& rec) {
+  const JsonValue* classes = rec.find("class_delivered");
+  if (classes == nullptr || !classes->is_array()) return "";
+  std::string out;
+  for (std::size_t k = 0; k < classes->array.size() && k < 4; ++k) {
+    const long long n = classes->array[k].as_int();
+    if (n == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += kClassNames[k];
+    out += '=';
+    out += std::to_string(n);
+  }
+  return out;
 }
 
 void print_sample_line(const JsonValue& rec) {
   std::printf("%10lld %9.4f %5s %9lld %9lld %7lld %7lld %7lld %9lld %9.1f "
-              "%6lld %lld\n",
+              "%6lld %5lld  %s\n",
               integer(rec, "cycle"), num(rec, "score"),
               flag(rec, "warning") ? "WARN" : "", integer(rec, "max_stall_age"),
               integer(rec, "stall_hwm"), integer(rec, "blocked"),
               integer(rec, "request_arcs"), integer(rec, "largest_component"),
               integer(rec, "delivered"), num(rec, "latency_p99"),
-              integer(rec, "active_routers"), integer(rec, "det_knots"));
+              integer(rec, "active_routers"), integer(rec, "det_knots"),
+              class_summary(rec).c_str());
 }
 
 void print_final(const JsonValue& rec) {
@@ -84,6 +106,17 @@ void print_final(const JsonValue& rec) {
                 "hwm %lld\n",
                 num(*stall, "p50"), num(*stall, "p99"), integer(*stall, "max"),
                 integer(rec, "stall_hwm"));
+  }
+  const JsonValue* classes = rec.find("classes");
+  if (classes != nullptr && classes->is_object()) {
+    for (const auto& [name, cls] : classes->object) {
+      if (integer(cls, "delivered") == 0) continue;
+      std::printf("       class %-11s %lld delivered, latency p50 %.1f / "
+                  "p99 %.1f / max %lld\n",
+                  name.c_str(), integer(cls, "delivered"),
+                  num(cls, "latency_p50"), num(cls, "latency_p99"),
+                  integer(cls, "latency_max"));
+    }
   }
 }
 

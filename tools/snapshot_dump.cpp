@@ -60,6 +60,11 @@ void print_snapshot(const std::string& path, const Snapshot& snap) {
               std::string(to_string(snap.traffic.pattern)).c_str(),
               snap.traffic.load,
               static_cast<unsigned long long>(snap.sim.seed));
+  if (snap.workload.kind == WorkloadKind::Trace) {
+    std::printf("  workload    trace:%s\n", snap.workload.trace_path.c_str());
+  } else if (snap.workload.kind == WorkloadKind::Paced) {
+    std::printf("  workload    pace:%s\n", snap.workload.pace_spec.c_str());
+  }
   std::printf("  state bytes net %zu / inj %zu / det %zu / metrics %zu\n",
               snap.network_state.size(), snap.injection_state.size(),
               snap.detector_state.size(), snap.metrics_state.size());
