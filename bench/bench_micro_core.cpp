@@ -42,7 +42,44 @@ void BM_NetworkStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           sim->network().topology().num_nodes());
 }
-BENCHMARK(BM_NetworkStep)->Arg(8)->Arg(16);
+BENCHMARK(BM_NetworkStep)->Arg(8)->Arg(16)->Arg(32);
+
+/// Sharded engine cycle rate: the BM_NetworkStep harness on the 16-ary
+/// 2-cube at load 0.5, with deadlock recovery left on (default RemoveOldest,
+/// interval 50) so the network keeps flowing for the whole measured run — a
+/// permanently wedged network sheds its active sets and leaves nothing to
+/// parallelize. Arg is the shard count; 0 runs the serial engine in the
+/// identical harness so the single-shard overhead is measured like-for-like.
+/// Wall clock (UseRealTime) is the honest metric for a multi-threaded step:
+/// the compare_bench.py gate enforces /8 at >= 3x over /1 and /1 within 10%
+/// of /0 on real time within one summary.
+void BM_NetworkStepSharded(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ExperimentConfig cfg;
+  cfg.sim.topology.k = 16;
+  cfg.sim.topology.n = 2;
+  cfg.sim.routing = RoutingKind::TFAR;
+  cfg.sim.vcs = 1;
+  cfg.traffic.load = 0.5;
+  cfg.detector.keep_records = false;
+  auto sim = std::make_unique<Simulation>(cfg);
+  sim->run_cycles(3000);
+  if (shards > 0) sim->network().set_shards(shards);
+  for (auto _ : state) {
+    sim->injection().tick(sim->network());
+    sim->network().step();
+    sim->detector().tick(sim->network());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sim->network().topology().num_nodes());
+}
+BENCHMARK(BM_NetworkStepSharded)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 /// Empty-network cycle rate: the activity-gated scheduler's floor. With no
 /// messages anywhere all three active sets are empty, so a step is three

@@ -14,6 +14,11 @@ The gate then compares *normalized* times:
 
     regression = (fresh[b] / fresh[cal]) / (base[b] / base[cal]) - 1
 
+The sharded engine is gated separately on intra-summary wall-clock ratios
+(no calibration needed): BM_NetworkStepSharded/8 must run >= 3x faster than
+/1 on hosts with >= 8 hardware threads, and /1 must stay within 10% of the
+serial engine (/0) in the identical harness.
+
 Usage:
     bench/compare_bench.py --baseline BENCH_micro_core.json \
         --fresh /tmp/fresh.json [--threshold 0.15]
@@ -30,17 +35,63 @@ import sys
 # cycle under trace replay and a pace profile (the workload subsystem's
 # overhead budget), the worst-case (full-rebuild oracle) detection pass, and
 # one observability sample.
-GATED = ["BM_NetworkStep/8", "BM_NetworkStep/16",
+GATED = ["BM_NetworkStep/8", "BM_NetworkStep/16", "BM_NetworkStep/32",
          "BM_NetworkStepIdle/event", "BM_NetworkStepLowLoad/event",
          "BM_NetworkStepTraceReplay/iterations:4000", "BM_NetworkStepPaced",
          "BM_FullDetectionPass", "BM_MetricsSample"]
 CALIBRATION = "BM_CycleEnumerationCapped"
 
+# Sharded scaling gate: intra-summary wall-clock ratios on the fresh run, so
+# no cross-host calibration is involved. BM_NetworkStepSharded/0 is the
+# serial engine in the identical harness, /1 the one-shard engine (inline
+# pool, no worker threads), /8 the scaling headline. The speedup leg only
+# runs on hosts with >= 8 hardware threads (metadata.hardware_concurrency);
+# the overhead leg is thread-free and always applies.
+SHARDED_SERIAL = "BM_NetworkStepSharded/0/real_time"
+SHARDED_ONE = "BM_NetworkStepSharded/1/real_time"
+SHARDED_MANY = "BM_NetworkStepSharded/8/real_time"
+MIN_SHARDED_SPEEDUP = 3.0   # /1 vs /8 wall clock
+MAX_SHARD_OVERHEAD = 0.10   # /1 vs /0 wall clock
 
-def load_times(path):
+
+def load_summary(path):
     with open(path) as f:
         data = json.load(f)
-    return {b["name"]: float(b["cpu_time_ns"]) for b in data["benchmarks"]}
+    cpu = {b["name"]: float(b["cpu_time_ns"]) for b in data["benchmarks"]}
+    # real_time_ns joined the schema with the sharded engine; fall back to
+    # cpu time for summaries that predate it.
+    real = {b["name"]: float(b.get("real_time_ns", b["cpu_time_ns"]))
+            for b in data["benchmarks"]}
+    return cpu, real, data.get("metadata", {})
+
+
+def check_sharded_scaling(real, metadata):
+    """Returns False when the sharded gate fails, True otherwise."""
+    missing = [n for n in (SHARDED_SERIAL, SHARDED_ONE, SHARDED_MANY)
+               if n not in real]
+    if missing:
+        print(f"  sharded gate: {', '.join(missing)} missing from fresh "
+              "summary, skipped")
+        return True
+
+    ok = True
+    overhead = real[SHARDED_ONE] / real[SHARDED_SERIAL] - 1.0
+    verdict = "FAIL" if overhead > MAX_SHARD_OVERHEAD else "ok"
+    ok &= overhead <= MAX_SHARD_OVERHEAD
+    print(f"  sharded overhead /1 vs /0: {overhead:+.1%} "
+          f"(max {MAX_SHARD_OVERHEAD:.0%}) [{verdict}]")
+
+    cores = metadata.get("hardware_concurrency")
+    if cores is None or cores < 8:
+        print(f"  sharded speedup /8 vs /1: skipped "
+              f"(hardware_concurrency={cores}, need >= 8)")
+        return ok
+    speedup = real[SHARDED_ONE] / real[SHARDED_MANY]
+    verdict = "FAIL" if speedup < MIN_SHARDED_SPEEDUP else "ok"
+    ok &= speedup >= MIN_SHARDED_SPEEDUP
+    print(f"  sharded speedup /8 vs /1: {speedup:.2f}x "
+          f"(min {MIN_SHARDED_SPEEDUP:.1f}x) [{verdict}]")
+    return ok
 
 
 def main():
@@ -56,8 +107,8 @@ def main():
     args = parser.parse_args()
 
     try:
-        base = load_times(args.baseline)
-        fresh = load_times(args.fresh)
+        base, _, _ = load_summary(args.baseline)
+        fresh, fresh_real, fresh_meta = load_summary(args.fresh)
     except (OSError, KeyError, ValueError) as err:
         print(f"error: cannot load summaries: {err}", file=sys.stderr)
         return 2
@@ -89,6 +140,9 @@ def main():
             failed = True
         print(f"  {name}: baseline {base[name]:.0f}ns, fresh "
               f"{fresh[name]:.0f}ns, normalized {delta:+.1%} [{verdict}]")
+
+    if not check_sharded_scaling(fresh_real, fresh_meta):
+        failed = True
 
     if failed:
         print(f"perf gate: regression beyond {args.threshold:.0%} threshold",

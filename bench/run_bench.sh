@@ -5,8 +5,16 @@
 #
 #   bench/run_bench.sh [BUILD_DIR]      # default build dir: ./build
 #
-# Schema: {"git_sha": ..., "benchmarks": [{"name", "cpu_time_ns",
-# "iterations"}, ...]}. Requires an already-built bench_micro_core.
+# Schema: {"git_sha": ..., "metadata": {"hardware_concurrency",
+# "worker_threads", "flexnet_threads", "sharded_shard_counts"},
+# "benchmarks": [{"name", "cpu_time_ns", "real_time_ns", "iterations"},
+# ...]}. Requires an already-built bench_micro_core.
+#
+# metadata.worker_threads is the thread count the sharded engine would use on
+# this host (FLEXNET_THREADS when set, else hardware concurrency);
+# sharded_shard_counts lists the shard counts the BM_NetworkStepSharded
+# family actually exercised. compare_bench.py uses hardware_concurrency to
+# decide whether the sharded scaling gate is meaningful on this machine.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -26,27 +34,44 @@ trap 'rm -f "${raw_json}"' EXIT
   --benchmark_out_format=json >&2
 
 git_sha="$(git -C "${repo_root}" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+hw_threads="$(nproc 2>/dev/null || echo 1)"
 
-python3 - "${raw_json}" "${git_sha}" > "${repo_root}/BENCH_micro_core.json" <<'PY'
+python3 - "${raw_json}" "${git_sha}" "${hw_threads}" "${FLEXNET_THREADS:-}" \
+  > "${repo_root}/BENCH_micro_core.json" <<'PY'
 import json
+import re
 import sys
 
 with open(sys.argv[1]) as f:
     raw = json.load(f)
 
 records = []
+shard_counts = []
 for b in raw.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
         continue
-    # google-benchmark reports cpu_time in time_unit (ns by default).
+    # google-benchmark reports cpu_time/real_time in time_unit (ns default).
     scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[b.get("time_unit", "ns")]
     records.append({
         "name": b["name"],
         "cpu_time_ns": b["cpu_time"] * scale,
+        "real_time_ns": b["real_time"] * scale,
         "iterations": b["iterations"],
     })
+    m = re.match(r"BM_NetworkStepSharded/(\d+)", b["name"])
+    if m:
+        shard_counts.append(int(m.group(1)))
 
-json.dump({"git_sha": sys.argv[2], "benchmarks": records}, sys.stdout, indent=2)
+hw = int(sys.argv[3])
+flexnet_threads = int(sys.argv[4]) if sys.argv[4].isdigit() else None
+metadata = {
+    "hardware_concurrency": hw,
+    "worker_threads": flexnet_threads if flexnet_threads else hw,
+    "flexnet_threads": flexnet_threads,
+    "sharded_shard_counts": sorted(shard_counts),
+}
+json.dump({"git_sha": sys.argv[2], "metadata": metadata,
+           "benchmarks": records}, sys.stdout, indent=2)
 sys.stdout.write("\n")
 PY
 

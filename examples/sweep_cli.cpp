@@ -21,6 +21,12 @@
 //       --detector-full-rebuild              # oracle: rebuild CWG every pass
 //   ./sweep_cli --routing DOR --loads 0.2 --step-dense
 //                                            # oracle: dense per-cycle sweep
+//   ./sweep_cli --routing TFAR --k 32 --n 3 --loads 0.4 --shards auto
+//                                            # 32k routers, parallel stepping
+//   ./sweep_cli --routing DOR --loads 0.5 --shards 8
+//       # deterministic: byte-identical to --shards 1 for any shard count.
+//       # --shards outranks FLEXNET_THREADS ('auto' = that thread count,
+//       # capped at the node count); combining with --step-dense is an error.
 //   ./sweep_cli --topology file:examples/topologies/irregular-16.topo
 //       --loads 0.6 --capture-deadlocks corpus  # irregular network, TableMin
 //   ./sweep_cli --topology dragonfly --df-routers 8 --df-globals 1

@@ -1,6 +1,8 @@
 #include "exp/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 #include "exp/sweep.hpp"
@@ -150,6 +152,37 @@ ExperimentConfig experiment_from_options(const Options& opts) {
   cfg.run.measure = opts.get_int("measure", cfg.run.measure);
   cfg.run.check_invariants = opts.get_bool("check", false);
   cfg.run.step_dense = opts.get_bool("step-dense", false);
+
+  // --shards N|auto selects the parallel stepping engine. Strict parse: only
+  // "auto" or an all-digit positive count is accepted ("8x", "", "-2" are
+  // errors, not silent fallbacks). "auto" resolves at construction to
+  // min(worker_thread_count(), nodes); worker_thread_count() honors
+  // FLEXNET_THREADS, so the explicit flag outranks the environment.
+  if (opts.has("shards")) {
+    const std::string shards_arg = opts.get("shards");
+    if (shards_arg == "auto") {
+      cfg.run.shards = -1;
+    } else {
+      if (shards_arg.empty() ||
+          shards_arg.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("--shards must be a positive integer or "
+                                    "'auto', got: " + shards_arg);
+      }
+      errno = 0;
+      char* end = nullptr;
+      const long long value = std::strtoll(shards_arg.c_str(), &end, 10);
+      if (errno == ERANGE || *end != '\0' || value < 1 ||
+          value > std::numeric_limits<int>::max()) {
+        throw std::invalid_argument("--shards out of range: " + shards_arg);
+      }
+      cfg.run.shards = static_cast<int>(value);
+    }
+    if (cfg.run.step_dense) {
+      throw std::invalid_argument(
+          "--shards cannot combine with --step-dense (the dense sweep is the "
+          "serial engine's oracle)");
+    }
+  }
 
   const long long ring = opts.get_int("trace-ring", 0);
   if (ring < 0) throw std::invalid_argument("--trace-ring must be >= 0");

@@ -7,6 +7,7 @@
 #include "routing/selection.hpp"
 #include "telemetry/manifest.hpp"
 #include "util/binio.hpp"
+#include "util/parallel.hpp"
 #include "workload/replay.hpp"
 
 namespace flexnet {
@@ -164,6 +165,17 @@ Simulation::Simulation(const ExperimentConfig& config)
   if (obs_) obs_->contribute_hooks(hooks);
   network_->install_hooks(hooks);
   network_->set_step_dense(config_.run.step_dense);
+  if (config_.run.shards != 0) {
+    // --shards auto: one shard per worker thread, capped so every shard owns
+    // at least one router (set_shards rejects an explicit overshoot).
+    int shards = config_.run.shards;
+    if (shards < 0) {
+      shards = static_cast<int>(worker_thread_count());
+      const int nodes = network_->topology().num_nodes();
+      if (shards > nodes) shards = nodes;
+    }
+    network_->set_shards(shards);
+  }
 }
 
 void Simulation::flush_trace() {

@@ -12,6 +12,7 @@
 #include "telemetry/profiler.hpp"
 #include "topo/factory.hpp"
 #include "util/binio.hpp"
+#include "util/parallel.hpp"  // WorkerPool completeness for ~Network()
 
 namespace flexnet {
 
@@ -253,7 +254,7 @@ MessageId Network::enqueue_message(NodeId src, NodeId dst, std::int32_t length,
   messages_.push_back(std::move(msg));
   active_pos_.push_back(-1);
   source_queues_[static_cast<std::size_t>(src)].push_back(id);
-  src_active_.insert(src);  // schedule the node's next grant pass
+  sched_insert_src(src);  // schedule the node's next grant pass
   ++counters_.generated;
   ++counters_.class_generated[class_index(cls)];
   return id;
@@ -271,6 +272,11 @@ double Network::capacity_flits_per_node(double avg_distance) const noexcept {
 }
 
 void Network::step() {
+  if (sharded_) {
+    step_sharded();
+    ++now_;
+    return;
+  }
   if (hooks_.profiler == nullptr) {
     deliver_phase();
     route_phase();
@@ -672,7 +678,7 @@ void Network::remove_message(MessageId id) {
     // another message claims the slot: recovery happens between steps, and a
     // wedged (descheduled) channel must not stay silent while survivors
     // drain through it.
-    wake_channel(vc.channel);
+    sched_wake_channel(vc.channel);
     vc.buffer.clear();
     vc.release();
   }
@@ -775,21 +781,44 @@ void Network::check_invariants() const {
   const NodeId nodes = topo_->num_nodes();
   for (NodeId node = 0; node < nodes; ++node) {
     if (!source_queues_[static_cast<std::size_t>(node)].empty() !=
-        src_active_.contains(node)) {
+        src_scheduled(node)) {
       invariant_failure("source active set out of sync with queue state");
     }
     const PhysChannel& ej =
         phys_[static_cast<std::size_t>(ejection_channel(node))];
     for (int i = 0; i < ej.num_vcs; ++i) {
       if (!vcs_[static_cast<std::size_t>(ej.first_vc + i)].buffer.empty() &&
-          !eject_active_.contains(node)) {
+          !eject_scheduled(node)) {
         invariant_failure("buffered ejection flit on a descheduled node");
       }
     }
   }
   for (const PhysChannel& pc : phys_) {
-    if (transmit_work_possible(pc) && !chan_active_.contains(pc.id)) {
+    if (transmit_work_possible(pc) && !channel_scheduled(pc.id)) {
       invariant_failure("transmittable work on a descheduled channel");
+    }
+  }
+  if (sharded_) {
+    // Per-shard sets must hold only components the shard owns.
+    for (const ShardCtx& ctx : shard_ctx_) {
+      for (std::int32_t n = ctx.src_active.first(); n != -1;
+           n = ctx.src_active.next_after(n)) {
+        if (shard_of_node(n) != ctx.shard) {
+          invariant_failure("source node scheduled on a foreign shard");
+        }
+      }
+      for (std::int32_t n = ctx.eject_active.first(); n != -1;
+           n = ctx.eject_active.next_after(n)) {
+        if (shard_of_node(n) != ctx.shard) {
+          invariant_failure("ejection node scheduled on a foreign shard");
+        }
+      }
+      for (std::int32_t ch = ctx.chan_active.first(); ch != -1;
+           ch = ctx.chan_active.next_after(ch)) {
+        if (shard_of_channel(ch) != ctx.shard) {
+          invariant_failure("channel scheduled on a foreign shard");
+        }
+      }
     }
   }
 }
@@ -798,22 +827,27 @@ void Network::rebuild_active_sets() {
   src_active_.clear();
   eject_active_.clear();
   chan_active_.clear();
+  for (ShardCtx& ctx : shard_ctx_) {
+    ctx.src_active.clear();
+    ctx.eject_active.clear();
+    ctx.chan_active.clear();
+  }
   const NodeId nodes = topo_->num_nodes();
   for (NodeId node = 0; node < nodes; ++node) {
     if (!source_queues_[static_cast<std::size_t>(node)].empty()) {
-      src_active_.insert(node);
+      sched_insert_src(node);
     }
     const PhysChannel& ej =
         phys_[static_cast<std::size_t>(ejection_channel(node))];
     for (int i = 0; i < ej.num_vcs; ++i) {
       if (!vcs_[static_cast<std::size_t>(ej.first_vc + i)].buffer.empty()) {
-        eject_active_.insert(node);
+        sched_insert_eject(node);
         break;
       }
     }
   }
   for (const PhysChannel& pc : phys_) {
-    if (transmit_work_possible(pc)) chan_active_.insert(pc.id);
+    if (transmit_work_possible(pc)) sched_wake_channel(pc.id);
   }
 }
 

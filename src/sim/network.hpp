@@ -27,12 +27,16 @@
 #include "sim/channel.hpp"
 #include "sim/config.hpp"
 #include "sim/message.hpp"
+#include "sim/shard.hpp"
 #include "sim/types.hpp"
+#include "topo/partition.hpp"
 #include "topo/topology.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace flexnet {
+
+class WorkerPool;
 
 class BinReader;
 class BinWriter;
@@ -150,7 +154,16 @@ class Network {
   /// request-set changes (dashed arcs), message completion/removal, and
   /// snapshot restore. Equal epochs across two instants guarantee an
   /// identical CWG, which lets the deadlock detector skip or reuse a pass.
-  [[nodiscard]] std::uint64_t arc_epoch() const noexcept { return arc_epoch_; }
+  /// Under sharded stepping the counter is composed: a base term (main-thread
+  /// events) plus one monotonic term per shard, so workers bump their own
+  /// term without synchronization and the sum keeps the equal-epochs
+  /// guarantee (every term is non-decreasing, so sums collide only when no
+  /// term moved).
+  [[nodiscard]] std::uint64_t arc_epoch() const noexcept {
+    std::uint64_t epoch = arc_epoch_;
+    for (const ShardCtx& ctx : shard_ctx_) epoch += ctx.epoch;
+    return epoch;
+  }
   /// Messages still waiting in source queues.
   [[nodiscard]] std::int64_t queued_message_count() const noexcept;
   /// Messages waiting in one node's source queue.
@@ -177,16 +190,48 @@ class Network {
   void set_step_dense(bool dense) noexcept { step_dense_ = dense; }
   [[nodiscard]] bool step_dense() const noexcept { return step_dense_; }
 
+  /// Selects the sharded parallel stepping engine with `shards` spatial
+  /// domains (>= 1; one worker thread per shard, the caller participating),
+  /// or restores the serial engine with 0. Safe to flip between steps.
+  ///
+  /// The sharded engine is deterministic in the strong sense the serial
+  /// engine pairs are: every shard count from 1 upward produces byte-
+  /// identical state, traces, counters and snapshots. It is NOT byte-
+  /// identical to the serial engine — transmit grants buffer space against
+  /// cycle-start occupancy (a one-cycle credit-return delay instead of the
+  /// serial sweep's same-cycle compaction chaining) and adaptive selection
+  /// draws from a per-(message, cycle) hash stream instead of the shared
+  /// serial RNG — so the serial path remains the semantics oracle and the
+  /// 1-shard run is the byte-equality oracle for N shards (DESIGN.md §3j).
+  /// Throws std::invalid_argument for shards > nodes and when the dense
+  /// sweep is active (the oracles compose with the event core, not with
+  /// each other).
+  void set_shards(int shards);
+  /// Configured shard count; 0 when the serial engine is active.
+  [[nodiscard]] int shards() const noexcept {
+    return sharded_ ? static_cast<int>(shard_ctx_.size()) : 0;
+  }
+
   /// Scheduler introspection: how many components the event-driven core will
-  /// visit next cycle. All zero on an idle network.
+  /// visit next cycle. All zero on an idle network. Sharded mode sums the
+  /// per-shard sets (they partition the components, so counts compose).
   [[nodiscard]] std::size_t active_source_nodes() const noexcept {
-    return src_active_.count();
+    if (!sharded_) return src_active_.count();
+    std::size_t n = 0;
+    for (const ShardCtx& ctx : shard_ctx_) n += ctx.src_active.count();
+    return n;
   }
   [[nodiscard]] std::size_t active_eject_nodes() const noexcept {
-    return eject_active_.count();
+    if (!sharded_) return eject_active_.count();
+    std::size_t n = 0;
+    for (const ShardCtx& ctx : shard_ctx_) n += ctx.eject_active.count();
+    return n;
   }
   [[nodiscard]] std::size_t active_channels() const noexcept {
-    return chan_active_.count();
+    if (!sharded_) return chan_active_.count();
+    std::size_t n = 0;
+    for (const ShardCtx& ctx : shard_ctx_) n += ctx.chan_active.count();
+    return n;
   }
 
   /// Peak normalized injection bandwidth: flits/node/cycle at which average
@@ -245,11 +290,56 @@ class Network {
   /// could move a flit now or next cycle (flit age is deliberately ignored —
   /// a flit that arrived this cycle becomes movable on the next one).
   [[nodiscard]] bool transmit_work_possible(const PhysChannel& pc) const;
-  /// Schedules a physical channel's wakeup (idempotent).
+  /// Schedules a physical channel's wakeup (idempotent). Serial engine only;
+  /// sharded workers insert into their own ShardCtx (or its wake outbox).
   void wake_channel(ChannelId ch) noexcept { chan_active_.insert(ch); }
   /// Recomputes all three active sets from current state (constructor and
-  /// snapshot restore; the sets are never serialized).
+  /// snapshot restore; the sets are never serialized). Fills the per-shard
+  /// slices instead when the sharded engine is active.
   void rebuild_active_sets();
+
+  // --- sharded engine (src/sim/network_sharded.cpp, DESIGN.md §3j) ---------
+  // Scheduler routing for main-thread mutations (enqueue_message,
+  // remove_message, restore_state) that must land in the right shard's sets.
+  void sched_insert_src(NodeId node);
+  void sched_insert_eject(NodeId node);
+  void sched_wake_channel(ChannelId ch);
+  // Shard-aware active-set membership (invariant checks, cold paths).
+  [[nodiscard]] bool src_scheduled(NodeId node) const;
+  [[nodiscard]] bool eject_scheduled(NodeId node) const;
+  [[nodiscard]] bool channel_scheduled(ChannelId ch) const;
+  [[nodiscard]] std::int32_t shard_of_node(NodeId node) const noexcept {
+    return shard_plan_.node_shard[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] std::int32_t shard_of_channel(ChannelId ch) const noexcept {
+    return shard_chan_[static_cast<std::size_t>(ch)];
+  }
+
+  void step_sharded();
+  void deliver_phase_sharded();
+  void deliver_shard(ShardCtx& ctx);
+  void commit_deliver();
+  void route_phase_sharded();
+  void route_shard(ShardCtx& ctx);
+  void route_grants_sharded(NodeId node, ShardCtx& ctx);
+  bool try_route_header_sharded(VcId head_vc, std::uint32_t scan_index,
+                                ShardCtx& ctx);
+  void acquire_vc_sharded(Message& msg, VcState& from, VcState& target,
+                          std::uint64_t trace_key, ShardCtx& ctx);
+  void commit_route();
+  void transmit_phase_sharded();
+  void transmit_decide_shard(ShardCtx& ctx);
+  void transmit_pop_shard(ShardCtx& ctx);
+  void transmit_push_shard(ShardCtx& ctx);
+  void commit_transmit();
+  /// Buffers a trace event (no-op without a tracer); emitted at phase commit
+  /// in ascending key order.
+  void trace_sharded(ShardCtx& ctx, std::uint64_t key, TraceEventKind kind,
+                     MessageId msg, VcId vc, VcId vc2 = kInvalidVc,
+                     std::int32_t arg = 0, NodeId node = kInvalidNode);
+  /// Emits each shard's key-sorted trace buffer in one globally ascending
+  /// k-way merge, then clears the buffers.
+  void flush_sharded_traces();
 
   /// Emits a trace event when a tracer is attached. `vc`'s downstream router
   /// is the event's location unless `node` overrides it.
@@ -305,6 +395,16 @@ class Network {
   std::vector<VcId> scratch_vcs_;
   std::vector<VcId> scratch_pending_;
   std::vector<VcId> scratch_old_requests_;  // tracing only
+
+  // Sharded engine state (set_shards; absent cost is one predictable branch
+  // in step() and nothing on the serial phase workers).
+  bool sharded_ = false;
+  ShardPlan shard_plan_;
+  std::vector<std::int32_t> shard_chan_;  // channel id -> owning shard
+  std::vector<ShardCtx> shard_ctx_;
+  std::unique_ptr<WorkerPool> pool_;
+  // Commit-time merge scratch.
+  std::vector<std::size_t> merge_cursor_;
 };
 
 }  // namespace flexnet

@@ -1,0 +1,728 @@
+// The sharded parallel stepping engine (DESIGN.md §3j).
+//
+// Network::step_sharded() runs each phase as a fleet of per-shard workers
+// over the per-shard active sets, separated by pool barriers, with every
+// ordered side effect buffered in the worker's ShardCtx and folded into
+// global state by a single-threaded commit in canonical component order.
+// The result is byte-identical across ALL shard counts: the 1-shard run is
+// the oracle and `--shards 8` must reproduce it bit for bit (state, traces,
+// counters, snapshots, telemetry, metrics streams).
+//
+// Ownership discipline (the whole correctness argument, verified by TSan):
+//  * a shard owns its nodes' queues/ejection interfaces and every physical
+//    channel whose SOURCE router it owns, VCs included;
+//  * deliver and route touch only owned state — routing candidates are
+//    channels out of the header's current router, which the router's shard
+//    owns (the one cross-shard write, `from.route_out` in acquire, targets
+//    the header's own VC, which no other shard touches this phase);
+//  * transmit is split decide/pop/push: T1 is read-only against cycle-start
+//    state, T2 performs the pops (each VC has a unique downstream mover),
+//    T3 performs the pushes (each VC is pushed only by its own channel), so
+//    no FlitFifo is ever touched by two threads in the same sub-phase.
+//
+// Two semantic deltas vs the serial engine, both deliberate and documented:
+// transmit decisions read cycle-start buffer occupancy (a one-cycle
+// credit-return delay instead of the serial sweep's same-cycle compaction
+// chaining along ascending channel ids — unparallelizable without
+// serializing the sweep), and adaptive selection shuffles with a
+// per-(message, cycle) hash stream instead of the shared serial RNG (whose
+// draw order is exactly the serial visit order). Neither depends on the
+// shard count, which is what the byte-equality suite asserts.
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "routing/routing.hpp"
+#include "routing/selection.hpp"
+#include "sim/network.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/profiler.hpp"
+#include "util/parallel.hpp"
+
+namespace flexnet {
+
+namespace {
+/// Retry trace/order keys sort after every grant key (node ids < 2^31).
+constexpr std::uint64_t kRetryKeyBase = 1ull << 32;
+}  // namespace
+
+void Network::set_shards(int shards) {
+  if (shards < 0) throw std::invalid_argument("shard count must be >= 0");
+  if (shards > topo_->num_nodes()) {
+    throw std::invalid_argument("shard count exceeds node count (" +
+                                std::to_string(topo_->num_nodes()) + ")");
+  }
+  // Fold the per-shard epoch terms into the base counter so arc_epoch()
+  // stays monotonic across resharding.
+  arc_epoch_ = arc_epoch();
+  shard_ctx_.clear();
+  pool_.reset();
+  if (shards == 0) {
+    sharded_ = false;
+    rebuild_active_sets();
+    return;
+  }
+  if (step_dense_) {
+    throw std::invalid_argument(
+        "sharded stepping cannot combine with the dense sweep oracle");
+  }
+
+  shard_plan_ = make_shard_plan(*topo_, shards);
+  shard_chan_.resize(phys_.size());
+  for (const PhysChannel& pc : phys_) {
+    // Injection/ejection channels have src == dst == their node, so one rule
+    // covers all kinds: a channel belongs to its source router's shard.
+    shard_chan_[static_cast<std::size_t>(pc.id)] = shard_plan_.shard_of(pc.src);
+  }
+
+  shard_ctx_.resize(static_cast<std::size_t>(shard_plan_.shards));
+  const auto nodes = static_cast<std::size_t>(topo_->num_nodes());
+  for (std::size_t s = 0; s < shard_ctx_.size(); ++s) {
+    ShardCtx& ctx = shard_ctx_[s];
+    ctx.shard = static_cast<std::int32_t>(s);
+    ctx.src_active.reset(nodes);
+    ctx.eject_active.reset(nodes);
+    ctx.chan_active.reset(phys_.size());
+    ctx.epoch = 0;
+    ctx.clear_cycle_buffers();
+  }
+  merge_cursor_.assign(shard_ctx_.size(), 0);
+  pool_ = std::make_unique<WorkerPool>(shard_ctx_.size());
+  sharded_ = true;
+  rebuild_active_sets();
+}
+
+void Network::sched_insert_src(NodeId node) {
+  if (sharded_) {
+    shard_ctx_[static_cast<std::size_t>(shard_of_node(node))].src_active.insert(
+        node);
+  } else {
+    src_active_.insert(node);
+  }
+}
+
+void Network::sched_insert_eject(NodeId node) {
+  if (sharded_) {
+    shard_ctx_[static_cast<std::size_t>(shard_of_node(node))]
+        .eject_active.insert(node);
+  } else {
+    eject_active_.insert(node);
+  }
+}
+
+void Network::sched_wake_channel(ChannelId ch) {
+  if (sharded_) {
+    shard_ctx_[static_cast<std::size_t>(shard_of_channel(ch))]
+        .chan_active.insert(ch);
+  } else {
+    chan_active_.insert(ch);
+  }
+}
+
+bool Network::src_scheduled(NodeId node) const {
+  if (!sharded_) return src_active_.contains(node);
+  return shard_ctx_[static_cast<std::size_t>(shard_of_node(node))]
+      .src_active.contains(node);
+}
+
+bool Network::eject_scheduled(NodeId node) const {
+  if (!sharded_) return eject_active_.contains(node);
+  return shard_ctx_[static_cast<std::size_t>(shard_of_node(node))]
+      .eject_active.contains(node);
+}
+
+bool Network::channel_scheduled(ChannelId ch) const {
+  if (!sharded_) return chan_active_.contains(ch);
+  return shard_ctx_[static_cast<std::size_t>(shard_of_channel(ch))]
+      .chan_active.contains(ch);
+}
+
+void Network::trace_sharded(ShardCtx& ctx, std::uint64_t key,
+                            TraceEventKind kind, MessageId msg, VcId vc,
+                            VcId vc2, std::int32_t arg, NodeId node) {
+  ShardTraceRecord rec;
+  rec.key = key;
+  rec.event.cycle = now_;
+  rec.event.kind = kind;
+  rec.event.message = msg;
+  rec.event.vc = vc;
+  rec.event.vc2 = vc2;
+  rec.event.arg = arg;
+  rec.event.node = (node != kInvalidNode || vc == kInvalidVc)
+                       ? node
+                       : phys(vcs_[static_cast<std::size_t>(vc)].channel).dst;
+  ctx.trace_buf.push_back(rec);
+}
+
+void Network::flush_sharded_traces() {
+  if (hooks_.tracer == nullptr) {
+    for (ShardCtx& ctx : shard_ctx_) ctx.trace_buf.clear();
+    return;
+  }
+  // K-way merge of key-sorted buffers. Keys are unique across shards within
+  // a phase segment (each component/scan position is processed by exactly
+  // one shard), so ties cannot occur.
+  std::fill(merge_cursor_.begin(), merge_cursor_.end(), 0);
+  for (;;) {
+    std::size_t best = shard_ctx_.size();
+    std::uint64_t best_key = 0;
+    for (std::size_t s = 0; s < shard_ctx_.size(); ++s) {
+      const ShardCtx& ctx = shard_ctx_[s];
+      if (merge_cursor_[s] >= ctx.trace_buf.size()) continue;
+      const std::uint64_t key = ctx.trace_buf[merge_cursor_[s]].key;
+      if (best == shard_ctx_.size() || key < best_key) {
+        best = s;
+        best_key = key;
+      }
+    }
+    if (best == shard_ctx_.size()) break;
+    hooks_.tracer->emit(shard_ctx_[best].trace_buf[merge_cursor_[best]].event);
+    ++merge_cursor_[best];
+  }
+  for (ShardCtx& ctx : shard_ctx_) ctx.trace_buf.clear();
+}
+
+void Network::step_sharded() {
+  if (hooks_.profiler == nullptr) {
+    deliver_phase_sharded();
+    route_phase_sharded();
+    transmit_phase_sharded();
+  } else {
+    {
+      ScopedPhase timer(hooks_.profiler, SimPhase::Deliver);
+      deliver_phase_sharded();
+    }
+    {
+      ScopedPhase timer(hooks_.profiler, SimPhase::Route);
+      route_phase_sharded();
+    }
+    {
+      ScopedPhase timer(hooks_.profiler, SimPhase::Transmit);
+      transmit_phase_sharded();
+    }
+  }
+}
+
+// --- deliver ---------------------------------------------------------------
+
+void Network::deliver_phase_sharded() {
+  pool_->run([this](std::size_t s) { deliver_shard(shard_ctx_[s]); });
+  commit_deliver();
+}
+
+void Network::deliver_shard(ShardCtx& ctx) {
+  ctx.deliveries.clear();
+  ctx.flits_delivered = 0;
+  for (std::int32_t node = ctx.eject_active.first(); node != -1;
+       node = ctx.eject_active.next_after(node)) {
+    PhysChannel& pc = phys_[static_cast<std::size_t>(ejection_channel(node))];
+    for (int j = 0; j < pc.num_vcs; ++j) {
+      const int idx = (pc.rr_cursor + j) % pc.num_vcs;
+      VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
+      if (w.buffer.empty() || w.buffer.front().arrived >= now_) continue;
+      const Flit flit = w.buffer.pop();
+      ctx.chan_active.insert(pc.id);  // freed space: the ejector can pull again
+      Message& msg = messages_[static_cast<std::size_t>(flit.message)];
+      ++msg.flits_delivered;
+      ++ctx.flits_delivered;
+      const bool tail = flit.is_tail_of(msg.length);
+      if (tail || hooks_.tracer != nullptr) {
+        ShardDelivery rec;
+        rec.node = node;
+        rec.msg = msg.id;
+        rec.eject_vc = w.id;
+        rec.seq = flit.seq;
+        rec.tail = tail;
+        ctx.deliveries.push_back(rec);
+      }
+      pc.rr_cursor = (idx + 1) % pc.num_vcs;
+      break;  // one flit per reception channel per cycle
+    }
+    bool drained = true;
+    for (int i = 0; i < pc.num_vcs; ++i) {
+      if (!vcs_[static_cast<std::size_t>(pc.first_vc + i)].buffer.empty()) {
+        drained = false;
+        break;
+      }
+    }
+    if (drained) ctx.eject_active.erase(node);
+  }
+}
+
+void Network::commit_deliver() {
+  for (const ShardCtx& ctx : shard_ctx_) {
+    counters_.flits_delivered += ctx.flits_delivered;
+  }
+  // Merge by node id — the order the serial sweep visits reception
+  // interfaces — emitting the flit trace and running tail completions (which
+  // touch the active list, delivered counters, obs hook and base epoch) on
+  // this thread.
+  std::fill(merge_cursor_.begin(), merge_cursor_.end(), 0);
+  for (;;) {
+    std::size_t best = shard_ctx_.size();
+    NodeId best_node = kInvalidNode;
+    for (std::size_t s = 0; s < shard_ctx_.size(); ++s) {
+      const ShardCtx& ctx = shard_ctx_[s];
+      if (merge_cursor_[s] >= ctx.deliveries.size()) continue;
+      const NodeId node = ctx.deliveries[merge_cursor_[s]].node;
+      if (best == shard_ctx_.size() || node < best_node) {
+        best = s;
+        best_node = node;
+      }
+    }
+    if (best == shard_ctx_.size()) break;
+    const ShardDelivery& rec = shard_ctx_[best].deliveries[merge_cursor_[best]];
+    ++merge_cursor_[best];
+    Message& msg = messages_[static_cast<std::size_t>(rec.msg)];
+    if (hooks_.tracer != nullptr) {
+      trace(TraceEventKind::FlitDelivered, msg.id, rec.eject_vc, kInvalidVc,
+            rec.seq);
+    }
+    if (rec.tail) {
+      complete_delivery(msg, vcs_[static_cast<std::size_t>(rec.eject_vc)]);
+    }
+  }
+}
+
+// --- route -----------------------------------------------------------------
+
+void Network::route_phase_sharded() {
+  pool_->run([this](std::size_t s) { route_shard(shard_ctx_[s]); });
+  commit_route();
+}
+
+void Network::route_shard(ShardCtx& ctx) {
+  ctx.grants.clear();
+  ctx.injected = 0;
+  ctx.failures.clear();
+  ctx.trace_buf.clear();
+
+  // Injection grants for this shard's nodes (src_active is exact).
+  for (std::int32_t node = ctx.src_active.first(); node != -1;
+       node = ctx.src_active.next_after(node)) {
+    route_grants_sharded(node, ctx);
+  }
+
+  // Retry every unrouted header whose current router this shard owns,
+  // walking the globally rotated order so the scan positions — the order the
+  // 1-shard run processes and re-files failures — are shard-independent.
+  const std::size_t count = pending_.size();
+  const std::size_t offset =
+      count == 0 ? 0 : static_cast<std::size_t>(now_) % count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const VcId head_vc = pending_[(offset + i) % count];
+    const NodeId here =
+        phys(vcs_[static_cast<std::size_t>(head_vc)].channel).dst;
+    if (shard_of_node(here) != ctx.shard) continue;
+    if (!try_route_header_sharded(head_vc, static_cast<std::uint32_t>(i),
+                                  ctx)) {
+      ShardRouteFailure failure;
+      failure.scan_index = static_cast<std::uint32_t>(i);
+      failure.head_vc = head_vc;
+      ctx.failures.push_back(failure);
+    }
+  }
+}
+
+void Network::route_grants_sharded(NodeId node, ShardCtx& ctx) {
+  auto& queue = source_queues_[static_cast<std::size_t>(node)];
+  if (queue.empty()) return;
+  const PhysChannel& pc =
+      phys_[static_cast<std::size_t>(injection_channel(node))];
+  for (int i = 0; i < pc.num_vcs && !queue.empty(); ++i) {
+    VcState& vc = vcs_[static_cast<std::size_t>(pc.first_vc + i)];
+    if (!vc.is_free()) continue;
+    Message& msg = messages_[static_cast<std::size_t>(queue.front())];
+    queue.pop_front();
+    vc.owner = msg.id;
+    vc.route_in = kInvalidVc;  // fed directly by the source
+    msg.held.push_back(vc.id);
+    ++ctx.epoch;  // a new ownership chain enters the CWG
+    msg.status = MessageStatus::InFlight;
+    msg.injected = now_;
+    ctx.grants.push_back(msg.id);  // active_ membership applied at commit
+    ++ctx.injected;
+    ctx.chan_active.insert(pc.id);  // injection channel has source flits
+    if (hooks_.tracer != nullptr) {
+      const auto key = static_cast<std::uint64_t>(node);
+      trace_sharded(ctx, key, TraceEventKind::VcAllocated, msg.id, vc.id);
+      trace_sharded(ctx, key, TraceEventKind::MessageInjected, msg.id, vc.id,
+                    kInvalidVc, static_cast<std::int32_t>(class_index(msg.cls)));
+    }
+  }
+  if (queue.empty()) {
+    ctx.src_active.erase(node);
+  } else if (hooks_.heatmap != nullptr) {
+    // A still-waiting head after the grant pass is an injection stall.
+    // Per-node counter slot: safe to bump from the owning shard's worker.
+    hooks_.heatmap->on_injection_stall(node);
+  }
+}
+
+bool Network::try_route_header_sharded(VcId head_vc, std::uint32_t scan_index,
+                                       ShardCtx& ctx) {
+  VcState& v = vcs_[static_cast<std::size_t>(head_vc)];
+  assert(v.owner != kInvalidMessage && v.route_out == kInvalidVc);
+  assert(!v.buffer.empty() && v.buffer.front().is_head());
+  Message& msg = messages_[static_cast<std::size_t>(v.owner)];
+  const NodeId here = phys(v.channel).dst;
+  const std::uint64_t key = kRetryKeyBase + scan_index;
+
+  ctx.scratch_channels.clear();
+  const bool ejecting = (here == msg.dst);
+  if (ejecting) {
+    ctx.scratch_channels.push_back(ejection_channel(here));
+  } else {
+    routing_->candidate_channels(*this, msg, here, v.id, ctx.scratch_channels);
+    assert(!ctx.scratch_channels.empty());
+    // Selection draws from a per-(message, cycle) hash stream: the serial
+    // engine's shared generator encodes the serial visit order in its draw
+    // sequence, which no parallel schedule can reproduce. This stream is a
+    // pure function of (seed, message, cycle), so every shard count agrees.
+    Pcg32 rng(config_.seed ^ (0x9e3779b97f4a7c15ULL *
+                              (static_cast<std::uint64_t>(msg.id) + 1)),
+              static_cast<std::uint64_t>(now_));
+    selection_->order(*this, msg, v.id, ctx.scratch_channels, rng);
+  }
+
+  ctx.scratch_vcs.clear();
+  const bool high_first = routing_->prefer_high_vc_indices();
+  for (const ChannelId ch : ctx.scratch_channels) {
+    const PhysChannel& pc = phys(ch);
+    for (int j = 0; j < pc.num_vcs; ++j) {
+      const int idx = high_first ? pc.num_vcs - 1 - j : j;
+      if (pc.kind == ChannelKind::Network &&
+          !routing_->vc_allowed(*this, msg, ch, idx, v.id)) {
+        continue;
+      }
+      ctx.scratch_vcs.push_back(pc.first_vc + idx);
+    }
+  }
+  assert(!ctx.scratch_vcs.empty());
+
+  for (const VcId candidate : ctx.scratch_vcs) {
+    VcState& w = vcs_[static_cast<std::size_t>(candidate)];
+    if (w.is_free()) {
+      acquire_vc_sharded(msg, v, w, key, ctx);
+      return true;
+    }
+  }
+
+  const bool newly_blocked = !msg.blocked;
+  if (newly_blocked || msg.request_set != ctx.scratch_vcs) ++ctx.epoch;
+  if (newly_blocked) {
+    msg.blocked = true;
+    msg.blocked_since = now_;
+  }
+  if (hooks_.tracer != nullptr) {
+    ctx.scratch_old_requests.assign(msg.request_set.begin(),
+                                    msg.request_set.end());
+    msg.request_set.assign(ctx.scratch_vcs.begin(), ctx.scratch_vcs.end());
+    if (newly_blocked) {
+      trace_sharded(ctx, key, TraceEventKind::MessageBlocked, msg.id, head_vc,
+                    kInvalidVc,
+                    static_cast<std::int32_t>(msg.request_set.size()));
+    }
+    // Dashed-arc delta, same quadratic diff as the serial path.
+    for (const VcId want : msg.request_set) {
+      if (std::find(ctx.scratch_old_requests.begin(),
+                    ctx.scratch_old_requests.end(),
+                    want) == ctx.scratch_old_requests.end()) {
+        trace_sharded(ctx, key, TraceEventKind::CwgArcAdded, msg.id, want,
+                      head_vc);
+      }
+    }
+    for (const VcId had : ctx.scratch_old_requests) {
+      if (std::find(msg.request_set.begin(), msg.request_set.end(), had) ==
+          msg.request_set.end()) {
+        trace_sharded(ctx, key, TraceEventKind::CwgArcRemoved, msg.id, had,
+                      head_vc);
+      }
+    }
+  } else {
+    msg.request_set.assign(ctx.scratch_vcs.begin(), ctx.scratch_vcs.end());
+  }
+  return false;
+}
+
+void Network::acquire_vc_sharded(Message& msg, VcState& from, VcState& target,
+                                 std::uint64_t trace_key, ShardCtx& ctx) {
+  assert(target.is_free() && target.buffer.empty());
+  assert(!phys(target.channel).faulted);
+  if (hooks_.tracer != nullptr) {
+    for (const VcId want : msg.request_set) {
+      trace_sharded(ctx, trace_key, TraceEventKind::CwgArcRemoved, msg.id, want,
+                    from.id);
+    }
+    trace_sharded(ctx, trace_key, TraceEventKind::VcAllocated, msg.id,
+                  target.id, from.id);
+    if (msg.blocked) {
+      trace_sharded(ctx, trace_key, TraceEventKind::MessageUnblocked, msg.id,
+                    target.id, from.id,
+                    static_cast<std::int32_t>(now_ - msg.blocked_since));
+    }
+  }
+  target.owner = msg.id;
+  target.route_in = from.id;
+  from.route_out = target.id;
+  msg.held.push_back(target.id);
+  ++ctx.epoch;  // new solid arc; the unblocked message drops its dashed arcs
+  // The target channel is out of the header's router, so it belongs to this
+  // shard: wake it directly.
+  assert(shard_of_channel(target.channel) == ctx.shard);
+  ctx.chan_active.insert(target.channel);
+
+  const PhysChannel& pc = phys(target.channel);
+  if (pc.kind == ChannelKind::Network) {
+    ++msg.hops;
+    if (!topo_->hop_is_minimal(topo_->channel(pc.id), msg.dst)) ++msg.misroutes;
+  }
+  msg.blocked = false;
+  msg.request_set.clear();
+}
+
+void Network::commit_route() {
+  // Injection grants join the active list in source-node order (the serial
+  // grant sweep's order); each shard's grant list is already node-ordered.
+  std::fill(merge_cursor_.begin(), merge_cursor_.end(), 0);
+  for (;;) {
+    std::size_t best = shard_ctx_.size();
+    NodeId best_node = kInvalidNode;
+    for (std::size_t s = 0; s < shard_ctx_.size(); ++s) {
+      const ShardCtx& ctx = shard_ctx_[s];
+      if (merge_cursor_[s] >= ctx.grants.size()) continue;
+      const NodeId node =
+          messages_[static_cast<std::size_t>(ctx.grants[merge_cursor_[s]])].src;
+      if (best == shard_ctx_.size() || node < best_node) {
+        best = s;
+        best_node = node;
+      }
+    }
+    if (best == shard_ctx_.size()) break;
+    const MessageId id = shard_ctx_[best].grants[merge_cursor_[best]];
+    ++merge_cursor_[best];
+    active_pos_[static_cast<std::size_t>(id)] =
+        static_cast<std::int32_t>(active_.size());
+    active_.push_back(id);
+  }
+
+  // Rebuild pending_ from the failures, in rotated-scan order.
+  scratch_pending_.clear();
+  blocked_count_ = 0;
+  std::fill(merge_cursor_.begin(), merge_cursor_.end(), 0);
+  for (;;) {
+    std::size_t best = shard_ctx_.size();
+    std::uint32_t best_index = 0;
+    for (std::size_t s = 0; s < shard_ctx_.size(); ++s) {
+      const ShardCtx& ctx = shard_ctx_[s];
+      if (merge_cursor_[s] >= ctx.failures.size()) continue;
+      const std::uint32_t index = ctx.failures[merge_cursor_[s]].scan_index;
+      if (best == shard_ctx_.size() || index < best_index) {
+        best = s;
+        best_index = index;
+      }
+    }
+    if (best == shard_ctx_.size()) break;
+    scratch_pending_.push_back(
+        shard_ctx_[best].failures[merge_cursor_[best]].head_vc);
+    ++merge_cursor_[best];
+    ++blocked_count_;
+  }
+  pending_.swap(scratch_pending_);
+
+  for (const ShardCtx& ctx : shard_ctx_) counters_.injected += ctx.injected;
+  flush_sharded_traces();
+}
+
+// --- transmit --------------------------------------------------------------
+
+void Network::transmit_phase_sharded() {
+  pool_->run([this](std::size_t s) { transmit_decide_shard(shard_ctx_[s]); });
+  pool_->run([this](std::size_t s) { transmit_pop_shard(shard_ctx_[s]); });
+  pool_->run([this](std::size_t s) { transmit_push_shard(shard_ctx_[s]); });
+  commit_transmit();
+}
+
+void Network::transmit_decide_shard(ShardCtx& ctx) {
+  ctx.moves.clear();
+  ctx.pending_adds.clear();
+  ctx.wake_outbox.clear();
+  ctx.trace_buf.clear();
+  // Read-only against phase-start state (the only mutation is descheduling
+  // our own channels, which touches no VC). Every decision — including the
+  // round-robin winner and the deschedule verdict — is therefore a pure
+  // function of committed state, independent of shard count and of other
+  // shards' concurrent decisions.
+  for (std::int32_t ch = ctx.chan_active.first(); ch != -1;
+       ch = ctx.chan_active.next_after(ch)) {
+    const PhysChannel& pc = phys_[static_cast<std::size_t>(ch)];
+    bool moved = false;
+    if (pc.kind == ChannelKind::Injection) {
+      for (int j = 0; j < pc.num_vcs; ++j) {
+        int idx = pc.rr_cursor + j;
+        if (idx >= pc.num_vcs) idx -= pc.num_vcs;
+        const VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
+        if (w.is_free() || w.buffer.full()) continue;
+        const Message& msg = messages_[static_cast<std::size_t>(w.owner)];
+        if (msg.flits_sent >= msg.length) continue;
+        ShardMove move;
+        move.channel = pc.id;
+        move.dst_vc = w.id;
+        move.upstream = kInvalidVc;
+        move.rr_index = idx;
+        ctx.moves.push_back(move);
+        moved = true;
+        break;
+      }
+    } else {
+      for (int j = 0; j < pc.num_vcs; ++j) {
+        int idx = pc.rr_cursor + j;
+        if (idx >= pc.num_vcs) idx -= pc.num_vcs;
+        const VcState& w = vcs_[static_cast<std::size_t>(pc.first_vc + idx)];
+        if (w.is_free() || w.route_in == kInvalidVc || w.buffer.full()) {
+          continue;
+        }
+        const VcState& u = vcs_[static_cast<std::size_t>(w.route_in)];
+        if (u.buffer.empty() || u.buffer.front().arrived >= now_) continue;
+        ShardMove move;
+        move.channel = pc.id;
+        move.dst_vc = w.id;
+        move.upstream = u.id;
+        move.rr_index = idx;
+        ctx.moves.push_back(move);
+        moved = true;
+        break;
+      }
+    }
+    if (!moved && !transmit_work_possible(pc)) ctx.chan_active.erase(ch);
+  }
+}
+
+void Network::transmit_pop_shard(ShardCtx& ctx) {
+  // Each VC has exactly one downstream mover (route_out is unique), so these
+  // pops — possibly of other shards' VCs — never collide; pushes wait for
+  // the next barrier so no FlitFifo sees a pop and a push concurrently.
+  for (ShardMove& move : ctx.moves) {
+    if (move.upstream == kInvalidVc) continue;
+    VcState& u = vcs_[static_cast<std::size_t>(move.upstream)];
+    move.flit = u.buffer.pop();
+    assert(move.flit.message ==
+           vcs_[static_cast<std::size_t>(move.dst_vc)].owner);
+  }
+}
+
+void Network::transmit_push_shard(ShardCtx& ctx) {
+  for (const ShardMove& move : ctx.moves) {
+    PhysChannel& pc = phys_[static_cast<std::size_t>(move.channel)];
+    VcState& w = vcs_[static_cast<std::size_t>(move.dst_vc)];
+    const auto key = static_cast<std::uint64_t>(pc.id);
+    if (pc.kind == ChannelKind::Injection) {
+      Message& msg = messages_[static_cast<std::size_t>(w.owner)];
+      Flit flit;
+      flit.message = msg.id;
+      flit.seq = msg.flits_sent++;
+      flit.arrived = now_;
+      w.buffer.push(flit);
+      if (flit.is_head()) {
+        ShardPendingAdd add;
+        add.channel = pc.id;
+        add.vc = w.id;
+        ctx.pending_adds.push_back(add);
+      }
+      if (w.route_out != kInvalidVc) {
+        // A routed head is already downstream; its channel leaves this node,
+        // so it is ours to wake directly.
+        ctx.chan_active.insert(
+            vcs_[static_cast<std::size_t>(w.route_out)].channel);
+      }
+      if (hooks_.heatmap != nullptr) hooks_.heatmap->on_traversal(pc.id, w.id);
+      if (hooks_.tracer != nullptr) {
+        trace_sharded(ctx, key, TraceEventKind::FlitInjected, msg.id, w.id,
+                      kInvalidVc, flit.seq);
+      }
+      pc.rr_cursor = move.rr_index + 1 == pc.num_vcs ? 0 : move.rr_index + 1;
+      continue;
+    }
+
+    Flit flit = move.flit;
+    VcState& u = vcs_[static_cast<std::size_t>(move.upstream)];
+    Message& msg = messages_[static_cast<std::size_t>(flit.message)];
+    // Freed buffer space upstream: wake the feeding channel (often another
+    // shard's — route through the outbox).
+    if (shard_of_channel(u.channel) == ctx.shard) {
+      ctx.chan_active.insert(u.channel);
+    } else {
+      ctx.wake_outbox.push_back(u.channel);
+    }
+    const bool tail_left_upstream = flit.is_tail_of(msg.length);
+    if (tail_left_upstream) {
+      assert(!msg.held.empty() && msg.held.front() == u.id);
+      msg.held.erase(msg.held.begin());
+      u.release();
+      w.route_in = kInvalidVc;  // no further flits arrive from upstream
+      ++ctx.epoch;  // oldest solid arc retired, VC ownership vacated
+    }
+    flit.arrived = now_;
+    w.buffer.push(flit);
+    if (pc.kind == ChannelKind::Ejection) {
+      ctx.eject_active.insert(pc.dst);  // the reception interface has work
+    } else if (w.route_out != kInvalidVc) {
+      const ChannelId next =
+          vcs_[static_cast<std::size_t>(w.route_out)].channel;
+      if (shard_of_channel(next) == ctx.shard) {
+        ctx.chan_active.insert(next);
+      } else {
+        ctx.wake_outbox.push_back(next);
+      }
+    }
+    if (hooks_.heatmap != nullptr) hooks_.heatmap->on_traversal(pc.id, w.id);
+    if (hooks_.tracer != nullptr) {
+      trace_sharded(ctx, key, TraceEventKind::FlitHopped, msg.id, w.id, u.id,
+                    flit.seq);
+      if (tail_left_upstream) {
+        trace_sharded(ctx, key, TraceEventKind::VcFreed, msg.id, u.id);
+      }
+    }
+    if (flit.is_head() && pc.kind != ChannelKind::Ejection) {
+      ShardPendingAdd add;
+      add.channel = pc.id;
+      add.vc = w.id;
+      ctx.pending_adds.push_back(add);
+    }
+    pc.rr_cursor = move.rr_index + 1 == pc.num_vcs ? 0 : move.rr_index + 1;
+  }
+}
+
+void Network::commit_transmit() {
+  // New unrouted heads join pending_ in channel-id order (the serial
+  // transmit visit order), after the route phase's rotated rebuild.
+  std::fill(merge_cursor_.begin(), merge_cursor_.end(), 0);
+  for (;;) {
+    std::size_t best = shard_ctx_.size();
+    ChannelId best_ch = kInvalidChannel;
+    for (std::size_t s = 0; s < shard_ctx_.size(); ++s) {
+      const ShardCtx& ctx = shard_ctx_[s];
+      if (merge_cursor_[s] >= ctx.pending_adds.size()) continue;
+      const ChannelId ch = ctx.pending_adds[merge_cursor_[s]].channel;
+      if (best == shard_ctx_.size() || ch < best_ch) {
+        best = s;
+        best_ch = ch;
+      }
+    }
+    if (best == shard_ctx_.size()) break;
+    pending_.push_back(shard_ctx_[best].pending_adds[merge_cursor_[best]].vc);
+    ++merge_cursor_[best];
+  }
+
+  // Cross-shard wakeups: idempotent set inserts, order irrelevant.
+  for (const ShardCtx& ctx : shard_ctx_) {
+    for (const ChannelId ch : ctx.wake_outbox) {
+      shard_ctx_[static_cast<std::size_t>(shard_of_channel(ch))]
+          .chan_active.insert(ch);
+    }
+  }
+  flush_sharded_traces();
+}
+
+}  // namespace flexnet

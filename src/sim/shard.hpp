@@ -1,0 +1,121 @@
+// Per-shard state for the parallel stepping engine (DESIGN.md §3j).
+//
+// Each worker thread owns one ShardCtx: the shard's slice of the three
+// active sets, its own arc-epoch term, reusable scratch buffers, and the
+// per-cycle result buffers that the main thread folds into global state at
+// each phase commit. Workers write only (a) simulation state owned by their
+// shard (their nodes' queues/ejection VCs, their channels' VCs and cursors),
+// (b) exclusively-held cross-shard cells (an upstream VC being popped by its
+// unique downstream mover), and (c) their own ShardCtx. Everything ordered —
+// the active_ list, the pending rotation, the trace stream, counters — is
+// buffered here with a canonical sort key and committed single-threaded, so
+// an N-shard run is byte-identical to the 1-shard run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/active.hpp"
+#include "sim/flit.hpp"
+#include "sim/types.hpp"
+#include "trace/trace.hpp"
+
+namespace flexnet {
+
+/// One flit drained from an ejection VC this cycle (deliver phase). At most
+/// one per node per cycle, produced in ascending node order within a shard;
+/// the commit merges shards by node id and runs tail completions in that
+/// order (exactly the serial sweep's order).
+struct ShardDelivery {
+  NodeId node = kInvalidNode;
+  MessageId msg = kInvalidMessage;
+  VcId eject_vc = kInvalidVc;
+  std::int32_t seq = 0;   ///< Flit sequence number (trace payload).
+  bool tail = false;      ///< Completes the message at commit.
+};
+
+/// A route-phase allocation failure: the header stays pending. Tagged with
+/// its position in this cycle's rotated scan so the commit can rebuild
+/// pending_ in exactly the order the serial walk would have.
+struct ShardRouteFailure {
+  std::uint32_t scan_index = 0;
+  VcId head_vc = kInvalidVc;
+};
+
+/// A transmit move decided in sub-phase T1 against cycle-start state.
+/// `upstream == kInvalidVc` marks an injection move (the flit is synthesized
+/// from the source in T3); otherwise T2 pops `flit` from `upstream`.
+struct ShardMove {
+  ChannelId channel = kInvalidChannel;
+  VcId dst_vc = kInvalidVc;
+  VcId upstream = kInvalidVc;
+  int rr_index = 0;  ///< VC index chosen by the round-robin scan.
+  Flit flit{};
+};
+
+/// A buffered trace event plus its canonical within-phase sort key
+/// (component id or scan position). Shard buffers are key-sorted by
+/// construction; the commit k-way merges them.
+struct ShardTraceRecord {
+  std::uint64_t key = 0;
+  TraceEvent event{};
+};
+
+/// A head flit that entered a new VC this cycle and must join pending_.
+/// Keyed by channel id (the serial transmit visit order; at most one per
+/// channel per cycle).
+struct ShardPendingAdd {
+  ChannelId channel = kInvalidChannel;
+  VcId vc = kInvalidVc;
+};
+
+struct ShardCtx {
+  std::int32_t shard = 0;
+
+  // The shard's slice of the scheduler. Full-capacity bitmaps holding only
+  // this shard's component ids (a 32k-node set is 4 KiB — the sparse scan
+  // skips foreign regions word-wise).
+  ActiveSet src_active;
+  ActiveSet eject_active;
+  ActiveSet chan_active;
+
+  /// This shard's term of the composed arc epoch (monotonic, never reset
+  /// while sharding is enabled; folded into the base counter on reshard).
+  std::uint64_t epoch = 0;
+
+  // --- per-cycle result buffers (cleared each phase) -----------------------
+  std::vector<ShardDelivery> deliveries;
+  std::int64_t flits_delivered = 0;
+
+  std::vector<MessageId> grants;  ///< Injection grants, node-then-queue order.
+  std::int64_t injected = 0;
+  std::vector<ShardRouteFailure> failures;
+
+  std::vector<ShardMove> moves;
+  std::vector<ShardPendingAdd> pending_adds;
+  /// Cross-shard scheduler wakeups (transmit only: route/deliver wakes are
+  /// provably shard-local). Drained into the owning shards' chan_active at
+  /// commit; insertion is idempotent so order is irrelevant.
+  std::vector<ChannelId> wake_outbox;
+
+  std::vector<ShardTraceRecord> trace_buf;
+
+  // --- reusable scratch (mirrors Network's serial scratch members) ---------
+  std::vector<ChannelId> scratch_channels;
+  std::vector<VcId> scratch_vcs;
+  std::vector<VcId> scratch_old_requests;
+
+  void clear_cycle_buffers() {
+    deliveries.clear();
+    flits_delivered = 0;
+    grants.clear();
+    injected = 0;
+    failures.clear();
+    moves.clear();
+    pending_adds.clear();
+    wake_outbox.clear();
+    trace_buf.clear();
+  }
+};
+
+}  // namespace flexnet

@@ -1,0 +1,80 @@
+#include "topo/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "topo/topology.hpp"
+
+namespace flexnet {
+
+namespace {
+/// Nodes in BFS order from node 0 over the (directed) channel list, both
+/// directions treated as adjacency. Disconnected leftovers (possible only
+/// for pathological inputs; generators guarantee connectivity) are appended
+/// in id order so the permutation stays total.
+std::vector<NodeId> bfs_order(const Topology& topo) {
+  const auto nodes = static_cast<std::size_t>(topo.num_nodes());
+  std::vector<std::vector<NodeId>> adj(nodes);
+  for (const ChannelDesc& ch : topo.channels()) {
+    adj[static_cast<std::size_t>(ch.src)].push_back(ch.dst);
+    adj[static_cast<std::size_t>(ch.dst)].push_back(ch.src);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes);
+  std::vector<bool> seen(nodes, false);
+  std::size_t head = 0;
+  seen[0] = true;
+  order.push_back(0);
+  while (head < order.size()) {
+    const NodeId at = order[head++];
+    // Visit neighbors in ascending id order for a canonical sequence.
+    auto& out = adj[static_cast<std::size_t>(at)];
+    std::sort(out.begin(), out.end());
+    for (const NodeId next : out) {
+      if (seen[static_cast<std::size_t>(next)]) continue;
+      seen[static_cast<std::size_t>(next)] = true;
+      order.push_back(next);
+    }
+  }
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (!seen[static_cast<std::size_t>(n)]) order.push_back(n);
+  }
+  return order;
+}
+}  // namespace
+
+ShardPlan make_shard_plan(const Topology& topo, std::int32_t shards) {
+  if (shards < 1) throw std::invalid_argument("shard count must be >= 1");
+  const NodeId nodes = topo.num_nodes();
+  ShardPlan plan;
+  plan.shards = std::min<std::int32_t>(shards, nodes);
+  plan.node_shard.assign(static_cast<std::size_t>(nodes), 0);
+  if (plan.shards == 1) return plan;
+
+  // Cut a canonical node sequence into `shards` nearly equal consecutive
+  // chunks (sizes differ by at most one; the first `nodes % shards` chunks
+  // get the extra node).
+  const auto assign_chunks = [&](const std::vector<NodeId>& order) {
+    const std::int32_t base = nodes / plan.shards;
+    const std::int32_t extra = nodes % plan.shards;
+    std::size_t at = 0;
+    for (std::int32_t s = 0; s < plan.shards; ++s) {
+      const std::int32_t take = base + (s < extra ? 1 : 0);
+      for (std::int32_t i = 0; i < take; ++i) {
+        plan.node_shard[static_cast<std::size_t>(order[at++])] = s;
+      }
+    }
+  };
+
+  if (topo.kind() == TopoKind::Torus) {
+    // Row-major ids: contiguous slabs are spatial blocks already.
+    std::vector<NodeId> identity(static_cast<std::size_t>(nodes));
+    for (NodeId n = 0; n < nodes; ++n) identity[static_cast<std::size_t>(n)] = n;
+    assign_chunks(identity);
+  } else {
+    assign_chunks(bfs_order(topo));
+  }
+  return plan;
+}
+
+}  // namespace flexnet

@@ -1,0 +1,45 @@
+// Spatial shard partitioner for the parallel stepping engine.
+//
+// A shard plan assigns every router to one of `shards` contiguous-work
+// domains so that each worker thread owns a connected, similarly-sized
+// region of the network and most channels stay shard-internal:
+//
+//  * k-ary n-cubes: node ids are row-major coordinates, so equal contiguous
+//    id slabs are axis-aligned spatial blocks (the highest dimension varies
+//    slowest) — the classic torus decomposition, no graph work needed;
+//  * every other topology: nodes are renumbered by BFS from node 0 over the
+//    channel list (the same canonical order every construction produces) and
+//    the BFS sequence is cut into equal chunks, which keeps each shard a
+//    mostly-connected neighborhood of the graph without a full partitioner.
+//
+// Correctness never depends on the assignment — the sharded engine commits
+// results in canonical component order, so ANY map from nodes to shards
+// yields byte-identical runs; the plan only controls locality and balance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace flexnet {
+
+class Topology;
+
+/// A node -> shard assignment. Shard ids are dense [0, shards) and every
+/// shard owns at least one node (shards is clamped to num_nodes).
+struct ShardPlan {
+  std::int32_t shards = 1;
+  std::vector<std::int32_t> node_shard;  ///< size == num_nodes
+
+  [[nodiscard]] std::int32_t shard_of(NodeId node) const noexcept {
+    return node_shard[static_cast<std::size_t>(node)];
+  }
+};
+
+/// Builds the plan described above. `shards` < 1 is an error; `shards` >
+/// num_nodes is clamped so every shard stays non-empty.
+[[nodiscard]] ShardPlan make_shard_plan(const Topology& topo,
+                                        std::int32_t shards);
+
+}  // namespace flexnet

@@ -1,13 +1,20 @@
-// Small task-parallel helper used to run independent simulation points
-// (load sweeps, config grids) across hardware threads.
+// Task-parallel helpers: a one-shot parallel_for used to run independent
+// simulation points (load sweeps, config grids) across hardware threads, and
+// a persistent WorkerPool used by the sharded stepping engine, which needs
+// microsecond-scale dispatch several times per simulated cycle.
 //
 // Simulations are deterministic per (config, seed), so running points in
 // parallel never changes results — only wall-clock time. Thread count comes
 // from FLEXNET_THREADS or std::thread::hardware_concurrency().
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <thread>
+#include <vector>
 
 namespace flexnet {
 
@@ -16,7 +23,58 @@ namespace flexnet {
 
 /// Runs fn(i) for i in [0, count), distributing indices over worker threads.
 /// Blocks until all invocations complete. Exceptions from workers are
-/// rethrown (first one wins).
+/// rethrown (first one wins). Threads are spawned per call — fine for
+/// second-scale work items, far too slow for per-cycle dispatch (use
+/// WorkerPool for that).
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+/// A persistent pool of `parties - 1` spinning worker threads plus the
+/// calling thread, dispatching the same job to every party. Built for the
+/// sharded simulation core: Network::step() dispatches five sub-phase jobs
+/// per cycle, so a dispatch must cost on the order of a microsecond, not the
+/// ~50µs of spawning threads.
+///
+/// run(fn) invokes fn(i) for every party index i in [0, parties); the caller
+/// participates as party 0, workers are parties 1..parties-1. run() returns
+/// once every invocation finished (a full barrier), so jobs may freely read
+/// state written by the previous job without synchronization. Exceptions
+/// thrown by any party are captured and rethrown from run() (first wins).
+///
+/// Dispatch is a generation-counted spin barrier: workers spin (with
+/// periodic yields) on an atomic generation counter, so an idle pool burns a
+/// little CPU between cycles but a dispatch is two atomic transitions.
+/// run() must only be called from one thread at a time (the simulation
+/// loop's thread).
+class WorkerPool {
+ public:
+  /// A pool of `parties` total executors (>= 1). parties == 1 degenerates to
+  /// calling fn(0) inline with no threads at all.
+  explicit WorkerPool(std::size_t parties);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+  /// Runs fn(i) for i in [0, parties) across the pool; blocks until all
+  /// parties finished. Rethrows the first exception any party threw.
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t index);
+
+  const std::size_t parties_;
+  // The job for the current generation. Written before the release-store to
+  // generation_, read by workers after their acquire-load observes the new
+  // generation — that pair orders the accesses.
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<bool> stop_{false};
+  std::exception_ptr first_error_;
+  std::atomic<bool> has_error_{false};
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace flexnet

@@ -1,0 +1,170 @@
+// Randomized ActiveSet stress against a std::set oracle, including the
+// live-scan semantics the event-driven and sharded cores lean on: erasing
+// the current id mid-scan, erasing ids ahead of the cursor, and inserting
+// ahead of the cursor (which must be visited in the same sweep).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/active.hpp"
+#include "util/rng.hpp"
+
+namespace flexnet {
+namespace {
+
+std::vector<std::int32_t> drain(const ActiveSet& set) {
+  std::vector<std::int32_t> out;
+  for (std::int32_t id = set.first(); id != -1; id = set.next_after(id)) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+TEST(ActiveStress, RandomInsertEraseMatchesSetOracle) {
+  constexpr std::size_t kCapacity = 5000;  // spans many level-0/level-1 words
+  ActiveSet set(kCapacity);
+  std::set<std::int32_t> oracle;
+  Pcg32 rng(0xac71f357, 1);
+
+  for (int op = 0; op < 200000; ++op) {
+    const auto id = static_cast<std::int32_t>(rng.bounded(kCapacity));
+    switch (rng.bounded(4)) {
+      case 0:
+      case 1:  // bias toward inserts so the set stays populated
+        set.insert(id);
+        oracle.insert(id);
+        break;
+      case 2:
+        set.erase(id);
+        oracle.erase(id);
+        break;
+      default:
+        ASSERT_EQ(set.contains(id), oracle.count(id) != 0) << "id " << id;
+        break;
+    }
+    ASSERT_EQ(set.count(), oracle.size());
+    if (op % 5000 == 0) {
+      ASSERT_EQ(drain(set),
+                std::vector<std::int32_t>(oracle.begin(), oracle.end()));
+    }
+  }
+  EXPECT_EQ(drain(set), std::vector<std::int32_t>(oracle.begin(), oracle.end()));
+}
+
+TEST(ActiveStress, DoubleInsertAndDoubleEraseAreIdempotent) {
+  ActiveSet set(128);
+  set.insert(7);
+  set.insert(7);
+  EXPECT_EQ(set.count(), 1u);
+  set.erase(7);
+  set.erase(7);
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.first(), -1);
+}
+
+TEST(ActiveStress, EraseCurrentDuringScan) {
+  // Self-erasing visits — exactly what deliver/transmit descheduling does —
+  // must not derail the sweep.
+  constexpr std::size_t kCapacity = 1 << 14;
+  ActiveSet set(kCapacity);
+  std::set<std::int32_t> oracle;
+  Pcg32 rng(0xe8a5e, 2);
+  for (int i = 0; i < 3000; ++i) {
+    const auto id = static_cast<std::int32_t>(rng.bounded(kCapacity));
+    set.insert(id);
+    oracle.insert(id);
+  }
+
+  std::vector<std::int32_t> visited;
+  for (std::int32_t id = set.first(); id != -1; id = set.next_after(id)) {
+    visited.push_back(id);
+    if (rng.bounded(2) == 0) set.erase(id);  // erase the current id mid-scan
+  }
+  EXPECT_EQ(visited, std::vector<std::int32_t>(oracle.begin(), oracle.end()));
+
+  // Survivors are exactly the non-erased ids, still in ascending order.
+  std::set<std::int32_t> survivors(oracle.begin(), oracle.end());
+  for (const std::int32_t id : visited) {
+    if (!set.contains(id)) survivors.erase(id);
+  }
+  EXPECT_EQ(drain(set),
+            std::vector<std::int32_t>(survivors.begin(), survivors.end()));
+}
+
+TEST(ActiveStress, InsertAheadIsVisitedSameSweepInsertBehindIsNot) {
+  // The dense-equivalence contract: ids inserted ahead of the cursor join
+  // the current sweep; ids inserted behind wait for the next one.
+  ActiveSet set(4096);
+  for (const std::int32_t id : {100, 2000}) set.insert(id);
+
+  std::vector<std::int32_t> visited;
+  for (std::int32_t id = set.first(); id != -1; id = set.next_after(id)) {
+    visited.push_back(id);
+    if (id == 100) {
+      set.insert(1500);  // ahead: must appear later this sweep
+      set.insert(5);     // behind: must NOT appear this sweep
+    }
+  }
+  EXPECT_EQ(visited, (std::vector<std::int32_t>{100, 1500, 2000}));
+  // The behind-cursor insert is still scheduled for the next sweep.
+  EXPECT_EQ(drain(set), (std::vector<std::int32_t>{5, 100, 1500, 2000}));
+}
+
+TEST(ActiveStress, RandomizedMutationDuringScan) {
+  // Free-for-all: every visit may erase ids (current, ahead, behind) and
+  // insert ahead. Oracle mirrors the live-scan contract: a visited sequence
+  // is valid iff each visited id was in the set when the cursor passed it.
+  constexpr std::size_t kCapacity = 2048;
+  Pcg32 rng(0x5ca9, 3);
+  for (int round = 0; round < 200; ++round) {
+    ActiveSet set(kCapacity);
+    std::set<std::int32_t> expect;  // ids the sweep still owes us
+    for (int i = 0; i < 200; ++i) {
+      const auto id = static_cast<std::int32_t>(rng.bounded(kCapacity));
+      set.insert(id);
+      expect.insert(id);
+    }
+
+    for (std::int32_t id = set.first(); id != -1; id = set.next_after(id)) {
+      ASSERT_EQ(*expect.begin(), id) << "round " << round;
+      expect.erase(expect.begin());
+      const auto target = static_cast<std::int32_t>(rng.bounded(kCapacity));
+      switch (rng.bounded(4)) {
+        case 0:
+          set.erase(id);  // erase current: already visited, nothing owed
+          break;
+        case 1:
+          set.erase(target);
+          if (target > id) expect.erase(target);  // ahead: no longer owed
+          break;
+        case 2:
+          set.insert(target);
+          if (target > id) expect.insert(target);  // ahead: owed this sweep
+          break;
+        default:
+          break;
+      }
+    }
+    ASSERT_TRUE(expect.empty()) << "round " << round;
+  }
+}
+
+TEST(ActiveStress, CapacityBoundaryIds) {
+  // First/last id of level-0 words and of the whole set: bit arithmetic at
+  // the seams (63/64, 4095/4096 = level-1 word boundary).
+  constexpr std::size_t kCapacity = 4096 + 130;
+  ActiveSet set(kCapacity);
+  const std::vector<std::int32_t> ids = {0,    1,    63,   64,   127,  128,
+                                         4095, 4096, 4097, 4225};
+  for (const std::int32_t id : ids) set.insert(id);
+  EXPECT_EQ(drain(set), ids);
+  for (const std::int32_t id : ids) set.erase(id);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.first(), -1);
+}
+
+}  // namespace
+}  // namespace flexnet

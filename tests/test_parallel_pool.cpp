@@ -1,0 +1,101 @@
+// WorkerPool: the persistent spin-barrier pool behind the sharded stepping
+// engine. Exercises the dispatch barrier (all parties run, run() is a full
+// barrier), sequential-phase visibility, exception propagation and reuse
+// after an exception, and the single-party inline degenerate case.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace flexnet {
+namespace {
+
+TEST(WorkerPool, RunsEveryPartyExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.parties(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  for (int round = 0; round < 100; ++round) {
+    pool.run([&](std::size_t i) { ++hits[i]; });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 100);
+}
+
+TEST(WorkerPool, RunIsAFullBarrierBetweenPhases) {
+  // Phase N+1 must see phase N's plain (non-atomic) writes: exactly the
+  // deliver -> route -> transmit contract in the sharded engine.
+  WorkerPool pool(8);
+  std::vector<std::size_t> scratch(8, 0);
+  for (std::size_t round = 1; round <= 200; ++round) {
+    pool.run([&](std::size_t i) { scratch[i] = i + round; });
+    std::size_t total = 0;
+    pool.run([&](std::size_t i) {
+      if (i == 0) {  // party 0 is the caller: sums what every party wrote
+        total = std::accumulate(scratch.begin(), scratch.end(), std::size_t{0});
+      }
+    });
+    EXPECT_EQ(total, 8 * round + (8 * 7) / 2);
+  }
+}
+
+TEST(WorkerPool, SinglePartyRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.parties(), 1u);
+  std::size_t ran = 0;
+  pool.run([&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1u);
+}
+
+TEST(WorkerPool, ZeroPartiesClampsToOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.parties(), 1u);
+  bool ran = false;
+  pool.run([&](std::size_t) { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(WorkerPool, PropagatesWorkerExceptionAndStaysUsable) {
+  WorkerPool pool(4);
+  EXPECT_THROW(
+      pool.run([](std::size_t i) {
+        if (i == 2) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // The pool must survive a throwing job: the barrier still completed.
+  std::atomic<int> ok{0};
+  pool.run([&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(WorkerPool, PropagatesCallerPartyException) {
+  WorkerPool pool(3);
+  EXPECT_THROW(
+      pool.run([](std::size_t i) {
+        if (i == 0) throw std::logic_error("caller party");
+      }),
+      std::logic_error);
+  std::atomic<int> ok{0};
+  pool.run([&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(WorkerPool, ManyDispatchesAreCheap) {
+  // The engine issues five dispatches per simulated cycle; 50k dispatches
+  // must complete promptly (this is a liveness check, not a timing assert).
+  WorkerPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int i = 0; i < 50000; ++i) {
+    pool.run([&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), 200000u);
+}
+
+}  // namespace
+}  // namespace flexnet
